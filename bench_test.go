@@ -1,0 +1,412 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation plus the ablations called out in DESIGN.md. Figure benchmarks
+// run a compressed configuration (subsampled suite, milliseconds-scale
+// budgets) and report the comparative shape as custom metrics:
+//
+//	frac_better   fraction of benchmarks where GUOQ strictly wins
+//	frac_worse    fraction where the comparator wins
+//	guoq_mean     suite-mean metric for GUOQ (reduction or fidelity)
+//	tool_mean     suite-mean metric for the comparator
+//
+// Full-scale regeneration (larger budgets, full 247-circuit suite) is
+// `go run ./cmd/guoqbench -exp <id> -limit 0 -budget 2s`; EXPERIMENTS.md
+// records measured runs against the paper's numbers.
+package guoq
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/baselines"
+	"github.com/guoq-dev/guoq/internal/benchmarks"
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/experiments"
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/opt"
+	"github.com/guoq-dev/guoq/internal/phasepoly"
+	"github.com/guoq-dev/guoq/internal/rewrite"
+	"github.com/guoq-dev/guoq/internal/synth/numeric"
+)
+
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Budget:     100 * time.Millisecond,
+		Trials:     2,
+		SuiteLimit: 12,
+		Epsilon:    1e-8,
+		Seed:       1,
+	}
+}
+
+func reportSummaries(b *testing.B, sums []experiments.Summary) {
+	b.Helper()
+	for _, s := range sums {
+		total := float64(s.Better + s.Match + s.Worse)
+		if total == 0 {
+			continue
+		}
+		label := strings.ReplaceAll(s.Tool+"/"+s.Metric, " ", "_")
+		b.ReportMetric(float64(s.Better)/total, "frac_better:"+label)
+		b.ReportMetric(float64(s.Worse)/total, "frac_worse:"+label)
+		b.ReportMetric(s.GUOQMean, "guoq_mean:"+label)
+		b.ReportMetric(s.ToolMean, "tool_mean:"+label)
+	}
+}
+
+// --- Figure/table benchmarks -----------------------------------------------
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sums, err := experiments.Fig1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSummaries(b, sums)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig7(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			// Report final best counts per approach for barenco_tof_10.
+			for _, s := range series {
+				if s.Bench != "barenco_tof_10" || len(s.Counts) == 0 {
+					continue
+				}
+				label := strings.ReplaceAll(s.Approach, " ", "_")
+				b.ReportMetric(float64(s.Counts[len(s.Counts)-1]), "final_2q:"+label)
+			}
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sums, err := experiments.Fig8(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSummaries(b, sums)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sums, err := experiments.Fig9(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSummaries(b, sums)
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sums, err := experiments.Fig10(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSummaries(b, sums)
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sums, err := experiments.Fig11(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSummaries(b, sums)
+		}
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sums, err := experiments.Fig12(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSummaries(b, sums)
+		}
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sums, err := experiments.Fig13(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSummaries(b, sums)
+		}
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sums, err := experiments.Fig14(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSummaries(b, sums)
+		}
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hs, err := experiments.Fig15(experiments.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, h := range hs {
+				for k, n := range h.Buckets {
+					b.ReportMetric(float64(n), fmt.Sprintf("n_1e%d:%s", k, h.GateSet))
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table2(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table3(experiments.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ----------
+
+// ablationRun measures GUOQ's mean 2q reduction over a small subset under a
+// modified option set.
+func ablationRun(b *testing.B, tune func(*opt.Options)) float64 {
+	b.Helper()
+	gs := gateset.IBMEagle
+	suite, err := benchmarks.SuiteFor(gs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := []string{"barenco_tof_4", "tof_5", "adder_6", "vqe_8_2"}
+	ts, err := opt.Instantiate(gs, opt.InstantiateOptions{
+		EpsilonF: 1e-8, SynthTime: 60 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total float64
+	for _, name := range names {
+		bench, ok := benchmarks.ByName(suite, name)
+		if !ok {
+			b.Fatalf("missing %s", name)
+		}
+		opts := opt.DefaultOptions()
+		opts.Cost = opt.TwoQubitCost()
+		opts.TimeBudget = 250 * time.Millisecond
+		opts.Seed = 1
+		opts.Async = true
+		tune(&opts)
+		res := opt.GUOQ(bench.Circuit, ts, opts)
+		orig := bench.Circuit.TwoQubitCount()
+		if orig > 0 {
+			total += 1 - float64(res.Best.TwoQubitCount())/float64(orig)
+		}
+	}
+	return total / float64(len(names))
+}
+
+func BenchmarkAblationTemperature(b *testing.B) {
+	for _, temp := range []float64{0, 1, 10} {
+		b.Run(fmt.Sprintf("t=%g", temp), func(b *testing.B) {
+			var red float64
+			for i := 0; i < b.N; i++ {
+				red = ablationRun(b, func(o *opt.Options) { o.Temperature = temp })
+			}
+			b.ReportMetric(red, "mean_2q_reduction")
+		})
+	}
+}
+
+func BenchmarkAblationResynthProb(b *testing.B) {
+	// Only meaningful in synchronous mode, where the probability gates the
+	// fast/slow mix directly.
+	for _, p := range []float64{0.0015, 0.015, 0.15} {
+		b.Run(fmt.Sprintf("p=%g", p), func(b *testing.B) {
+			var red float64
+			for i := 0; i < b.N; i++ {
+				red = ablationRun(b, func(o *opt.Options) {
+					o.Async = false
+					o.ResynthProb = p
+				})
+			}
+			b.ReportMetric(red, "mean_2q_reduction")
+		})
+	}
+}
+
+func BenchmarkAblationSyncVsAsync(b *testing.B) {
+	for _, async := range []bool{false, true} {
+		b.Run(fmt.Sprintf("async=%v", async), func(b *testing.B) {
+			var red float64
+			for i := 0; i < b.N; i++ {
+				red = ablationRun(b, func(o *opt.Options) { o.Async = async })
+			}
+			b.ReportMetric(red, "mean_2q_reduction")
+		})
+	}
+}
+
+func BenchmarkAblationQubitLimit(b *testing.B) {
+	for _, maxQ := range []int{2, 3} {
+		b.Run(fmt.Sprintf("maxq=%d", maxQ), func(b *testing.B) {
+			gs := gateset.IBMEagle
+			ts, err := opt.Instantiate(gs, opt.InstantiateOptions{
+				EpsilonF: 1e-8, MaxQubits: maxQ, SynthTime: 60 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			suite, _ := benchmarks.SuiteFor(gs)
+			bench, _ := benchmarks.ByName(suite, "tof_5")
+			var red float64
+			for i := 0; i < b.N; i++ {
+				opts := opt.DefaultOptions()
+				opts.Cost = opt.TwoQubitCost()
+				opts.TimeBudget = 250 * time.Millisecond
+				opts.Async = true
+				opts.Seed = 1
+				res := opt.GUOQ(bench.Circuit, ts, opts)
+				red = 1 - float64(res.Best.TwoQubitCount())/float64(bench.Circuit.TwoQubitCount())
+			}
+			b.ReportMetric(red, "2q_reduction_tof5")
+		})
+	}
+}
+
+// --- Microbenchmarks for the substrates -------------------------------------
+
+func BenchmarkUnitary6Q(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := circuit.Random(6, 60, circuit.DefaultTestVocab, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Unitary()
+	}
+}
+
+func BenchmarkRuleFullPass(b *testing.B) {
+	rules, _ := rewrite.RulesFor("nam")
+	rng := rand.New(rand.NewSource(2))
+	c := circuit.Random(16, 600, gateset.Nam.Gates, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rules[i%len(rules)]
+		_, _ = rewrite.FullPass(c, r, i%c.Len())
+	}
+}
+
+func BenchmarkCleanupPass(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	c := circuit.Random(16, 600, gateset.CliffordT.Gates, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rewrite.Cleanup(c, "cliffordt")
+	}
+}
+
+func BenchmarkPhaseFold(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	c := circuit.Random(16, 600, []gate.Name{gate.T, gate.Tdg, gate.S, gate.X, gate.H, gate.CX}, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = phasepoly.Fold(c, "cliffordt")
+	}
+}
+
+func BenchmarkGrowConvex(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	c := circuit.Random(16, 600, circuit.DefaultTestVocab, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = circuit.RandomRegion(c, 3, 0, rng)
+	}
+}
+
+func BenchmarkSynthesize2Q(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	targets := make([]*circuit.Circuit, 8)
+	for i := range targets {
+		targets[i] = circuit.Random(2, 10, circuit.DefaultTestVocab, rng)
+	}
+	s := numeric.New(gateset.IBMEagle)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = s.Synthesize(targets[i%len(targets)].Unitary(), 2, 1e-8)
+	}
+}
+
+func BenchmarkSynthesize3QToffoli(b *testing.B) {
+	c := circuit.New(3)
+	c.Append(gate.NewCCX(0, 1, 2))
+	target := gateset.MustTranslate(c, gateset.IBMEagle).Unitary()
+	s := numeric.New(gateset.IBMEagle)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = s.Synthesize(target, 3, 1e-8)
+	}
+}
+
+func BenchmarkTranslateSuiteSample(b *testing.B) {
+	suite := benchmarks.Suite()[:20]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bench := range suite {
+			_, _ = gateset.Translate(bench.Circuit, gateset.IBMEagle)
+		}
+	}
+}
+
+func BenchmarkGUOQEndToEnd(b *testing.B) {
+	gs := gateset.IBMEagle
+	suite, _ := benchmarks.SuiteFor(gs)
+	bench, _ := benchmarks.ByName(suite, "adder_6")
+	tool := baselines.NewGUOQ(1e-8)
+	cost := opt.TwoQubitCost()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := tool.Optimize(bench.Circuit, gs, cost, 200*time.Millisecond, int64(i))
+		if i == b.N-1 {
+			b.ReportMetric(float64(out.TwoQubitCount()), "final_2q_adder6")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command guoqbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	guoqbench -exp fig1 [-budget 500ms] [-trials 3] [-limit 40] [-seed 1]
+//
+// Experiments: table2, table3, fig1, fig7, fig8, fig9, fig10, fig11,
+// fig12, fig13, fig14, fig15, all. -limit 0 runs the full 247-circuit
+// suite (slow); smaller limits subsample evenly. Output mirrors the rows
+// and series the paper reports; see EXPERIMENTS.md for the recorded runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "fig1", "experiment id (table2, table3, fig1, fig7..fig15, all)")
+		budget = flag.Duration("budget", 300*time.Millisecond, "per-tool per-circuit budget")
+		trials = flag.Int("trials", 3, "GUOQ trials per benchmark")
+		limit  = flag.Int("limit", 40, "suite subsample size (0 = full 247)")
+		seed   = flag.Int64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Budget:     *budget,
+		Trials:     *trials,
+		SuiteLimit: *limit,
+		Epsilon:    1e-8,
+		Seed:       *seed,
+		Out:        os.Stdout,
+	}
+
+	run := func(id string) error {
+		fmt.Printf("### %s (budget=%v trials=%d limit=%d)\n\n", id, *budget, *trials, *limit)
+		start := time.Now()
+		var err error
+		var sums []experiments.Summary
+		switch id {
+		case "table2":
+			err = experiments.Table2(cfg)
+		case "table3":
+			err = experiments.Table3(cfg)
+		case "fig1":
+			sums, err = experiments.Fig1(cfg)
+		case "fig7":
+			_, err = experiments.Fig7(cfg)
+		case "fig8":
+			sums, err = experiments.Fig8(cfg)
+		case "fig9":
+			sums, err = experiments.Fig9(cfg)
+		case "fig10":
+			sums, err = experiments.Fig10(cfg)
+		case "fig11":
+			sums, err = experiments.Fig11(cfg)
+		case "fig12":
+			sums, err = experiments.Fig12(cfg)
+		case "fig13":
+			sums, err = experiments.Fig13(cfg)
+		case "fig14":
+			sums, err = experiments.Fig14(cfg)
+		case "fig15":
+			_, err = experiments.Fig15(cfg)
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		if err != nil {
+			return err
+		}
+		for _, s := range sums {
+			fmt.Printf("summary: vs %-26s %-13s better/match/worse = %d/%d/%d  mean guoq=%.3f tool=%.3f\n",
+				s.Tool, s.Metric, s.Better, s.Match, s.Worse, s.GUOQMean, s.ToolMean)
+		}
+		fmt.Printf("\n(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table2", "table3", "fig15", "fig1", "fig7", "fig8",
+			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+	}
+	for _, id := range ids {
+		if err := run(id); err != nil {
+			fmt.Fprintln(os.Stderr, "guoqbench:", err)
+			os.Exit(1)
+		}
+	}
+}

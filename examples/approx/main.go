@@ -1,0 +1,48 @@
+// Approximation trade-off: the same circuit optimized under increasingly
+// loose global error budgets ε_f. Looser budgets let resynthesis drop
+// near-identity interactions entirely (§2.2, Table 1) — the capability
+// rewrite rules fundamentally lack.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/guoq-dev/guoq"
+)
+
+func main() {
+	// A QFT-like tail: controlled-phase gates with geometrically shrinking
+	// angles. The small-angle CPs are nearly identity — exact optimization
+	// must keep them, approximate optimization may remove them.
+	n := 6
+	c := guoq.NewCircuit(n)
+	for i := 0; i < n; i++ {
+		c.Append(guoq.H(i))
+		for j := i + 1; j < n; j++ {
+			c.Append(guoq.CP(3.14159265/float64(int(1)<<uint(j-i)), j, i))
+		}
+	}
+	native, err := guoq.Translate(c, "ibmq20")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("qft-like circuit: %d gates, %d two-qubit\n\n",
+		native.Len(), native.TwoQubitCount())
+
+	for _, eps := range []float64{1e-8, 3e-2, 6e-2, 1.5e-1} {
+		out, _, err := guoq.Optimize(native, guoq.Options{
+			GateSet: "ibmq20",
+			Epsilon: eps,
+			Budget:  2 * time.Second,
+			Seed:    1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ε_f = %-6g -> %3d gates, %2d two-qubit\n",
+			eps, out.Len(), out.TwoQubitCount())
+	}
+	fmt.Println("\nLooser ε admits coarser approximations: fewer two-qubit gates survive.")
+}

@@ -1,0 +1,46 @@
+// Quickstart: build a small circuit, translate it to a hardware gate set,
+// optimize it, and inspect the result.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/guoq-dev/guoq"
+)
+
+func main() {
+	// A 3-qubit circuit with obvious and non-obvious redundancy: a GHZ
+	// preparation followed by a do-undo block and a Toffoli.
+	c := guoq.NewCircuit(3)
+	c.Append(
+		guoq.H(0), guoq.CX(0, 1), guoq.CX(1, 2), // GHZ prep
+		guoq.T(2), guoq.Tdg(2), // cancels
+		guoq.CX(0, 1), guoq.CX(0, 1), // cancels
+		guoq.CCX(0, 1, 2), // expands to 6 CX when translated
+	)
+
+	// Decompose into the IBM Eagle native set {rz, sx, x, cx}.
+	native, err := guoq.Translate(c, "ibm-eagle")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("translated: %d gates, %d two-qubit\n",
+		native.Len(), native.TwoQubitCount())
+
+	out, res, err := guoq.Optimize(native, guoq.Options{
+		GateSet: "ibm-eagle",
+		Budget:  2 * time.Second,
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("optimized:  %d gates, %d two-qubit (in %v)\n",
+		out.Len(), out.TwoQubitCount(), res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("fidelity:   %.4f -> %.4f\n", res.FidelityBefore, res.FidelityAfter)
+	fmt.Println("\nOptimized QASM:")
+	fmt.Print(out.WriteQASM())
+}

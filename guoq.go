@@ -1,0 +1,212 @@
+// Package guoq is a quantum-circuit optimizer that unifies fast rewrite
+// rules and slow unitary resynthesis behind a single randomized search, a
+// from-scratch Go reproduction of "Optimizing Quantum Circuits, Fast and
+// Slow" (ASPLOS 2025).
+//
+// Quick start:
+//
+//	c, _ := guoq.ParseQASM(src)
+//	out, res, _ := guoq.Optimize(c, guoq.Options{
+//		GateSet: "ibm-eagle",
+//		Budget:  2 * time.Second,
+//	})
+//	fmt.Println(res.TwoQubitBefore, "->", out.TwoQubitCount())
+//
+// The optimizer guarantees the result is ε-equivalent to the input under
+// the Hilbert–Schmidt distance (Thm 5.3 of the paper): rewrite rules are
+// exact, resynthesis consumes an explicitly tracked error budget.
+package guoq
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/baselines"
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/opt"
+)
+
+// Circuit is an ordered list of gate applications on a fixed number of
+// qubits. Build one with NewCircuit and the gate constructors, or parse
+// OpenQASM 2.0 with ParseQASM.
+type Circuit = circuit.Circuit
+
+// Gate is a single gate application.
+type Gate = gate.Gate
+
+// NewCircuit returns an empty circuit on n qubits.
+func NewCircuit(n int) *Circuit { return circuit.New(n) }
+
+// ParseQASM parses an OpenQASM 2.0 (subset) program.
+func ParseQASM(src string) (*Circuit, error) { return circuit.ParseQASM(src) }
+
+// Gate constructors (controls first, then targets).
+var (
+	H    = gate.NewH
+	X    = gate.NewX
+	Y    = gate.NewY
+	Z    = gate.NewZ
+	S    = gate.NewS
+	Sdg  = gate.NewSdg
+	T    = gate.NewT
+	Tdg  = gate.NewTdg
+	SX   = gate.NewSX
+	Rx   = gate.NewRx
+	Ry   = gate.NewRy
+	Rz   = gate.NewRz
+	U1   = gate.NewU1
+	U2   = gate.NewU2
+	U3   = gate.NewU3
+	CX   = gate.NewCX
+	CZ   = gate.NewCZ
+	Swap = gate.NewSwap
+	Rxx  = gate.NewRxx
+	Rzz  = gate.NewRzz
+	CP   = gate.NewCP
+	CCX  = gate.NewCCX
+	CCZ  = gate.NewCCZ
+)
+
+// GateSets lists the supported target gate sets (Table 2 of the paper):
+// "ibmq20", "ibm-eagle", "ionq", "nam", "cliffordt".
+func GateSets() []string {
+	var out []string
+	for _, gs := range gateset.All() {
+		out = append(out, gs.Name)
+	}
+	return out
+}
+
+// Translate decomposes a circuit into a target gate set, preserving the
+// unitary up to global phase.
+func Translate(c *Circuit, gateSet string) (*Circuit, error) {
+	gs, err := gateset.ByName(gateSet)
+	if err != nil {
+		return nil, err
+	}
+	return gateset.Translate(c, gs)
+}
+
+// Objective selects the optimization cost function.
+type Objective string
+
+// Available objectives.
+const (
+	// MinimizeTwoQubit minimizes two-qubit gate count (NISQ default).
+	MinimizeTwoQubit Objective = "2q"
+	// MinimizeT minimizes 2·T + CX (the FTQC objective of Example 5.1).
+	MinimizeT Objective = "t"
+	// MaximizeFidelity maximizes estimated success probability under the
+	// gate set's device model.
+	MaximizeFidelity Objective = "fidelity"
+	// MinimizeGates minimizes total gate count.
+	MinimizeGates Objective = "gates"
+)
+
+// Options configures Optimize.
+type Options struct {
+	// GateSet is the target gate set name; the input must already be
+	// native to it (use Translate first). Required.
+	GateSet string
+	// Objective defaults to MinimizeTwoQubit (MinimizeT for cliffordt).
+	Objective Objective
+	// Epsilon is the global approximation budget ε_f (default 1e-8;
+	// 0 disables approximate resynthesis entirely).
+	Epsilon float64
+	// Budget is the wall-clock search budget (default 1 s).
+	Budget time.Duration
+	// Seed makes runs reproducible (synchronous mode).
+	Seed int64
+	// Async runs resynthesis asynchronously alongside rewriting (§5.3).
+	Async bool
+}
+
+// Result reports optimization statistics.
+type Result struct {
+	GateSet        string
+	Objective      Objective
+	Before, After  int // total gate counts
+	TwoQubitBefore int
+	TwoQubitAfter  int
+	TCountBefore   int
+	TCountAfter    int
+	DepthBefore    int
+	DepthAfter     int
+	FidelityBefore float64
+	FidelityAfter  float64
+	Elapsed        time.Duration
+}
+
+// Optimize runs the GUOQ algorithm on a circuit already expressed in the
+// target gate set and returns the optimized circuit with statistics. The
+// result is always at least as good as the input under the chosen
+// objective, and ε-equivalent to it.
+func Optimize(c *Circuit, o Options) (*Circuit, *Result, error) {
+	gs, err := gateset.ByName(o.GateSet)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !gs.IsNative(c) {
+		return nil, nil, fmt.Errorf("guoq: input circuit is not native to %s (use Translate first)", o.GateSet)
+	}
+	if o.Objective == "" {
+		if gs.Name == "cliffordt" {
+			o.Objective = MinimizeT
+		} else {
+			o.Objective = MinimizeTwoQubit
+		}
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 1e-8
+	}
+	if o.Budget == 0 {
+		o.Budget = time.Second
+	}
+	var cost opt.Cost
+	model := gateset.ModelFor(gs)
+	switch o.Objective {
+	case MinimizeTwoQubit:
+		cost = opt.TwoQubitCost()
+	case MinimizeT:
+		cost = opt.TCost()
+	case MaximizeFidelity:
+		cost = opt.FidelityCost(model)
+	case MinimizeGates:
+		cost = opt.GateCountCost()
+	default:
+		return nil, nil, fmt.Errorf("guoq: unknown objective %q", o.Objective)
+	}
+
+	runner := baselines.NewGUOQ(o.Epsilon)
+	runner.Async = o.Async
+	start := time.Now()
+	out := runner.Optimize(c, gs, cost, o.Budget, o.Seed)
+	res := &Result{
+		GateSet:        o.GateSet,
+		Objective:      o.Objective,
+		Before:         c.Len(),
+		After:          out.Len(),
+		TwoQubitBefore: c.TwoQubitCount(),
+		TwoQubitAfter:  out.TwoQubitCount(),
+		TCountBefore:   c.TCount(),
+		TCountAfter:    out.TCount(),
+		DepthBefore:    c.Depth(),
+		DepthAfter:     out.Depth(),
+		FidelityBefore: model.CircuitFidelity(c),
+		FidelityAfter:  model.CircuitFidelity(out),
+		Elapsed:        time.Since(start),
+	}
+	return out, res, nil
+}
+
+// EstimateFidelity returns the estimated success probability of a circuit
+// under the device model the paper pairs with the gate set.
+func EstimateFidelity(c *Circuit, gateSet string) (float64, error) {
+	gs, err := gateset.ByName(gateSet)
+	if err != nil {
+		return 0, err
+	}
+	return gateset.ModelFor(gs).CircuitFidelity(c), nil
+}

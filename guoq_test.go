@@ -1,0 +1,94 @@
+package guoq
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/linalg"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	c := NewCircuit(3)
+	c.Append(H(0), CX(0, 1), CX(0, 1), T(2), Tdg(2), CCX(0, 1, 2))
+	native, err := Translate(c, "nam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, res, err := Optimize(native, Options{
+		GateSet: "nam",
+		Budget:  300 * time.Millisecond,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TwoQubitAfter > res.TwoQubitBefore {
+		t.Fatalf("optimization made circuit worse: %d -> %d",
+			res.TwoQubitBefore, res.TwoQubitAfter)
+	}
+	if !linalg.EqualUpToPhase(out.Unitary(), native.Unitary(), 1e-8+1e-9) {
+		t.Fatal("public Optimize broke semantics")
+	}
+}
+
+func TestOptimizeValidatesInput(t *testing.T) {
+	c := NewCircuit(3)
+	c.Append(CCZ(0, 1, 2)) // wide gate, not native to any evaluation set
+	if _, _, err := Optimize(c, Options{GateSet: "nam"}); err == nil {
+		t.Fatal("non-native input should be rejected")
+	}
+	if _, _, err := Optimize(c, Options{GateSet: "bogus"}); err == nil {
+		t.Fatal("unknown gate set should be rejected")
+	}
+	n := NewCircuit(1)
+	n.Append(H(0))
+	if _, _, err := Optimize(n, Options{GateSet: "nam", Objective: "??"}); err == nil {
+		t.Fatal("unknown objective should be rejected")
+	}
+}
+
+func TestParseQASMPublic(t *testing.T) {
+	c, err := ParseQASM("qreg q[2]; h q[0]; cx q[0],q[1];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("parsed %d gates", c.Len())
+	}
+}
+
+func TestGateSetsList(t *testing.T) {
+	got := GateSets()
+	if len(got) != 5 {
+		t.Fatalf("GateSets() = %v", got)
+	}
+}
+
+func TestEstimateFidelity(t *testing.T) {
+	c := NewCircuit(2)
+	c.Append(CX(0, 1))
+	f, err := EstimateFidelity(c, "ibm-eagle")
+	if err != nil || f >= 1 || f < 0.9 {
+		t.Fatalf("fidelity = %g, err = %v", f, err)
+	}
+	empty := NewCircuit(1)
+	if f, _ := EstimateFidelity(empty, "ionq"); math.Abs(f-1) > 1e-12 {
+		t.Fatal("empty circuit fidelity should be 1")
+	}
+}
+
+func TestObjectiveDefaults(t *testing.T) {
+	c := NewCircuit(1)
+	c.Append(T(0), Tdg(0))
+	out, res, err := Optimize(c, Options{GateSet: "cliffordt", Budget: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != MinimizeT {
+		t.Fatalf("cliffordt default objective = %s", res.Objective)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("t·tdg should cancel, %d gates left", out.Len())
+	}
+}

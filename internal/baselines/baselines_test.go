@@ -1,0 +1,125 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/benchmarks"
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/linalg"
+	"github.com/guoq-dev/guoq/internal/opt"
+)
+
+// smallBench translates a small benchmark into a gate set for baseline
+// testing (few qubits so semantics can be verified by unitary).
+func smallBench(t *testing.T, gs *gateset.GateSet) *circuit.Circuit {
+	t.Helper()
+	src := benchmarks.BarencoTof(3)
+	out, err := gateset.Translate(src, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestEveryBaselineSoundAndNotWorse(t *testing.T) {
+	eps := 1e-8
+	tools := append(Table3(eps), NewPyZX(), NewSynthetiqPartition(eps), NewGUOQ(eps))
+	for _, gs := range []*gateset.GateSet{gateset.Nam, gateset.CliffordT} {
+		c := smallBench(t, gs)
+		orig := c.Unitary()
+		cost := opt.TwoQubitCost()
+		for _, tool := range tools {
+			out := tool.Optimize(c, gs, cost, 150*time.Millisecond, 1)
+			if cost(out) > cost(c) {
+				t.Errorf("%s on %s: made the circuit worse", tool.Name(), gs.Name)
+			}
+			if d := linalg.HSDistance(out.Unitary(), orig); d > eps+1e-9 {
+				t.Errorf("%s on %s: broke semantics (Δ=%g)", tool.Name(), gs.Name, d)
+			}
+			if !gs.IsNative(out) {
+				t.Errorf("%s on %s: emitted non-native gates", tool.Name(), gs.Name)
+			}
+		}
+	}
+}
+
+func TestFixedPassDeterministic(t *testing.T) {
+	c := smallBench(t, gateset.Nam)
+	q := NewQiskit()
+	a := q.Optimize(c, gateset.Nam, opt.TwoQubitCost(), time.Second, 1)
+	b := q.Optimize(c, gateset.Nam, opt.TwoQubitCost(), time.Second, 2)
+	if !circuit.Equal(a, b) {
+		t.Fatal("fixed-pass optimizer is not deterministic")
+	}
+}
+
+func TestPyZXReducesTNotCX(t *testing.T) {
+	c := smallBench(t, gateset.CliffordT)
+	out := NewPyZX().Optimize(c, gateset.CliffordT, opt.TCost(), time.Second, 1)
+	if out.TwoQubitCount() != c.TwoQubitCount() {
+		t.Fatalf("pyzx proxy changed CX count %d -> %d", c.TwoQubitCount(), out.TwoQubitCount())
+	}
+	if out.TCount() > c.TCount() {
+		t.Fatalf("pyzx proxy increased T count")
+	}
+}
+
+func TestPartitionBlocksCoverAndBound(t *testing.T) {
+	c := smallBench(t, gateset.Nam)
+	p := NewBQSKit(1e-8)
+	blocks := p.Blocks(c)
+	covered := map[int]bool{}
+	for _, b := range blocks {
+		if len(b.Qubits) > p.MaxQubits {
+			t.Fatalf("block spans %d qubits", len(b.Qubits))
+		}
+		for _, i := range b.Indices {
+			if covered[i] {
+				t.Fatalf("gate %d in two blocks", i)
+			}
+			covered[i] = true
+		}
+	}
+	if len(covered) != c.Len() {
+		t.Fatalf("blocks cover %d of %d gates", len(covered), c.Len())
+	}
+}
+
+func TestGUOQBeatsQiskitOnRedundantCircuit(t *testing.T) {
+	// The headline claim in miniature: on a structured circuit, GUOQ's
+	// randomized search must beat a fixed pass pipeline given some budget.
+	gs := gateset.Nam
+	src := benchmarks.BarencoTof(5)
+	c, err := gateset.Translate(src, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := opt.TwoQubitCost()
+	qiskit := NewQiskit().Optimize(c, gs, cost, time.Second, 1)
+	guoq := NewGUOQ(1e-8).Optimize(c, gs, cost, 2*time.Second, 1)
+	if guoq.TwoQubitCount() > qiskit.TwoQubitCount() {
+		t.Fatalf("guoq (%d 2q) worse than qiskit (%d 2q)",
+			guoq.TwoQubitCount(), qiskit.TwoQubitCount())
+	}
+}
+
+func TestByNameRegistry(t *testing.T) {
+	names := []string{"qiskit", "tket", "voqc", "bqskit", "synthetiq", "queso",
+		"quartz", "quarl", "pyzx", "guoq", "guoq-rewrite", "guoq-resynth",
+		"guoq-seq-rewrite-resynth", "guoq-seq-resynth-rewrite", "guoq-beam"}
+	for _, n := range names {
+		tool, err := ByName(n, 1e-8)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", n, err)
+			continue
+		}
+		if tool.Name() != n {
+			t.Errorf("ByName(%s).Name() = %s", n, tool.Name())
+		}
+	}
+	if _, err := ByName("nope", 1e-8); err == nil {
+		t.Error("unknown tool should fail")
+	}
+}

@@ -1,0 +1,133 @@
+package baselines
+
+import (
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/opt"
+	"github.com/guoq-dev/guoq/internal/phasepoly"
+	"github.com/guoq-dev/guoq/internal/rewrite"
+)
+
+// FixedPass is the "fixed sequence of passes" optimizer family of Table 3
+// (Qiskit, tket, VOQC): deterministic, fast, local, no search. The three
+// profiles differ in pass inventory, mirroring the tools' relative strength
+// on two-qubit reduction.
+type FixedPass struct {
+	Tool   string
+	Passes []Pass
+	// Rounds repeats the pipeline (tket-style deeper pipelines).
+	Rounds int
+}
+
+// Pass is one deterministic rewrite pass.
+type Pass func(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit
+
+// CleanupPass cancels inverse pairs and merges adjacent rotations.
+func CleanupPass(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit {
+	return rewrite.Cleanup(c, gs.Name)
+}
+
+// FusePass fuses single-qubit runs (continuous sets only).
+func FusePass(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit {
+	if !gs.Continuous() {
+		return c
+	}
+	return rewrite.Fuse1Q(c, gs)
+}
+
+// FoldPass runs global phase folding (rotation merging).
+func FoldPass(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit {
+	return phasepoly.Fold(c, gs.Name)
+}
+
+// RulesPass applies every library rule once, full-pass, in a fixed order
+// (commutation-aware cancellation).
+func RulesPass(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit {
+	rules, err := rewrite.RulesFor(gs.Name)
+	if err != nil {
+		return c
+	}
+	out := c
+	for _, r := range rules {
+		if r.Delta() >= 0 {
+			continue // fixed-pass pipelines only run reducing rules
+		}
+		out, _ = rewrite.FullPass(out, r, 0)
+	}
+	return out
+}
+
+// CommutationPass applies the size-neutral commutation rules once each,
+// then the reducing rules — the "commutative cancellation" trick of
+// Qiskit/tket pipelines.
+func CommutationPass(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit {
+	rules, err := rewrite.RulesFor(gs.Name)
+	if err != nil {
+		return c
+	}
+	out := c
+	for _, r := range rules {
+		if r.Delta() == 0 {
+			out, _ = rewrite.FullPass(out, r, 0)
+		}
+	}
+	return RulesPass(out, gs)
+}
+
+// The three fixed-pass profiles. Relative strength (tket > qiskit ≳ voqc on
+// 2q reduction) follows the paper's Q1 ordering.
+
+// NewQiskit mirrors Qiskit -O3: cleanup, 1q fusion, commutative
+// cancellation, two rounds.
+func NewQiskit() *FixedPass {
+	return &FixedPass{
+		Tool:   "qiskit",
+		Passes: []Pass{CleanupPass, FusePass, CommutationPass, CleanupPass},
+		Rounds: 2,
+	}
+}
+
+// NewTket mirrors tket's deeper default pipeline: adds phase folding and an
+// extra round.
+func NewTket() *FixedPass {
+	return &FixedPass{
+		Tool:   "tket",
+		Passes: []Pass{CleanupPass, FoldPass, FusePass, CommutationPass, CleanupPass},
+		Rounds: 3,
+	}
+}
+
+// NewVOQC mirrors VOQC's verified pass list: rotation merging and
+// cancellation, no generic 1q resynthesis.
+func NewVOQC() *FixedPass {
+	return &FixedPass{
+		Tool:   "voqc",
+		Passes: []Pass{CleanupPass, FoldPass, RulesPass, CleanupPass},
+		Rounds: 2,
+	}
+}
+
+// Name implements Optimizer.
+func (f *FixedPass) Name() string { return f.Tool }
+
+// Optimize implements Optimizer. Fixed-pass tools ignore the budget and the
+// seed: they are deterministic and fast.
+func (f *FixedPass) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, _ time.Duration, _ int64) *circuit.Circuit {
+	out := c
+	rounds := f.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	for r := 0; r < rounds; r++ {
+		before := out.Len()
+		for _, p := range f.Passes {
+			out = p(out, gs)
+		}
+		if out.Len() == before {
+			break
+		}
+	}
+	return keepBetter(c, out, cost)
+}

@@ -1,0 +1,220 @@
+package baselines
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/opt"
+	"github.com/guoq-dev/guoq/internal/phasepoly"
+	"github.com/guoq-dev/guoq/internal/rewrite"
+)
+
+// BeamSearch is the QUESO / Quartz proxy: symbolic rewrite rules scheduled
+// by a size-bounded beam (QUESO's MaxBeam). Rewrite-only — no resynthesis —
+// which is exactly why the ionq gate set is hard for it (Fig. 9).
+type BeamSearch struct {
+	Tool  string
+	Width int
+}
+
+// NewQUESO mirrors QUESO's MaxBeam instantiation.
+func NewQUESO() *BeamSearch { return &BeamSearch{Tool: "queso", Width: 32} }
+
+// NewQuartz mirrors Quartz: a wider beam over the same rule class.
+func NewQuartz() *BeamSearch { return &BeamSearch{Tool: "quartz", Width: 64} }
+
+// Name implements Optimizer.
+func (b *BeamSearch) Name() string { return b.Tool }
+
+// Optimize implements Optimizer.
+func (b *BeamSearch) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit {
+	ts, err := opt.Instantiate(gs, opt.InstantiateOptions{EpsilonF: 1e-8})
+	if err != nil {
+		return c
+	}
+	opts := opt.DefaultOptions()
+	opts.Cost = cost
+	opts.TimeBudget = budget
+	opts.Seed = seed
+	res := opt.Beam(c, opt.FilterFast(ts), opts, b.Width)
+	return keepBetter(c, res.Best, cost)
+}
+
+// Lookahead is the Quarl proxy: guided rule selection instead of uniform
+// search. A trained RL policy is irreproducible without the authors' GPU
+// checkpoints; its effect — picking locally promising rules, including
+// cost-neutral moves that enable later reductions — is modelled by greedy
+// rollout search with depth-2 lookahead. Rewrite-only, like Quarl.
+type Lookahead struct {
+	Tool string
+	// Depth of the lookahead (2 in the proxy).
+	Depth int
+}
+
+// NewQuarl builds the Quarl proxy.
+func NewQuarl() *Lookahead { return &Lookahead{Tool: "quarl", Depth: 2} }
+
+// Name implements Optimizer.
+func (l *Lookahead) Name() string { return l.Tool }
+
+// Optimize implements Optimizer.
+func (l *Lookahead) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit {
+	rules, err := rewrite.RulesFor(gs.Name)
+	if err != nil {
+		return c
+	}
+	rng := rand.New(rand.NewSource(seed))
+	deadline := time.Now().Add(budget)
+	cur := rewrite.Cleanup(c, gs.Name)
+	best := cur
+
+	apply := func(x *circuit.Circuit, r *rewrite.Rule) (*circuit.Circuit, bool) {
+		out, n := rewrite.FullPass(x, r, 0)
+		if n == 0 {
+			return x, false
+		}
+		return rewrite.Cleanup(out, gs.Name), true
+	}
+
+	for time.Now().Before(deadline) {
+		type step struct {
+			c     *circuit.Circuit
+			score float64
+		}
+		bestStep := step{c: nil, score: cost(cur)}
+		improved := false
+		for _, r1 := range rules {
+			c1, ok := apply(cur, r1)
+			if !ok {
+				continue
+			}
+			// Depth-2 rollout: the value of c1 is the best reachable cost.
+			v := cost(c1)
+			if l.Depth >= 2 {
+				for _, r2 := range rules {
+					c2, ok2 := apply(c1, r2)
+					if ok2 {
+						if cv := cost(c2); cv < v {
+							v = cv
+						}
+					}
+					if time.Now().After(deadline) {
+						break
+					}
+				}
+			}
+			if v < bestStep.score || (v == bestStep.score && bestStep.c == nil && !circuit.Equal(c1, cur)) {
+				bestStep = step{c: c1, score: v}
+				improved = v < cost(cur)
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+		}
+		if bestStep.c == nil {
+			break
+		}
+		cur = bestStep.c
+		if cost(cur) < cost(best) {
+			best = cur
+		}
+		if !improved {
+			// Plateau: take a random neutral move to diversify, like the
+			// policy's exploration, then continue.
+			r := rules[rng.Intn(len(rules))]
+			if nc, ok := apply(cur, r); ok {
+				cur = nc
+			} else {
+				break
+			}
+		}
+	}
+	return keepBetter(c, best, cost)
+}
+
+// PyZX is the phase-polynomial T-count optimizer proxy (see package
+// phasepoly): strong T reduction, CX count untouched.
+type PyZX struct{}
+
+// NewPyZX builds the PyZX proxy.
+func NewPyZX() *PyZX { return &PyZX{} }
+
+// Name implements Optimizer.
+func (p *PyZX) Name() string { return "pyzx" }
+
+// Optimize implements Optimizer. The pipeline iterates phase folding with
+// single-qubit simplifications to a fixpoint: reducing H gates between
+// folds merges phase regions, which is (a fragment of) what PyZX's
+// full_reduce achieves with Hadamard gadgets. Multi-qubit gates are never
+// touched, so the CX count is exactly preserved.
+func (p *PyZX) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, _ time.Duration, _ int64) *circuit.Circuit {
+	rules, _ := rewrite.RulesFor(gs.Name)
+	var oneQ []*rewrite.Rule
+	for _, r := range rules {
+		if r.NumQubits == 1 && r.Delta() < 0 {
+			oneQ = append(oneQ, r)
+		}
+	}
+	out := c
+	for round := 0; round < 8; round++ {
+		before := out.Len()
+		out = phasepoly.Fold(out, gs.Name)
+		out = cancel1q(out)
+		for _, r := range oneQ {
+			out, _ = rewrite.FullPass(out, r, 0)
+		}
+		if out.Len() == before {
+			break
+		}
+	}
+	// PyZX optimizes T count regardless of the caller's cost; it may not
+	// improve other metrics, and by construction never touches CX count.
+	if out.TCount() > c.TCount() {
+		return c
+	}
+	return out
+}
+
+// cancel1q removes adjacent self-inverse single-qubit pairs (h·h, x·x)
+// without ever touching multi-qubit gates, preserving the PyZX profile.
+func cancel1q(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.NumQubits)
+	top := make([]int, c.NumQubits) // index into out.Gates of wire top, or -1
+	for q := range top {
+		top[q] = -1
+	}
+	alive := []bool{}
+	for _, g := range c.Gates {
+		if len(g.Qubits) == 1 && (g.Name == "h" || g.Name == "x") {
+			q := g.Qubits[0]
+			if t := top[q]; t >= 0 && alive[t] && out.Gates[t].Name == g.Name &&
+				len(out.Gates[t].Qubits) == 1 {
+				alive[t] = false
+				// Restore: scan back for the previous alive gate on q.
+				top[q] = -1
+				for i := t - 1; i >= 0; i-- {
+					if alive[i] && out.Gates[i].OnQubit(q) {
+						top[q] = i
+						break
+					}
+				}
+				continue
+			}
+		}
+		idx := len(out.Gates)
+		out.Gates = append(out.Gates, g)
+		alive = append(alive, true)
+		for _, q := range g.Qubits {
+			top[q] = idx
+		}
+	}
+	final := circuit.New(c.NumQubits)
+	for i, g := range out.Gates {
+		if alive[i] {
+			final.Gates = append(final.Gates, g)
+		}
+	}
+	return final
+}

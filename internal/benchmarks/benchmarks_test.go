@@ -1,0 +1,208 @@
+package benchmarks
+
+import (
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/linalg"
+)
+
+func TestSuiteSizeAndShape(t *testing.T) {
+	s := Suite()
+	if len(s) != SuiteSize {
+		t.Fatalf("suite has %d circuits, want %d", len(s), SuiteSize)
+	}
+	names := map[string]bool{}
+	for _, b := range s {
+		if names[b.Name] {
+			t.Errorf("duplicate benchmark name %s", b.Name)
+		}
+		names[b.Name] = true
+		if b.Circuit.Len() == 0 {
+			t.Errorf("%s is empty", b.Name)
+		}
+		if b.Circuit.NumQubits < 3 || b.Circuit.NumQubits > 40 {
+			t.Errorf("%s has %d qubits", b.Name, b.Circuit.NumQubits)
+		}
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a, b := Suite(), Suite()
+	for i := range a {
+		if a[i].Name != b[i].Name || !circuit.Equal(a[i].Circuit, b[i].Circuit) {
+			t.Fatalf("suite not deterministic at %d (%s)", i, a[i].Name)
+		}
+	}
+}
+
+func TestCliffordTSuiteTranslates(t *testing.T) {
+	s := CliffordTSuite()
+	if len(s) != SuiteSize {
+		t.Fatalf("cliffordt suite has %d circuits", len(s))
+	}
+	if _, err := ForGateSet(s[:30], gateset.CliffordT); err != nil {
+		t.Fatalf("cliffordt suite must translate exactly: %v", err)
+	}
+}
+
+func TestSuiteForEveryGateSet(t *testing.T) {
+	for _, gs := range gateset.All() {
+		suite, err := SuiteFor(gs)
+		if err != nil {
+			t.Fatalf("%s: %v", gs.Name, err)
+		}
+		if len(suite) != SuiteSize {
+			t.Fatalf("%s: %d circuits", gs.Name, len(suite))
+		}
+		for _, b := range suite[:20] {
+			if !gs.IsNative(b.Circuit) {
+				t.Fatalf("%s: %s not native", gs.Name, b.Name)
+			}
+		}
+	}
+}
+
+// TestFamilySemantics checks the structural generators against their
+// expected behaviour on small instances via state evolution.
+func TestFamilySemantics(t *testing.T) {
+	// GHZ: |0..0> -> (|0..0> + |1..1>)/√2.
+	g := GHZ(3)
+	state := make([]complex128, 8)
+	state[0] = 1
+	g.Apply(state)
+	if real(state[0]) < 0.7 || real(state[7]) < 0.7 {
+		t.Fatalf("GHZ state wrong: %v", state)
+	}
+
+	// Adder: 2 + 3 = 5 for n=3 (a=2, b=3 -> b=5).
+	n := 3
+	add := Adder(n)
+	dim := 1 << add.NumQubits
+	st := make([]complex128, dim)
+	// Layout: carry=0, a_i=1+i (LSB first), b_i=1+n+i.
+	aVal, bVal := 2, 3
+	idx := 0
+	for i := 0; i < n; i++ {
+		if aVal&(1<<i) != 0 {
+			idx |= 1 << uint(add.NumQubits-1-(1+i))
+		}
+		if bVal&(1<<i) != 0 {
+			idx |= 1 << uint(add.NumQubits-1-(1+n+i))
+		}
+	}
+	st[idx] = 1
+	add.Apply(st)
+	// Find the output basis state and decode b.
+	var outIdx int
+	found := false
+	for i, v := range st {
+		if real(v)*real(v)+imag(v)*imag(v) > 0.5 {
+			outIdx = i
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("adder output is not a basis state")
+	}
+	got := 0
+	for i := 0; i < n; i++ {
+		if outIdx&(1<<uint(add.NumQubits-1-(1+n+i))) != 0 {
+			got |= 1 << i
+		}
+	}
+	if got != aVal+bVal {
+		t.Fatalf("adder: %d + %d = %d, got %d", aVal, bVal, aVal+bVal, got)
+	}
+}
+
+func TestBarencoTofIsMultiControlToffoli(t *testing.T) {
+	// For n=3 controls: flips the target iff all controls are 1, and
+	// restores the ancillas.
+	c := BarencoTof(3)
+	nq := c.NumQubits
+	dim := 1 << nq
+	u := c.Unitary()
+	for in := 0; in < dim; in++ {
+		// Only consider ancillas = 0 inputs.
+		anc := in & 1 // ancilla is the last qubit (LSB)
+		if anc != 0 {
+			continue
+		}
+		ctrlMask := 0
+		for q := 0; q < 3; q++ {
+			if in&(1<<uint(nq-1-q)) != 0 {
+				ctrlMask++
+			}
+		}
+		want := in
+		if ctrlMask == 3 {
+			want = in ^ (1 << uint(nq-1-3)) // flip target qubit 3
+		}
+		if v := u.At(want, in); real(v) < 0.99 {
+			t.Fatalf("barenco_tof(3): input %b -> expected %b, amplitude %v", in, want, v)
+		}
+	}
+}
+
+func TestQFTSmallMatchesDFT(t *testing.T) {
+	// The 2-qubit QFT matrix is the 4-point DFT (with bit reversal handled
+	// by the final swap).
+	u := QFT(2).Unitary()
+	w := complex(0, 1) // e^{2πi/4}
+	want := linalg.New(4)
+	for r := 0; r < 4; r++ {
+		for cc := 0; cc < 4; cc++ {
+			pow := (r * cc) % 4
+			v := complex(0.5, 0)
+			for k := 0; k < pow; k++ {
+				v *= w
+			}
+			want.Set(r, cc, v)
+		}
+	}
+	if !linalg.EqualUpToPhase(u, want, 1e-9) {
+		t.Fatalf("QFT(2) != DFT4:\n%v\nvs\n%v", u, want)
+	}
+}
+
+func TestGroverAmplifiesMarkedState(t *testing.T) {
+	// Grover(3,1) should boost the |111> amplitude well above uniform.
+	g := Grover(3, 1)
+	dim := 1 << g.NumQubits
+	st := make([]complex128, dim)
+	st[0] = 1
+	g.Apply(st)
+	// Marked state: first 3 qubits = 111, ancilla restored to 0.
+	idx := 0
+	for q := 0; q < 3; q++ {
+		idx |= 1 << uint(g.NumQubits-1-q)
+	}
+	p := real(st[idx])*real(st[idx]) + imag(st[idx])*imag(st[idx])
+	if p < 0.5 {
+		t.Fatalf("Grover amplitude for |111> = %g, want > 0.5", p)
+	}
+}
+
+func TestQAOAUsesGraphStructure(t *testing.T) {
+	c := QAOA(8, 2, 1)
+	if c.CountOf(gate.Rzz) == 0 || c.CountOf(gate.Rx) == 0 {
+		t.Fatal("QAOA missing cost or mixer layers")
+	}
+	if c.NumQubits != 8 {
+		t.Fatal("QAOA qubit count wrong")
+	}
+}
+
+func TestByName(t *testing.T) {
+	s := Suite()
+	b, ok := ByName(s, "qft_8")
+	if !ok || b.Circuit.NumQubits != 8 {
+		t.Fatal("ByName(qft_8) failed")
+	}
+	if _, ok := ByName(s, "nonexistent"); ok {
+		t.Fatal("ByName should fail for unknown names")
+	}
+}

@@ -1,0 +1,107 @@
+package benchmarks
+
+import (
+	"math"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+)
+
+// Additional algorithm families: oracle-style circuits from the textbook
+// algorithm zoo. All are Clifford(+T)-representable except WState.
+
+// BernsteinVazirani builds the BV circuit recovering a secret n-bit string:
+// H layer, phase oracle (CX fan-in to the target), H layer.
+func BernsteinVazirani(n int, secret int64) *circuit.Circuit {
+	c := circuit.New(n + 1)
+	t := n
+	c.Append(gate.NewX(t), gate.NewH(t))
+	for q := 0; q < n; q++ {
+		c.Append(gate.NewH(q))
+	}
+	for q := 0; q < n; q++ {
+		if secret&(1<<uint(q)) != 0 {
+			c.Append(gate.NewCX(q, t))
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.Append(gate.NewH(q))
+	}
+	return c
+}
+
+// DeutschJozsa builds the DJ circuit with a balanced oracle defined by a
+// mask: f(x) = parity(x & mask).
+func DeutschJozsa(n int, mask int64) *circuit.Circuit {
+	c := circuit.New(n + 1)
+	t := n
+	c.Append(gate.NewX(t), gate.NewH(t))
+	for q := 0; q < n; q++ {
+		c.Append(gate.NewH(q))
+	}
+	for q := 0; q < n; q++ {
+		if mask&(1<<uint(q)) != 0 {
+			c.Append(gate.NewCX(q, t))
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.Append(gate.NewH(q))
+	}
+	return c
+}
+
+// HiddenShift builds the Rötteler hidden-shift circuit for the self-dual
+// bent function f(x) = Σ x_{2i}·x_{2i+1} (Maiorana–McFarland with identity
+// permutation): H layer, shifted oracle O_g = X(s)·O_f·X(s), H layer, dual
+// oracle O_f, H layer. On |0…0⟩ the output is exactly |s⟩. Clifford-only;
+// n must be even for f to be bent.
+func HiddenShift(n int, shift int64, _ int64) *circuit.Circuit {
+	if n%2 != 0 {
+		n++
+	}
+	c := circuit.New(n)
+	hLayer := func() {
+		for q := 0; q < n; q++ {
+			c.Append(gate.NewH(q))
+		}
+	}
+	oracleF := func() {
+		for q := 0; q+1 < n; q += 2 {
+			c.Append(gate.NewCZ(q, q+1))
+		}
+	}
+	xShift := func() {
+		for q := 0; q < n; q++ {
+			if shift&(1<<uint(q)) != 0 {
+				c.Append(gate.NewX(q))
+			}
+		}
+	}
+	hLayer()
+	xShift()
+	oracleF()
+	xShift()
+	hLayer()
+	oracleF()
+	hLayer()
+	return c
+}
+
+// WState prepares the n-qubit W state with the cascade of controlled
+// Ry rotations followed by a CX chain.
+func WState(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	// |W_n> via F-gates: ry rotations with angles θ_k = arccos(1/√(n−k)).
+	c.Append(gate.NewX(0))
+	for k := 0; k < n-1; k++ {
+		theta := 2 * math.Acos(math.Sqrt(1.0/float64(n-k)))
+		// Controlled-Ry(θ) on (k → k+1) decomposed into ry halves and cx.
+		c.Append(gate.NewRy(theta/2, k+1))
+		c.Append(gate.NewCX(k, k+1))
+		c.Append(gate.NewRy(-theta/2, k+1))
+		c.Append(gate.NewCX(k, k+1))
+		// Swap the excitation along: cx back.
+		c.Append(gate.NewCX(k+1, k))
+	}
+	return c
+}

@@ -1,0 +1,111 @@
+package benchmarks
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/gateset"
+)
+
+func TestBernsteinVaziraniRecoversSecret(t *testing.T) {
+	n := 5
+	secret := int64(0b10110)
+	c := BernsteinVazirani(n, secret)
+	dim := 1 << c.NumQubits
+	st := make([]complex128, dim)
+	st[0] = 1
+	c.Apply(st)
+	// After the algorithm the counting register holds |secret> exactly;
+	// the ancilla stays in |−>, so marginalize over it.
+	probOf := func(counting int64) float64 {
+		var p float64
+		for anc := 0; anc < 2; anc++ {
+			idx := anc
+			for q := 0; q < n; q++ {
+				if counting&(1<<uint(q)) != 0 {
+					idx |= 1 << uint(c.NumQubits-1-q)
+				}
+			}
+			p += real(st[idx])*real(st[idx]) + imag(st[idx])*imag(st[idx])
+		}
+		return p
+	}
+	if p := probOf(secret); p < 0.99 {
+		t.Fatalf("BV success probability %g", p)
+	}
+}
+
+func TestDeutschJozsaBalancedOracle(t *testing.T) {
+	// For a balanced oracle the all-zeros outcome on the counting register
+	// has zero amplitude.
+	n := 4
+	c := DeutschJozsa(n, 0b1010)
+	dim := 1 << c.NumQubits
+	st := make([]complex128, dim)
+	st[0] = 1
+	c.Apply(st)
+	// Sum probability over counting register = 0...0 (both ancilla values).
+	var p float64
+	for anc := 0; anc < 2; anc++ {
+		idx := anc // counting bits all zero; ancilla is the LSB
+		p += real(st[idx])*real(st[idx]) + imag(st[idx])*imag(st[idx])
+	}
+	if p > 1e-9 {
+		t.Fatalf("balanced DJ gave zero-state probability %g", p)
+	}
+}
+
+func TestWStateAmplitudes(t *testing.T) {
+	n := 4
+	c := WState(n)
+	dim := 1 << n
+	st := make([]complex128, dim)
+	st[0] = 1
+	c.Apply(st)
+	// Exactly the n single-excitation basis states carry weight 1/n each.
+	want := 1.0 / float64(n)
+	var total float64
+	for i, v := range st {
+		p := real(v)*real(v) + imag(v)*imag(v)
+		ones := 0
+		for b := 0; b < n; b++ {
+			if i&(1<<uint(b)) != 0 {
+				ones++
+			}
+		}
+		if ones == 1 {
+			if math.Abs(p-want) > 1e-9 {
+				t.Fatalf("W amplitude at %b: %g, want %g", i, p, want)
+			}
+			total += p
+		} else if p > 1e-9 {
+			t.Fatalf("W state has weight %g outside the single-excitation manifold (state %b)", p, i)
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("W state total = %g", total)
+	}
+}
+
+func TestHiddenShiftCliffordOnly(t *testing.T) {
+	c := HiddenShift(8, 0x2d, 1)
+	if _, err := gateset.Translate(c, gateset.CliffordT); err != nil {
+		t.Fatalf("hidden shift must be Clifford+T exact: %v", err)
+	}
+	// Output on |0...0> must be a single basis state (bent-function duality
+	// maps the shift to a measurement outcome deterministically).
+	dim := 1 << c.NumQubits
+	st := make([]complex128, dim)
+	st[0] = 1
+	c.Apply(st)
+	var nonzero int
+	for _, v := range st {
+		if cmplx.Abs(v) > 1e-9 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("hidden shift output spread over %d basis states, want 1", nonzero)
+	}
+}

@@ -1,0 +1,191 @@
+package benchmarks
+
+import (
+	"fmt"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gateset"
+)
+
+// Named is a benchmark circuit in its source (universal) vocabulary.
+type Named struct {
+	Name    string
+	Family  string
+	Circuit *circuit.Circuit
+}
+
+// SuiteSize is the benchmark count of the paper's evaluation (§6).
+const SuiteSize = 247
+
+// Suite returns the 247-circuit NISQ benchmark suite in the universal
+// vocabulary (callers translate into a gate set with ForGateSet). Circuits
+// act on 4–36 qubits, mixing the near- and long-term algorithm families of
+// §6; deterministic across calls.
+func Suite() []Named {
+	var out []Named
+	add := func(family string, c *circuit.Circuit, params ...int) {
+		out = append(out, Named{Name: fmtName(family, params...), Family: family, Circuit: c})
+	}
+
+	for n := 4; n <= 20; n++ { // 17
+		add("qft", QFT(n), n)
+	}
+	for n := 4; n <= 36; n += 2 { // 17
+		add("ghz", GHZ(n), n)
+	}
+	for n := 8; n <= 26; n += 2 { // 20
+		add("qaoa", QAOA(n, 1, int64(n)), n, 1)
+		add("qaoa", QAOA(n, 2, int64(n)+100), n, 2)
+	}
+	for n := 4; n <= 22; n += 2 { // 20
+		add("vqe", VQE(n, 2, int64(n)), n, 2)
+		add("vqe", VQE(n, 4, int64(n)+200), n, 4)
+	}
+	for n := 6; n <= 24; n += 2 { // 20
+		add("ising", Ising(n, 5), n, 5)
+		add("ising", Ising(n, 20), n, 20)
+	}
+	for n := 6; n <= 20; n += 2 { // 16
+		add("heisenberg", Heisenberg(n, 3), n, 3)
+		add("heisenberg", Heisenberg(n, 10), n, 10)
+	}
+	for n := 4; n <= 18; n++ { // 15
+		add("qpe", QPE(n), n)
+	}
+	for n := 4; n <= 12; n++ { // 18
+		add("grover", Grover(n, 1), n, 1)
+		add("grover", Grover(n, 2), n, 2)
+	}
+	for n := 4; n <= 16; n += 2 { // 7 (2n+1 qubits keeps within 36)
+		add("adder", Adder(n), n)
+	}
+	for n := 3; n <= 10; n++ { // 8
+		add("barenco_tof", BarencoTof(n), n)
+	}
+	for n := 3; n <= 10; n++ { // 8
+		add("tof", Tof(n), n)
+	}
+	for n := 3; n <= 9; n++ { // 7
+		add("gf2mult", GF2Mult(n), n)
+	}
+	for n := 4; n <= 10; n++ { // 7
+		add("multiplier", Multiplier(n), n)
+	}
+	for n := 4; n <= 10; n++ { // 7
+		add("vbe_adder", VBEAdder(n), n)
+	}
+	for n := 6; n <= 30; n += 4 { // 7
+		add("bv", BernsteinVazirani(n, int64(0x5a5a5a5a)&((1<<uint(n))-1)), n)
+	}
+	for n := 6; n <= 26; n += 4 { // 6
+		add("dj", DeutschJozsa(n, int64(0x33333333)&((1<<uint(n))-1)), n)
+	}
+	for n := 6; n <= 22; n += 4 { // 5
+		add("hiddenshift", HiddenShift(n, int64(0x2d), int64(n)), n)
+	}
+	for n := 4; n <= 16; n += 2 { // 7
+		add("wstate", WState(n), n)
+	}
+	// Random Clifford+T circuits round the suite out to exactly 247,
+	// standing in for the miscellaneous reversible/mapping benchmarks of
+	// prior work (documented in DESIGN.md §3).
+	i := 0
+	for len(out) < SuiteSize {
+		n := 4 + (i*3)%16
+		gates := 60 + 40*(i%9)
+		add("random", RandomCliffordT(n, gates, int64(1000+i)), n, gates)
+		i++
+	}
+	if len(out) != SuiteSize {
+		panic(fmt.Sprintf("benchmarks: suite has %d circuits, want %d", len(out), SuiteSize))
+	}
+	return out
+}
+
+// CliffordTSuite returns the 247-circuit FTQC suite (Q4): only families
+// whose rotation angles are exact multiples of π/4, so every circuit is
+// exactly representable in Clifford+T.
+func CliffordTSuite() []Named {
+	var out []Named
+	add := func(family string, c *circuit.Circuit, params ...int) {
+		out = append(out, Named{Name: fmtName(family, params...), Family: family, Circuit: c})
+	}
+	for n := 3; n <= 14; n++ { // 12
+		add("barenco_tof", BarencoTof(n), n)
+	}
+	for n := 3; n <= 16; n++ { // 14
+		add("tof", Tof(n), n)
+	}
+	for n := 4; n <= 16; n++ { // 13 (2n+1 qubits keeps within 36)
+		add("adder", Adder(n), n)
+	}
+	for n := 4; n <= 12; n++ { // 9
+		add("vbe_adder", VBEAdder(n), n)
+	}
+	for n := 3; n <= 12; n++ { // 10
+		add("gf2mult", GF2Mult(n), n)
+	}
+	for n := 4; n <= 12; n++ { // 9 (3n qubits keeps within 36)
+		add("multiplier", Multiplier(n), n)
+	}
+	for n := 4; n <= 13; n++ { // 20
+		add("grover", Grover(n, 1), n, 1)
+		add("grover", Grover(n, 2), n, 2)
+	}
+	for n := 4; n <= 36; n += 2 { // 17
+		add("ghz", GHZ(n), n)
+	}
+	for n := 6; n <= 30; n += 4 { // 7
+		add("bv", BernsteinVazirani(n, int64(0x5a5a5a5a)&((1<<uint(n))-1)), n)
+	}
+	for n := 6; n <= 26; n += 4 { // 6
+		add("dj", DeutschJozsa(n, int64(0x33333333)&((1<<uint(n))-1)), n)
+	}
+	for n := 6; n <= 22; n += 4 { // 5
+		add("hiddenshift", HiddenShift(n, int64(0x2d), int64(n)), n)
+	}
+	i := 0
+	for len(out) < SuiteSize {
+		n := 4 + (i*5)%20
+		gates := 80 + 60*(i%11)
+		add("random", RandomCliffordT(n, gates, int64(9000+i)), n, gates)
+		i++
+	}
+	if len(out) != SuiteSize {
+		panic(fmt.Sprintf("benchmarks: cliffordt suite has %d circuits, want %d", len(out), SuiteSize))
+	}
+	return out
+}
+
+// ForGateSet translates a suite into a target gate set (the "input circuit
+// is already decomposed into the target gate set" preprocessing of §6).
+func ForGateSet(suite []Named, gs *gateset.GateSet) ([]Named, error) {
+	out := make([]Named, 0, len(suite))
+	for _, b := range suite {
+		c, err := gateset.Translate(b.Circuit, gs)
+		if err != nil {
+			return nil, fmt.Errorf("benchmarks: %s for %s: %w", b.Name, gs.Name, err)
+		}
+		out = append(out, Named{Name: b.Name, Family: b.Family, Circuit: c})
+	}
+	return out, nil
+}
+
+// SuiteFor returns the appropriate 247-circuit suite translated into gs:
+// the Clifford+T suite for the finite set, the NISQ suite otherwise.
+func SuiteFor(gs *gateset.GateSet) ([]Named, error) {
+	if gs.Name == gateset.CliffordT.Name {
+		return ForGateSet(CliffordTSuite(), gs)
+	}
+	return ForGateSet(Suite(), gs)
+}
+
+// ByName retrieves one benchmark from a suite.
+func ByName(suite []Named, name string) (Named, bool) {
+	for _, b := range suite {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Named{}, false
+}

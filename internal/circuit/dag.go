@@ -1,0 +1,108 @@
+package circuit
+
+// DAG view of a circuit (§3): nodes are gate indices, and for each qubit the
+// gates touching it form a totally ordered wire. An edge runs from each gate
+// to the next gate on each of its wires. The DAG is rebuilt on demand; it is
+// a cheap O(gates · arity) pass.
+type DAG struct {
+	c *Circuit
+	// wires[q] lists the gate indices acting on qubit q, in circuit order.
+	wires [][]int
+	// next[i] / prev[i] give, per gate qubit position, the following and
+	// preceding gate index on that wire, or -1.
+	next [][]int
+	prev [][]int
+}
+
+// BuildDAG constructs the DAG view for c.
+func BuildDAG(c *Circuit) *DAG {
+	d := &DAG{
+		c:     c,
+		wires: make([][]int, c.NumQubits),
+		next:  make([][]int, len(c.Gates)),
+		prev:  make([][]int, len(c.Gates)),
+	}
+	last := make([]int, c.NumQubits)
+	for q := range last {
+		last[q] = -1
+	}
+	for i, g := range c.Gates {
+		d.next[i] = make([]int, len(g.Qubits))
+		d.prev[i] = make([]int, len(g.Qubits))
+		for k, q := range g.Qubits {
+			d.wires[q] = append(d.wires[q], i)
+			d.prev[i][k] = last[q]
+			d.next[i][k] = -1
+			if last[q] >= 0 {
+				pg := c.Gates[last[q]]
+				for pk, pq := range pg.Qubits {
+					if pq == q {
+						d.next[last[q]][pk] = i
+					}
+				}
+			}
+			last[q] = i
+		}
+	}
+	return d
+}
+
+// Circuit returns the underlying circuit.
+func (d *DAG) Circuit() *Circuit { return d.c }
+
+// Wire returns the ordered gate indices on qubit q.
+func (d *DAG) Wire(q int) []int { return d.wires[q] }
+
+// NextOnWire returns the gate index following gate i on qubit q, or -1.
+// Gate i must act on q.
+func (d *DAG) NextOnWire(i, q int) int {
+	for k, gq := range d.c.Gates[i].Qubits {
+		if gq == q {
+			return d.next[i][k]
+		}
+	}
+	return -1
+}
+
+// PrevOnWire returns the gate index preceding gate i on qubit q, or -1.
+func (d *DAG) PrevOnWire(i, q int) int {
+	for k, gq := range d.c.Gates[i].Qubits {
+		if gq == q {
+			return d.prev[i][k]
+		}
+	}
+	return -1
+}
+
+// Successors returns the distinct gate indices immediately following gate i
+// on any of its wires.
+func (d *DAG) Successors(i int) []int {
+	var out []int
+	for _, n := range d.next[i] {
+		if n >= 0 && !containsInt(out, n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Predecessors returns the distinct gate indices immediately preceding gate
+// i on any of its wires.
+func (d *DAG) Predecessors(i int) []int {
+	var out []int
+	for _, p := range d.prev[i] {
+		if p >= 0 && !containsInt(out, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

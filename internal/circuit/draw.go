@@ -1,0 +1,145 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/guoq-dev/guoq/internal/gate"
+)
+
+// Draw renders the circuit as ASCII art, one row per qubit, gates placed in
+// greedy left-to-right columns (gates sharing no qubits share a column):
+//
+//	q0: ─ H ──●───────
+//	q1: ──────X── T ──
+//
+// Multi-qubit gates draw a control dot (●) on control qubits and a box on
+// the target; vertical bars mark the spanned wires. Intended for small
+// circuits in docs, examples, and debugging — wide circuits truncate at
+// maxDrawColumns.
+func (c *Circuit) Draw() string {
+	const maxDrawColumns = 60
+	type cell struct {
+		label string
+		span  bool // vertical connector only
+	}
+	// Column assignment: greedy per-qubit frontier.
+	var columns [][]cell
+	front := make([]int, c.NumQubits)
+	newCol := func() []cell { return make([]cell, c.NumQubits) }
+
+	for _, g := range c.Gates {
+		col := 0
+		for _, q := range g.Qubits {
+			if front[q] > col {
+				col = front[q]
+			}
+		}
+		for len(columns) <= col {
+			columns = append(columns, newCol())
+		}
+		lo, hi := g.Qubits[0], g.Qubits[0]
+		for _, q := range g.Qubits {
+			if q < lo {
+				lo = q
+			}
+			if q > hi {
+				hi = q
+			}
+		}
+		labels := gateLabels(g)
+		for i, q := range g.Qubits {
+			columns[col][q] = cell{label: labels[i]}
+		}
+		for q := lo + 1; q < hi; q++ {
+			if columns[col][q].label == "" {
+				columns[col][q] = cell{span: true}
+			}
+		}
+		for q := lo; q <= hi; q++ {
+			front[q] = col + 1
+		}
+		if len(columns) >= maxDrawColumns {
+			break
+		}
+	}
+
+	// Column widths.
+	widths := make([]int, len(columns))
+	for ci, col := range columns {
+		w := 1
+		for _, cl := range col {
+			if len([]rune(cl.label)) > w {
+				w = len([]rune(cl.label))
+			}
+		}
+		widths[ci] = w
+	}
+
+	var b strings.Builder
+	for q := 0; q < c.NumQubits; q++ {
+		fmt.Fprintf(&b, "q%-2d: ", q)
+		for ci, col := range columns {
+			cl := col[q]
+			w := widths[ci]
+			switch {
+			case cl.label != "":
+				pad := w - len([]rune(cl.label))
+				left := pad / 2
+				b.WriteString("─")
+				b.WriteString(strings.Repeat("─", left))
+				b.WriteString(cl.label)
+				b.WriteString(strings.Repeat("─", pad-left))
+				b.WriteString("─")
+			case cl.span:
+				pad := w - 1
+				left := pad / 2
+				b.WriteString("─")
+				b.WriteString(strings.Repeat("─", left))
+				b.WriteString("┼")
+				b.WriteString(strings.Repeat("─", pad-left))
+				b.WriteString("─")
+			default:
+				b.WriteString(strings.Repeat("─", w+2))
+			}
+		}
+		if len(c.Gates) > 0 && len(columns) >= 60 {
+			b.WriteString("…")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// gateLabels returns the per-qubit display labels of a gate application, in
+// the gate's qubit order (controls get ●).
+func gateLabels(g gate.Gate) []string {
+	base := strings.ToUpper(string(g.Name))
+	if len(g.Params) == 1 {
+		base = fmt.Sprintf("%s(%.3g)", strings.ToUpper(string(g.Name)), g.Params[0])
+	} else if len(g.Params) > 1 {
+		base = fmt.Sprintf("%s(…)", strings.ToUpper(string(g.Name)))
+	}
+	switch g.Name {
+	case gate.CX:
+		return []string{"●", "X"}
+	case gate.CZ:
+		return []string{"●", "Z"}
+	case gate.CP:
+		return []string{"●", fmt.Sprintf("P(%.3g)", g.Params[0])}
+	case gate.CCX:
+		return []string{"●", "●", "X"}
+	case gate.CCZ:
+		return []string{"●", "●", "Z"}
+	case gate.Swap:
+		return []string{"╳", "╳"}
+	case gate.Rxx, gate.Rzz:
+		half := fmt.Sprintf("%s(%.3g)", strings.ToUpper(string(g.Name)), g.Params[0])
+		return []string{half, half}
+	}
+	out := make([]string, len(g.Qubits))
+	for i := range out {
+		out[i] = base
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/gate"
+)
+
+func TestDrawBell(t *testing.T) {
+	c := New(2)
+	c.Append(gate.NewH(0), gate.NewCX(0, 1))
+	out := c.Draw()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("Draw produced %d lines, want 2:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "H") || !strings.Contains(lines[0], "●") {
+		t.Errorf("q0 row missing H or control: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "X") {
+		t.Errorf("q1 row missing X: %q", lines[1])
+	}
+}
+
+func TestDrawColumnsParallel(t *testing.T) {
+	// Two gates on disjoint qubits must share a column; a following gate on
+	// both qubits starts a new one.
+	c := New(2)
+	c.Append(gate.NewT(0), gate.NewH(1), gate.NewCX(0, 1))
+	out := c.Draw()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Column sharing means both rows have equal rendered width.
+	if len([]rune(lines[0])) != len([]rune(lines[1])) {
+		t.Fatalf("rows have different widths:\n%s", out)
+	}
+	// T and H appear before the control/X.
+	if strings.Index(lines[0], "T") > strings.Index(lines[0], "●") {
+		t.Errorf("T should precede the control: %q", lines[0])
+	}
+}
+
+func TestDrawSpansIntermediateWires(t *testing.T) {
+	c := New(3)
+	c.Append(gate.NewCX(0, 2))
+	out := c.Draw()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "┼") {
+		t.Errorf("intermediate wire missing connector: %q", lines[1])
+	}
+}
+
+func TestDrawParams(t *testing.T) {
+	c := New(1)
+	c.Append(gate.NewRz(1.5, 0))
+	if out := c.Draw(); !strings.Contains(out, "RZ(1.5)") {
+		t.Errorf("parameterized label missing: %s", out)
+	}
+}
+
+func TestDrawEmpty(t *testing.T) {
+	c := New(2)
+	out := c.Draw()
+	if !strings.Contains(out, "q0") || !strings.Contains(out, "q1") {
+		t.Fatalf("empty circuit should still render wires:\n%s", out)
+	}
+}
+
+func TestDrawTruncatesWide(t *testing.T) {
+	c := New(1)
+	for i := 0; i < 200; i++ {
+		c.Append(gate.NewT(0))
+	}
+	out := c.Draw()
+	if !strings.Contains(out, "…") {
+		t.Error("wide circuit should truncate with ellipsis")
+	}
+}

@@ -1,0 +1,378 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/guoq-dev/guoq/internal/gate"
+)
+
+// OpenQASM 2.0 subset I/O. The reader accepts the dialect produced by the
+// writer plus the common constructs found in benchmark files: multiple
+// quantum registers (flattened in declaration order), creg/measure/barrier
+// (ignored), comments, and constant angle expressions over pi with
+// + − * / and parentheses.
+
+// ParseQASM parses an OpenQASM 2.0 (subset) program into a circuit.
+func ParseQASM(src string) (*Circuit, error) {
+	regs := map[string]int{} // register name -> base offset
+	total := 0
+	var c *Circuit
+
+	// Statements are ';'-separated; strip comments line by line first.
+	var clean strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		clean.WriteString(line)
+		clean.WriteByte('\n')
+	}
+	stmts := strings.Split(clean.String(), ";")
+	for sn, raw := range stmts {
+		st := strings.TrimSpace(raw)
+		if st == "" {
+			continue
+		}
+		low := strings.ToLower(st)
+		switch {
+		case strings.HasPrefix(low, "openqasm"), strings.HasPrefix(low, "include"),
+			strings.HasPrefix(low, "creg"), strings.HasPrefix(low, "barrier"),
+			strings.HasPrefix(low, "measure"), strings.HasPrefix(low, "reset"):
+			continue
+		case strings.HasPrefix(low, "qreg"):
+			name, size, err := parseReg(st[4:])
+			if err != nil {
+				return nil, fmt.Errorf("qasm: statement %d: %v", sn, err)
+			}
+			if _, dup := regs[name]; dup {
+				return nil, fmt.Errorf("qasm: duplicate register %q", name)
+			}
+			if c != nil {
+				return nil, fmt.Errorf("qasm: qreg %q declared after gate statements", name)
+			}
+			regs[name] = total
+			total += size
+		default:
+			if c == nil {
+				c = New(total)
+			}
+			g, err := parseGateStmt(st, regs)
+			if err != nil {
+				return nil, fmt.Errorf("qasm: statement %d (%q): %v", sn, st, err)
+			}
+			c.Append(g)
+		}
+	}
+	if c == nil {
+		c = New(total)
+	}
+	return c, nil
+}
+
+func parseReg(s string) (string, int, error) {
+	s = strings.TrimSpace(s)
+	lb := strings.Index(s, "[")
+	rb := strings.Index(s, "]")
+	if lb < 0 || rb < lb {
+		return "", 0, fmt.Errorf("malformed register declaration %q", s)
+	}
+	name := strings.TrimSpace(s[:lb])
+	size, err := strconv.Atoi(strings.TrimSpace(s[lb+1 : rb]))
+	if err != nil || size <= 0 {
+		return "", 0, fmt.Errorf("bad register size in %q", s)
+	}
+	return name, size, nil
+}
+
+func parseGateStmt(st string, regs map[string]int) (gate.Gate, error) {
+	// Forms: "name arg, arg" or "name(expr, expr) arg, arg".
+	var name, paramStr, argStr string
+	if i := strings.Index(st, "("); i >= 0 && i < strings.IndexAny(st+"[", "[") {
+		j := matchParen(st, i)
+		if j < 0 {
+			return gate.Gate{}, fmt.Errorf("unbalanced parens")
+		}
+		name = strings.TrimSpace(st[:i])
+		paramStr = st[i+1 : j]
+		argStr = strings.TrimSpace(st[j+1:])
+	} else {
+		fields := strings.Fields(st)
+		if len(fields) < 2 {
+			return gate.Gate{}, fmt.Errorf("malformed gate statement")
+		}
+		name = fields[0]
+		argStr = strings.TrimSpace(st[len(fields[0]):])
+	}
+	gname := gate.Name(strings.ToLower(name))
+	// Common aliases.
+	switch gname {
+	case "u", "u_3":
+		gname = gate.U3
+	case "cnot":
+		gname = gate.CX
+	case "p", "phase":
+		gname = gate.U1
+	case "cu1", "cphase":
+		gname = gate.CP
+	case "toffoli":
+		gname = gate.CCX
+	}
+	spec, ok := gate.SpecOf(gname)
+	if !ok {
+		return gate.Gate{}, fmt.Errorf("unknown gate %q", name)
+	}
+
+	var params []float64
+	if paramStr != "" {
+		for _, p := range splitTopLevel(paramStr) {
+			v, err := evalExpr(p)
+			if err != nil {
+				return gate.Gate{}, err
+			}
+			params = append(params, v)
+		}
+	}
+	if len(params) != spec.Params {
+		return gate.Gate{}, fmt.Errorf("gate %s wants %d params, got %d", gname, spec.Params, len(params))
+	}
+
+	var qubits []int
+	for _, a := range splitTopLevel(argStr) {
+		a = strings.TrimSpace(a)
+		lb := strings.Index(a, "[")
+		rb := strings.Index(a, "]")
+		if lb < 0 || rb < lb {
+			return gate.Gate{}, fmt.Errorf("malformed qubit arg %q (whole-register args unsupported)", a)
+		}
+		rname := strings.TrimSpace(a[:lb])
+		base, ok := regs[rname]
+		if !ok {
+			return gate.Gate{}, fmt.Errorf("unknown register %q", rname)
+		}
+		idx, err := strconv.Atoi(strings.TrimSpace(a[lb+1 : rb]))
+		if err != nil {
+			return gate.Gate{}, fmt.Errorf("bad qubit index in %q", a)
+		}
+		qubits = append(qubits, base+idx)
+	}
+	if len(qubits) != spec.Qubits {
+		return gate.Gate{}, fmt.Errorf("gate %s wants %d qubits, got %d", gname, spec.Qubits, len(qubits))
+	}
+	return gate.New(gname, qubits, params), nil
+}
+
+func matchParen(s string, open int) int {
+	depth := 0
+	for i := open; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// splitTopLevel splits on commas not nested inside parentheses.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if strings.TrimSpace(s[start:]) != "" {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// evalExpr evaluates a constant angle expression: numbers, pi, + − * /,
+// unary minus, parentheses.
+func evalExpr(s string) (float64, error) {
+	p := &exprParser{src: strings.TrimSpace(s)}
+	v, err := p.parseSum()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("trailing input in expression %q", s)
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) parseSum() (float64, error) {
+	v, err := p.parseProduct()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return v, nil
+		}
+		switch p.src[p.pos] {
+		case '+':
+			p.pos++
+			w, err := p.parseProduct()
+			if err != nil {
+				return 0, err
+			}
+			v += w
+		case '-':
+			p.pos++
+			w, err := p.parseProduct()
+			if err != nil {
+				return 0, err
+			}
+			v -= w
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseProduct() (float64, error) {
+	v, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return v, nil
+		}
+		switch p.src[p.pos] {
+		case '*':
+			p.pos++
+			w, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			v *= w
+		case '/':
+			p.pos++
+			w, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if w == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			v /= w
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseUnary() (float64, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '-' {
+		p.pos++
+		v, err := p.parseUnary()
+		return -v, err
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '+' {
+		p.pos++
+		return p.parseUnary()
+	}
+	return p.parseAtom()
+}
+
+func (p *exprParser) parseAtom() (float64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, fmt.Errorf("unexpected end of expression")
+	}
+	if p.src[p.pos] == '(' {
+		p.pos++
+		v, err := p.parseSum()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return 0, fmt.Errorf("missing closing paren")
+		}
+		p.pos++
+		return v, nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "pi") {
+		p.pos += 2
+		return math.Pi, nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) {
+		ch := p.src[p.pos]
+		if (ch >= '0' && ch <= '9') || ch == '.' || ch == 'e' || ch == 'E' ||
+			((ch == '+' || ch == '-') && p.pos > start && (p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E')) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("unexpected character %q in expression", p.src[p.pos])
+	}
+	return strconv.ParseFloat(p.src[start:p.pos], 64)
+}
+
+// WriteQASM renders the circuit as an OpenQASM 2.0 program with a single
+// register q[n].
+func (c *Circuit) WriteQASM() string {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	for _, g := range c.Gates {
+		b.WriteString(string(g.Name))
+		if len(g.Params) > 0 {
+			b.WriteByte('(')
+			for i, p := range g.Params {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%.17g", p)
+			}
+			b.WriteByte(')')
+		}
+		b.WriteByte(' ')
+		for i, q := range g.Qubits {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "q[%d]", q)
+		}
+		b.WriteString(";\n")
+	}
+	return b.String()
+}

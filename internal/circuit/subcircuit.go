@@ -1,0 +1,218 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/guoq-dev/guoq/internal/gate"
+)
+
+// Region is a convex subcircuit (§3): a set of gate indices such that every
+// DAG path between two selected gates stays inside the selection. Regions
+// are produced by GrowConvex and consumed by transformations that replace
+// the subcircuit with an equivalent one.
+//
+// Representation invariant: Indices is exactly the set of gates in the
+// window [Lo, Hi] whose qubits are all in Qubits, and every other gate in
+// the window acts on qubits disjoint from Qubits. This guarantees convexity:
+// any path between selected gates runs through window gates that share
+// qubits with the selection, and all such gates are themselves selected.
+type Region struct {
+	Lo, Hi  int   // window bounds in gate-index order, inclusive
+	Qubits  []int // sorted global qubits spanned by the selection
+	Indices []int // selected gate indices, ascending
+}
+
+// GrowConvex grows a convex region around the anchor gate index, spanning at
+// most maxQubits qubits and selecting at most maxGates gates (0 = unlimited).
+// This implements the random-subcircuit selection of §5.3: start at a node,
+// greedily absorb neighbours until the qubit limit would be exceeded.
+//
+// rng, when non-nil, randomizes which frontier gate's qubits are absorbed
+// when several are eligible; with a nil rng growth is deterministic.
+func GrowConvex(c *Circuit, anchor, maxQubits, maxGates int, rng *rand.Rand) *Region {
+	if anchor < 0 || anchor >= len(c.Gates) {
+		return nil
+	}
+	if len(c.Gates[anchor].Qubits) > maxQubits {
+		return nil
+	}
+	inQ := make(map[int]bool)
+	for _, q := range c.Gates[anchor].Qubits {
+		inQ[q] = true
+	}
+
+	intersects := func(g gate.Gate) bool {
+		for _, q := range g.Qubits {
+			if inQ[q] {
+				return true
+			}
+		}
+		return false
+	}
+	subset := func(g gate.Gate) bool {
+		for _, q := range g.Qubits {
+			if !inQ[q] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var lo, hi int
+	for {
+		// Compute the maximal window around the anchor for the current
+		// qubit set: extend past gates that either avoid Q entirely or act
+		// wholly inside Q; stop at gates straddling the boundary.
+		lo, hi = anchor, anchor
+		selected := 1
+		for lo-1 >= 0 {
+			g := c.Gates[lo-1]
+			if intersects(g) && !subset(g) {
+				break
+			}
+			if subset(g) {
+				if maxGates > 0 && selected >= maxGates {
+					break
+				}
+				selected++
+			}
+			lo--
+		}
+		for hi+1 < len(c.Gates) {
+			g := c.Gates[hi+1]
+			if intersects(g) && !subset(g) {
+				break
+			}
+			if subset(g) {
+				if maxGates > 0 && selected >= maxGates {
+					break
+				}
+				selected++
+			}
+			hi++
+		}
+		// Try to absorb a straddling frontier gate's qubits.
+		var candidates []int
+		for _, i := range []int{lo - 1, hi + 1} {
+			if i < 0 || i >= len(c.Gates) {
+				continue
+			}
+			g := c.Gates[i]
+			if !intersects(g) || subset(g) {
+				continue
+			}
+			extra := 0
+			for _, q := range g.Qubits {
+				if !inQ[q] {
+					extra++
+				}
+			}
+			if len(inQ)+extra <= maxQubits {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		pick := candidates[0]
+		if rng != nil && len(candidates) > 1 {
+			pick = candidates[rng.Intn(len(candidates))]
+		}
+		for _, q := range c.Gates[pick].Qubits {
+			inQ[q] = true
+		}
+	}
+
+	qs := make([]int, 0, len(inQ))
+	for q := range inQ {
+		qs = append(qs, q)
+	}
+	sort.Ints(qs)
+	r := &Region{Lo: lo, Hi: hi, Qubits: qs}
+	selected := 0
+	for i := lo; i <= hi; i++ {
+		if subset(c.Gates[i]) {
+			if maxGates > 0 && selected >= maxGates {
+				// Trim the window at the cap so the invariant holds.
+				r.Hi = i - 1
+				break
+			}
+			r.Indices = append(r.Indices, i)
+			selected++
+		}
+	}
+	return r
+}
+
+// RandomRegion grows a convex region from a uniformly random anchor gate.
+// Returns nil for an empty circuit.
+func RandomRegion(c *Circuit, maxQubits, maxGates int, rng *rand.Rand) *Region {
+	if len(c.Gates) == 0 {
+		return nil
+	}
+	// Retry a few times in case the anchor itself is too wide (e.g. a ccx
+	// anchor with maxQubits=2).
+	for attempt := 0; attempt < 8; attempt++ {
+		r := GrowConvex(c, rng.Intn(len(c.Gates)), maxQubits, maxGates, rng)
+		if r != nil && len(r.Indices) > 0 {
+			return r
+		}
+	}
+	return nil
+}
+
+// Extract returns the region as a standalone circuit on len(Qubits) local
+// qubits (global qubit Qubits[k] ↦ local qubit k).
+func (r *Region) Extract(c *Circuit) *Circuit {
+	local := make(map[int]int, len(r.Qubits))
+	for k, q := range r.Qubits {
+		local[q] = k
+	}
+	out := New(len(r.Qubits))
+	for _, i := range r.Indices {
+		g := c.Gates[i].Clone()
+		for k, q := range g.Qubits {
+			g.Qubits[k] = local[q]
+		}
+		out.Append(g)
+	}
+	return out
+}
+
+// Replace returns a new circuit with the region's selected gates replaced by
+// the replacement circuit (on len(Qubits) local qubits, mapped back to the
+// region's global qubits). Window gates that were not selected act on
+// disjoint qubits and are preserved, placed before the replacement.
+func (r *Region) Replace(c *Circuit, replacement *Circuit) *Circuit {
+	if replacement.NumQubits != len(r.Qubits) {
+		panic(fmt.Sprintf("circuit: Replace: replacement has %d qubits, region spans %d",
+			replacement.NumQubits, len(r.Qubits)))
+	}
+	sel := make(map[int]bool, len(r.Indices))
+	for _, i := range r.Indices {
+		sel[i] = true
+	}
+	out := New(c.NumQubits)
+	out.Gates = make([]gate.Gate, 0, len(c.Gates)-len(r.Indices)+len(replacement.Gates))
+	for i := 0; i < r.Lo; i++ {
+		out.Gates = append(out.Gates, c.Gates[i])
+	}
+	for i := r.Lo; i <= r.Hi; i++ {
+		if !sel[i] {
+			out.Gates = append(out.Gates, c.Gates[i])
+		}
+	}
+	for _, g := range replacement.Gates {
+		ng := g.Clone()
+		for k, q := range ng.Qubits {
+			ng.Qubits[k] = r.Qubits[q]
+		}
+		out.Gates = append(out.Gates, ng)
+	}
+	for i := r.Hi + 1; i < len(c.Gates); i++ {
+		out.Gates = append(out.Gates, c.Gates[i])
+	}
+	return out
+}

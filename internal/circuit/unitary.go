@@ -1,0 +1,52 @@
+package circuit
+
+import (
+	"fmt"
+
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/linalg"
+)
+
+// MaxUnitaryQubits bounds whole-circuit unitary evaluation. A 2^14 matrix is
+// 2.1 GB of complex128; anything larger indicates a logic error — the
+// optimizer itself only ever evaluates unitaries of ≤3-qubit subcircuits.
+const MaxUnitaryQubits = 14
+
+// Unitary computes the 2^n × 2^n unitary of the circuit by left-multiplying
+// each gate's expanded operator: U = U_gk ··· U_g1 (Example 3.1).
+func (c *Circuit) Unitary() linalg.Matrix {
+	if c.NumQubits > MaxUnitaryQubits {
+		panic(fmt.Sprintf("circuit: Unitary on %d qubits exceeds limit %d", c.NumQubits, MaxUnitaryQubits))
+	}
+	u := linalg.Identity(1 << c.NumQubits)
+	for _, g := range c.Gates {
+		linalg.ApplyGateLeft(gate.Matrix(g), g.Qubits, c.NumQubits, u)
+	}
+	return u
+}
+
+// Apply left-multiplies the circuit's unitary onto a state vector in place.
+func (c *Circuit) Apply(state []complex128) {
+	if len(state) != 1<<c.NumQubits {
+		panic("circuit: Apply: state dimension mismatch")
+	}
+	for _, g := range c.Gates {
+		linalg.ApplyGateVec(gate.Matrix(g), g.Qubits, c.NumQubits, state)
+	}
+}
+
+// Distance returns the Hilbert–Schmidt distance Δ(U_a, U_b) between two
+// circuits on the same number of qubits (Def. 3.2). Both circuits must be
+// small enough for unitary evaluation.
+func Distance(a, b *Circuit) float64 {
+	if a.NumQubits != b.NumQubits {
+		return 1
+	}
+	return linalg.HSDistance(a.Unitary(), b.Unitary())
+}
+
+// EquivalentUpToPhase reports whether two circuits are ε-equivalent per
+// Def. 3.3: Δ(U_a, U_b) ≤ eps.
+func EquivalentUpToPhase(a, b *Circuit, eps float64) bool {
+	return a.NumQubits == b.NumQubits && Distance(a, b) <= eps
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+)
+
+// tinyConfig keeps experiment tests fast: a handful of circuits, tiny
+// budgets. Shape assertions stay loose at this scale — the full-budget runs
+// live in bench_test.go and EXPERIMENTS.md.
+func tinyConfig() Config {
+	return Config{
+		Budget:     40 * time.Millisecond,
+		Trials:     1,
+		SuiteLimit: 6,
+		Epsilon:    1e-8,
+		Seed:       1,
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if math.Abs(s.Mean-2) > 1e-12 || s.N != 3 {
+		t.Fatalf("Summarize mean = %v", s)
+	}
+	if s.CI95 <= 0 {
+		t.Fatal("CI should be positive for spread data")
+	}
+	if s := Summarize([]float64{5}); s.CI95 != 0 || s.Mean != 5 {
+		t.Fatal("single-sample stats wrong")
+	}
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty stats wrong")
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	if Compare(0.5, 0.3) != Better || Compare(0.3, 0.5) != Worse || Compare(0.4, 0.4) != Match {
+		t.Fatal("Compare verdicts wrong")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	orig := circuit.New(2)
+	orig.Append(gate.NewCX(0, 1), gate.NewCX(0, 1), gate.NewT(0), gate.NewT(0))
+	opt1 := circuit.New(2)
+	opt1.Append(gate.NewCX(0, 1), gate.NewT(0))
+	if v := TwoQubitReduction().Eval(orig, opt1); math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("2q reduction = %g", v)
+	}
+	if v := TReduction().Eval(orig, opt1); math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("T reduction = %g", v)
+	}
+	// Zero-count originals yield 0, not NaN.
+	empty := circuit.New(1)
+	if v := TwoQubitReduction().Eval(empty, empty); v != 0 {
+		t.Fatal("empty reduction should be 0")
+	}
+}
+
+func TestFig10SmallRun(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig()
+	cfg.Out = &buf
+	sums, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 {
+		t.Fatalf("Fig10 returned %d summaries", len(sums))
+	}
+	for _, s := range sums {
+		if s.Better+s.Match+s.Worse != 6 {
+			t.Fatalf("tally doesn't cover the suite: %+v", s)
+		}
+	}
+	if !strings.Contains(buf.String(), "GUOQ better on") {
+		t.Fatal("report missing summary line")
+	}
+}
+
+func TestFig15FullSuite(t *testing.T) {
+	hs, err := Fig15(Config{Out: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 5 {
+		t.Fatalf("Fig15 covered %d gate sets", len(hs))
+	}
+	for _, h := range hs {
+		total := 0
+		for _, n := range h.Buckets {
+			total += n
+		}
+		if total != 247 {
+			t.Fatalf("%s histogram covers %d benchmarks", h.GateSet, total)
+		}
+	}
+}
+
+func TestFig7ProducesSeries(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Budget = 30 * time.Millisecond
+	series, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 { // 2 benchmarks × 3 approaches
+		t.Fatalf("Fig7 returned %d series", len(series))
+	}
+	for _, s := range series {
+		// Counts must be non-increasing (best-so-far).
+		for i := 1; i < len(s.Counts); i++ {
+			if s.Counts[i] > s.Counts[i-1] {
+				t.Fatalf("%s/%s: best-so-far series increased", s.Bench, s.Approach)
+			}
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(Config{Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ibmq20", "ibm-eagle", "ionq", "nam", "cliffordt"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("Table2 missing %s", want)
+		}
+	}
+	buf.Reset()
+	if err := Table3(Config{Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "quarl") {
+		t.Fatal("Table3 missing quarl")
+	}
+}
+
+func TestSubsampleEven(t *testing.T) {
+	cfg := tinyConfig()
+	_ = cfg
+	var suite []int
+	for i := 0; i < 247; i++ {
+		suite = append(suite, i)
+	}
+	// Subsample via the generic helper on the real type is covered by
+	// Fig10; here check bounds logic inline for documentation purposes.
+	if got := 247 * 5 / 6; got >= 247 {
+		t.Fatal("subsample index out of range")
+	}
+}

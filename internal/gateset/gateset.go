@@ -1,0 +1,84 @@
+// Package gateset defines the five evaluation gate sets of Table 2, the
+// translation (decomposition) of arbitrary circuits into each set, and the
+// device fidelity models used by the paper's NISQ metrics.
+package gateset
+
+import (
+	"fmt"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+)
+
+// GateSet is a named target gate vocabulary plus architecture metadata.
+type GateSet struct {
+	Name         string
+	Gates        []gate.Name
+	Architecture string
+	set          map[gate.Name]bool
+}
+
+func newGateSet(name, arch string, gates ...gate.Name) *GateSet {
+	s := &GateSet{Name: name, Gates: gates, Architecture: arch, set: map[gate.Name]bool{}}
+	for _, g := range gates {
+		s.set[g] = true
+	}
+	return s
+}
+
+// The five gate sets of Table 2.
+var (
+	// IBMQ20: U1, U2, U3, CX (superconducting).
+	IBMQ20 = newGateSet("ibmq20", "superconducting", gate.U1, gate.U2, gate.U3, gate.CX)
+	// IBMEagle: Rz, SX, X, CX (superconducting).
+	IBMEagle = newGateSet("ibm-eagle", "superconducting", gate.Rz, gate.SX, gate.X, gate.CX)
+	// IonQ: Rx, Ry, Rz, Rxx (trapped ion).
+	IonQ = newGateSet("ionq", "ion trap", gate.Rx, gate.Ry, gate.Rz, gate.Rxx)
+	// Nam: Rz, H, X, CX (hardware-agnostic; studied by Nam et al.).
+	Nam = newGateSet("nam", "none", gate.Rz, gate.H, gate.X, gate.CX)
+	// CliffordT: T, T†, S, S†, H, X, CX (fault tolerant).
+	CliffordT = newGateSet("cliffordt", "fault tolerant",
+		gate.T, gate.Tdg, gate.S, gate.Sdg, gate.H, gate.X, gate.CX)
+)
+
+// All lists the five gate sets in the paper's Table 2 order.
+func All() []*GateSet {
+	return []*GateSet{IBMQ20, IBMEagle, IonQ, Nam, CliffordT}
+}
+
+// ByName looks a gate set up by its name.
+func ByName(name string) (*GateSet, error) {
+	for _, gs := range All() {
+		if gs.Name == name {
+			return gs, nil
+		}
+	}
+	return nil, fmt.Errorf("gateset: unknown gate set %q", name)
+}
+
+// Contains reports whether the named gate is native to the set.
+func (gs *GateSet) Contains(n gate.Name) bool { return gs.set[n] }
+
+// IsNative reports whether every gate in the circuit is native to the set.
+func (gs *GateSet) IsNative(c *circuit.Circuit) bool {
+	for _, g := range c.Gates {
+		if !gs.set[g.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// Continuous reports whether the set contains continuously parameterized
+// gates. Numeric resynthesis applies only to continuous sets; finite sets
+// use search-based synthesis (Q4).
+func (gs *GateSet) Continuous() bool {
+	for _, g := range gs.Gates {
+		if s, _ := gate.SpecOf(g); s.Params > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (gs *GateSet) String() string { return gs.Name }

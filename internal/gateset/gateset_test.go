@@ -1,0 +1,198 @@
+package gateset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/linalg"
+)
+
+const tol = 1e-8
+
+func TestByName(t *testing.T) {
+	for _, gs := range All() {
+		got, err := ByName(gs.Name)
+		if err != nil || got != gs {
+			t.Errorf("ByName(%q) = %v, %v", gs.Name, got, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestContinuous(t *testing.T) {
+	if !IBMQ20.Continuous() || !IonQ.Continuous() || !Nam.Continuous() || !IBMEagle.Continuous() {
+		t.Error("continuous sets misclassified")
+	}
+	if CliffordT.Continuous() {
+		t.Error("cliffordt should be finite")
+	}
+}
+
+// vocabFor returns a source vocabulary valid for translation to gs.
+func vocabFor(gs *GateSet) []gate.Name {
+	if gs.Name == CliffordT.Name {
+		// Only π/4-multiple rotations are exactly representable; random
+		// angles are not, so use the discrete vocabulary.
+		return []gate.Name{gate.H, gate.X, gate.Y, gate.Z, gate.S, gate.Sdg,
+			gate.T, gate.Tdg, gate.CX, gate.CZ, gate.Swap, gate.CCX, gate.CCZ}
+	}
+	return []gate.Name{gate.H, gate.X, gate.Y, gate.Z, gate.S, gate.Sdg,
+		gate.T, gate.Tdg, gate.SX, gate.Rx, gate.Ry, gate.Rz, gate.U1,
+		gate.U2, gate.U3, gate.CX, gate.CZ, gate.Swap, gate.CP, gate.Rzz,
+		gate.Rxx, gate.CCX, gate.CCZ}
+}
+
+// TestTranslatePreservesSemantics is the central contract: translation into
+// any gate set preserves the unitary up to global phase and produces only
+// native gates.
+func TestTranslatePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, gs := range All() {
+		vocab := vocabFor(gs)
+		for trial := 0; trial < 40; trial++ {
+			c := circuit.Random(3, 14, vocab, rng)
+			out, err := Translate(c, gs)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", gs.Name, trial, err)
+			}
+			if !gs.IsNative(out) {
+				t.Fatalf("%s trial %d: output has non-native gates: %v",
+					gs.Name, trial, out.CountByName())
+			}
+			if !linalg.EqualUpToPhase(c.Unitary(), out.Unitary(), tol) {
+				t.Fatalf("%s trial %d: translation changed semantics\nin:  %v\nout: %v",
+					gs.Name, trial, c, out)
+			}
+		}
+	}
+}
+
+func TestTranslateSingleGates(t *testing.T) {
+	// Each individual gate must translate correctly on its own — this
+	// pins down the CX→Rxx decomposition and all the 1q Euler paths.
+	rng := rand.New(rand.NewSource(8))
+	for _, gs := range All() {
+		for _, name := range vocabFor(gs) {
+			spec, _ := gate.SpecOf(name)
+			qs := make([]int, spec.Qubits)
+			for i := range qs {
+				qs[i] = i
+			}
+			ps := make([]float64, spec.Params)
+			for i := range ps {
+				ps[i] = rng.Float64()*2*math.Pi - math.Pi
+			}
+			c := circuit.New(spec.Qubits)
+			c.Append(gate.New(name, qs, ps))
+			out, err := Translate(c, gs)
+			if err != nil {
+				t.Fatalf("%s: translate %s: %v", gs.Name, name, err)
+			}
+			if !linalg.EqualUpToPhase(c.Unitary(), out.Unitary(), tol) {
+				t.Errorf("%s: %s translation wrong", gs.Name, name)
+			}
+		}
+	}
+}
+
+func TestTranslateReversedQubitOrder(t *testing.T) {
+	// CX(1,0) and wide gates with permuted qubits must translate correctly.
+	for _, gs := range All() {
+		c := circuit.New(3)
+		c.Append(gate.NewCX(2, 0), gate.NewCCX(2, 0, 1))
+		out, err := Translate(c, gs)
+		if err != nil {
+			t.Fatalf("%s: %v", gs.Name, err)
+		}
+		if !linalg.EqualUpToPhase(c.Unitary(), out.Unitary(), tol) {
+			t.Errorf("%s: permuted-qubit translation wrong", gs.Name)
+		}
+	}
+}
+
+func TestCliffordTRejectsGenericAngle(t *testing.T) {
+	c := circuit.New(1)
+	c.Append(gate.NewRz(0.3, 0))
+	if _, err := Translate(c, CliffordT); err == nil {
+		t.Fatal("expected error translating rz(0.3) to Clifford+T")
+	}
+}
+
+func TestCliffordTPhaseLadder(t *testing.T) {
+	// rz(kπ/4) for all k must be exact.
+	for k := -8; k <= 8; k++ {
+		c := circuit.New(1)
+		c.Append(gate.NewRz(float64(k)*math.Pi/4, 0))
+		out, err := Translate(c, CliffordT)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !linalg.EqualUpToPhase(c.Unitary(), out.Unitary(), tol) {
+			t.Fatalf("k=%d: wrong translation", k)
+		}
+	}
+}
+
+func TestIdentityRotationsDropped(t *testing.T) {
+	c := circuit.New(1)
+	c.Append(gate.NewRz(0, 0), gate.NewU1(2*math.Pi, 0))
+	for _, gs := range All() {
+		out, err := Translate(c, gs)
+		if err != nil {
+			t.Fatalf("%s: %v", gs.Name, err)
+		}
+		if out.Len() != 0 {
+			t.Errorf("%s: identity rotations survived: %v", gs.Name, out)
+		}
+	}
+}
+
+func TestFidelityModel(t *testing.T) {
+	m := IBMWashington
+	c := circuit.New(2)
+	if f := m.CircuitFidelity(c); f != 1 {
+		t.Fatalf("empty circuit fidelity = %g, want 1", f)
+	}
+	c.Append(gate.NewCX(0, 1))
+	f1 := m.CircuitFidelity(c)
+	if f1 >= 1 || f1 < 0.95 {
+		t.Fatalf("single-cx fidelity = %g, implausible", f1)
+	}
+	c.Append(gate.NewCX(0, 1))
+	f2 := m.CircuitFidelity(c)
+	if f2 >= f1 {
+		t.Fatal("fidelity should decrease with more gates")
+	}
+	// 2q gates must dominate: a cx should cost much more than an sx.
+	oneQ := circuit.New(2)
+	oneQ.Append(gate.NewSX(0))
+	if m.CircuitFidelity(oneQ) <= f1 {
+		t.Fatal("1q gate should be cheaper than 2q gate")
+	}
+	// Log fidelity consistent with fidelity.
+	if math.Abs(math.Exp(m.LogFidelity(c))-f2) > 1e-12 {
+		t.Fatal("LogFidelity inconsistent with CircuitFidelity")
+	}
+}
+
+func TestFidelityDeterministic(t *testing.T) {
+	c := circuit.New(3)
+	c.Append(gate.NewCX(0, 1), gate.NewCX(1, 2), gate.NewSX(0))
+	if IBMWashington.CircuitFidelity(c) != IBMWashington.CircuitFidelity(c.Clone()) {
+		t.Fatal("fidelity model not deterministic")
+	}
+}
+
+func TestModelFor(t *testing.T) {
+	if ModelFor(IonQ).Name != "ionq-forte" {
+		t.Error("ionq should map to forte model")
+	}
+	if ModelFor(IBMEagle).Name != "ibm-washington" {
+		t.Error("ibm-eagle should map to washington model")
+	}
+}

@@ -1,0 +1,314 @@
+package gateset
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/linalg"
+)
+
+// Translate decomposes a circuit into the target gate set, preserving the
+// unitary up to global phase. This is the "input circuit is already
+// decomposed into the target gate set" preprocessing of §6.
+//
+// The pipeline first lowers multi-qubit gates to {1q, CX} (plus Rzz for
+// ionq), then lowers single-qubit gates per target, and finally lowers CX
+// itself for sets without a native CX (ionq).
+func Translate(c *circuit.Circuit, gs *GateSet) (*circuit.Circuit, error) {
+	out := circuit.New(c.NumQubits)
+	for _, g := range c.Gates {
+		if err := translateGate(g, gs, out); err != nil {
+			return nil, fmt.Errorf("gateset: translate %v to %s: %w", g, gs.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// MustTranslate is Translate for callers with statically valid input (e.g.
+// the benchmark generators); it panics on error.
+func MustTranslate(c *circuit.Circuit, gs *GateSet) *circuit.Circuit {
+	out, err := Translate(c, gs)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func translateGate(g gate.Gate, gs *GateSet, out *circuit.Circuit) error {
+	if g.Name == gate.I || g.IsIdentityAngle(1e-12) {
+		return nil
+	}
+	if gs.Contains(g.Name) {
+		out.Append(g.Clone())
+		return nil
+	}
+	switch g.Name {
+	// --- multi-qubit lowering to {1q, cx} ---
+	case gate.CCX:
+		a, b, t := g.Qubits[0], g.Qubits[1], g.Qubits[2]
+		for _, sub := range ccxSeq(a, b, t) {
+			if err := translateGate(sub, gs, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	case gate.CCZ:
+		a, b, t := g.Qubits[0], g.Qubits[1], g.Qubits[2]
+		seq := []gate.Gate{gate.NewH(t)}
+		seq = append(seq, ccxSeq(a, b, t)...)
+		seq = append(seq, gate.NewH(t))
+		for _, sub := range seq {
+			if err := translateGate(sub, gs, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	case gate.CZ:
+		c, t := g.Qubits[0], g.Qubits[1]
+		return translateAll(gs, out,
+			gate.NewH(t), gate.NewCX(c, t), gate.NewH(t))
+	case gate.Swap:
+		a, b := g.Qubits[0], g.Qubits[1]
+		return translateAll(gs, out,
+			gate.NewCX(a, b), gate.NewCX(b, a), gate.NewCX(a, b))
+	case gate.CP:
+		c, t := g.Qubits[0], g.Qubits[1]
+		th := g.Params[0]
+		return translateAll(gs, out,
+			gate.NewRz(th/2, c), gate.NewCX(c, t),
+			gate.NewRz(-th/2, t), gate.NewCX(c, t), gate.NewRz(th/2, t))
+	case gate.Rzz:
+		a, b := g.Qubits[0], g.Qubits[1]
+		if gs.Name == IonQ.Name {
+			// ZZ = (H-like basis change) of XX: Rzz = (Ry(-π/2)⊗Ry(-π/2))·
+			// Rxx·(Ry(π/2)⊗Ry(π/2)) since Z = Ry(-π/2)·X·Ry(π/2).
+			return translateAll(gs, out,
+				gate.NewRy(math.Pi/2, a), gate.NewRy(math.Pi/2, b),
+				gate.NewRxx(g.Params[0], a, b),
+				gate.NewRy(-math.Pi/2, a), gate.NewRy(-math.Pi/2, b))
+		}
+		return translateAll(gs, out,
+			gate.NewCX(a, b), gate.NewRz(g.Params[0], b), gate.NewCX(a, b))
+	case gate.Rxx:
+		a, b := g.Qubits[0], g.Qubits[1]
+		return translateAll(gs, out,
+			gate.NewH(a), gate.NewH(b),
+			gate.NewRzz(g.Params[0], a, b),
+			gate.NewH(a), gate.NewH(b))
+	case gate.CX:
+		// Only ionq lacks a native CX. Maslov-style decomposition into a
+		// single Rxx(π/2) plus single-qubit rotations; verified in tests.
+		c, t := g.Qubits[0], g.Qubits[1]
+		if gs.Name != IonQ.Name {
+			return fmt.Errorf("no cx lowering for gate set %s", gs.Name)
+		}
+		return translateAll(gs, out,
+			gate.NewRy(math.Pi/2, c),
+			gate.NewRxx(math.Pi/2, c, t),
+			gate.NewRx(-math.Pi/2, c),
+			gate.NewRx(-math.Pi/2, t),
+			gate.NewRy(-math.Pi/2, c))
+	}
+
+	if len(g.Qubits) != 1 {
+		return fmt.Errorf("no lowering for %d-qubit gate %s", len(g.Qubits), g.Name)
+	}
+	return translate1Q(g, gs, out)
+}
+
+func translateAll(gs *GateSet, out *circuit.Circuit, seq ...gate.Gate) error {
+	for _, g := range seq {
+		if err := translateGate(g, gs, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ccxSeq is the standard 6-CX, 7-T Toffoli decomposition.
+func ccxSeq(a, b, t int) []gate.Gate {
+	return []gate.Gate{
+		gate.NewH(t),
+		gate.NewCX(b, t), gate.NewTdg(t),
+		gate.NewCX(a, t), gate.NewT(t),
+		gate.NewCX(b, t), gate.NewTdg(t),
+		gate.NewCX(a, t), gate.NewT(b), gate.NewT(t),
+		gate.NewH(t),
+		gate.NewCX(a, b), gate.NewT(a), gate.NewTdg(b),
+		gate.NewCX(a, b),
+	}
+}
+
+// translate1Q lowers an arbitrary single-qubit gate into the target set.
+func translate1Q(g gate.Gate, gs *GateSet, out *circuit.Circuit) error {
+	q := g.Qubits[0]
+	if g.Name == gate.I || g.IsIdentityAngle(1e-12) {
+		return nil
+	}
+	switch gs.Name {
+	case IBMQ20.Name:
+		// Exact cheap forms first, then generic U3 via Euler angles.
+		switch g.Name {
+		case gate.Rz:
+			out.Append(gate.NewU1(g.Params[0], q))
+		case gate.Z:
+			out.Append(gate.NewU1(math.Pi, q))
+		case gate.S:
+			out.Append(gate.NewU1(math.Pi/2, q))
+		case gate.Sdg:
+			out.Append(gate.NewU1(-math.Pi/2, q))
+		case gate.T:
+			out.Append(gate.NewU1(math.Pi/4, q))
+		case gate.Tdg:
+			out.Append(gate.NewU1(-math.Pi/4, q))
+		case gate.H:
+			out.Append(gate.NewU2(0, math.Pi, q))
+		default:
+			th, ph, la, _ := linalg.U3Angles(gate.Matrix(g))
+			out.Append(gate.NewU3(th, ph, la, q))
+		}
+		return nil
+
+	case IBMEagle.Name:
+		switch g.Name {
+		case gate.Z:
+			out.Append(gate.NewRz(math.Pi, q))
+		case gate.S:
+			out.Append(gate.NewRz(math.Pi/2, q))
+		case gate.Sdg:
+			out.Append(gate.NewRz(-math.Pi/2, q))
+		case gate.T:
+			out.Append(gate.NewRz(math.Pi/4, q))
+		case gate.Tdg:
+			out.Append(gate.NewRz(-math.Pi/4, q))
+		case gate.U1:
+			out.Append(gate.NewRz(g.Params[0], q))
+		default:
+			// Generic ZSXZSXZ: U3(θ,φ,λ) ~ Rz(φ+π)·SX·Rz(θ+π)·SX·Rz(λ).
+			th, ph, la, _ := linalg.U3Angles(gate.Matrix(g))
+			appendRz(out, la, q)
+			out.Append(gate.NewSX(q))
+			appendRz(out, th+math.Pi, q)
+			out.Append(gate.NewSX(q))
+			appendRz(out, ph+math.Pi, q)
+		}
+		return nil
+
+	case IonQ.Name:
+		// ZYZ Euler: U ~ Rz(φ)·Ry(θ)·Rz(λ).
+		th, ph, la, _ := linalg.EulerZYZ(gate.Matrix(g))
+		appendRz(out, la, q)
+		if math.Abs(th) > 1e-12 {
+			out.Append(gate.NewRy(th, q))
+		}
+		appendRz(out, ph, q)
+		return nil
+
+	case Nam.Name:
+		switch g.Name {
+		case gate.Z:
+			out.Append(gate.NewRz(math.Pi, q))
+		case gate.S:
+			out.Append(gate.NewRz(math.Pi/2, q))
+		case gate.Sdg:
+			out.Append(gate.NewRz(-math.Pi/2, q))
+		case gate.T:
+			out.Append(gate.NewRz(math.Pi/4, q))
+		case gate.Tdg:
+			out.Append(gate.NewRz(-math.Pi/4, q))
+		case gate.U1:
+			out.Append(gate.NewRz(g.Params[0], q))
+		case gate.Rx:
+			// Rx(θ) = H·Rz(θ)·H.
+			out.Append(gate.NewH(q))
+			appendRz(out, g.Params[0], q)
+			out.Append(gate.NewH(q))
+		default:
+			// U ~ Rz(φ)·Ry(θ)·Rz(λ) with Ry(θ) = Rz(π/2)·H·Rz(θ)·H·Rz(−π/2).
+			th, ph, la, _ := linalg.EulerZYZ(gate.Matrix(g))
+			appendRz(out, la-math.Pi/2, q)
+			if math.Abs(th) > 1e-12 {
+				out.Append(gate.NewH(q))
+				appendRz(out, th, q)
+				out.Append(gate.NewH(q))
+			}
+			appendRz(out, ph+math.Pi/2, q)
+			// When θ=0 the two half-π z-rotations must still combine.
+			return nil
+		}
+		return nil
+
+	case CliffordT.Name:
+		switch g.Name {
+		case gate.Z:
+			out.Append(gate.NewS(q), gate.NewS(q))
+		case gate.Y:
+			// Y ~ Z·X up to phase.
+			out.Append(gate.NewS(q), gate.NewS(q), gate.NewX(q))
+		case gate.SX:
+			// SX ~ H·S·H up to phase (both are √X up to phase).
+			out.Append(gate.NewH(q), gate.NewS(q), gate.NewH(q))
+		case gate.SXdg:
+			out.Append(gate.NewH(q), gate.NewSdg(q), gate.NewH(q))
+		case gate.Rz, gate.U1:
+			return appendCliffordTPhase(out, g.Params[0], q)
+		case gate.Rx:
+			out.Append(gate.NewH(q))
+			if err := appendCliffordTPhase(out, g.Params[0], q); err != nil {
+				return err
+			}
+			out.Append(gate.NewH(q))
+		case gate.Ry:
+			out.Append(gate.NewS(q), gate.NewH(q))
+			if err := appendCliffordTPhase(out, g.Params[0], q); err != nil {
+				return err
+			}
+			out.Append(gate.NewH(q), gate.NewSdg(q))
+		default:
+			return fmt.Errorf("gate %s not representable in Clifford+T", g.Name)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown target gate set %s", gs.Name)
+}
+
+// appendRz appends an rz unless the angle is an identity rotation.
+func appendRz(out *circuit.Circuit, theta float64, q int) {
+	theta = linalg.NormAngle(theta)
+	if math.Abs(theta) > 1e-12 {
+		out.Append(gate.NewRz(theta, q))
+	}
+}
+
+// appendCliffordTPhase writes a z-rotation by a multiple of π/4 as a minimal
+// sequence over {S, S†, T, T†}. Returns an error for non-multiples, which
+// cannot be represented exactly in Clifford+T.
+func appendCliffordTPhase(out *circuit.Circuit, theta float64, q int) error {
+	if !linalg.IsMultipleOf(theta, math.Pi/4, 1e-9) {
+		return fmt.Errorf("angle %g is not a multiple of π/4", theta)
+	}
+	k := int(math.Round(theta/(math.Pi/4))) % 8
+	if k < 0 {
+		k += 8
+	}
+	switch k {
+	case 0:
+	case 1:
+		out.Append(gate.NewT(q))
+	case 2:
+		out.Append(gate.NewS(q))
+	case 3:
+		out.Append(gate.NewS(q), gate.NewT(q))
+	case 4:
+		out.Append(gate.NewS(q), gate.NewS(q))
+	case 5:
+		out.Append(gate.NewSdg(q), gate.NewTdg(q))
+	case 6:
+		out.Append(gate.NewSdg(q))
+	case 7:
+		out.Append(gate.NewTdg(q))
+	}
+	return nil
+}

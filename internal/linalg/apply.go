@@ -1,0 +1,178 @@
+package linalg
+
+import "fmt"
+
+// qubit/bit convention: qubit 0 is the most significant bit of a basis-state
+// index. For an n-qubit system, qubit q occupies bit position n-1-q. This
+// matches the paper's Example 3.1 where U_C = U_CX · (I ⊗ U_T) for the
+// circuit "T q1; CX q0 q1".
+
+// BitPos returns the bit position of qubit q in an n-qubit index.
+func BitPos(n, q int) int { return n - 1 - q }
+
+// ApplyGateLeft left-multiplies the expanded operator of an m-qubit gate g
+// (2^m × 2^m) acting on qubits qs of an n-qubit system onto the 2^n × 2^n
+// matrix M, in place: M ← Expand(g, qs)·M.
+//
+// This avoids materializing the 2^n × 2^n expanded operator; each column of
+// M is transformed independently, so the cost is O(4^n · 2^m) instead of
+// O(8^n).
+func ApplyGateLeft(g Matrix, qs []int, n int, M Matrix) {
+	dim := 1 << n
+	if M.N != dim {
+		panic(fmt.Sprintf("linalg: ApplyGateLeft: matrix dim %d, want %d", M.N, dim))
+	}
+	m := len(qs)
+	if g.N != 1<<m {
+		panic(fmt.Sprintf("linalg: ApplyGateLeft: gate dim %d for %d qubits", g.N, m))
+	}
+	masks := make([]int, m) // masks[j] = bit mask of gate-local bit j in the global index
+	var tmask int
+	for j, q := range qs {
+		if q < 0 || q >= n {
+			panic(fmt.Sprintf("linalg: ApplyGateLeft: qubit %d out of range [0,%d)", q, n))
+		}
+		masks[j] = 1 << BitPos(n, q)
+		tmask |= masks[j]
+	}
+	gdim := 1 << m
+	in := make([]complex128, gdim)
+	// Enumerate every base index whose target bits are all zero; the 2^m
+	// amplitudes at base|pattern form one local vector per column.
+	for col := 0; col < dim; col++ {
+		for base := 0; base < dim; base++ {
+			if base&tmask != 0 {
+				continue
+			}
+			for l := 0; l < gdim; l++ {
+				idx := base
+				for j := 0; j < m; j++ {
+					if l&(1<<(m-1-j)) != 0 {
+						idx |= masks[j]
+					}
+				}
+				in[l] = M.Data[idx*dim+col]
+			}
+			for l := 0; l < gdim; l++ {
+				var acc complex128
+				grow := g.Data[l*gdim : (l+1)*gdim]
+				for k := 0; k < gdim; k++ {
+					acc += grow[k] * in[k]
+				}
+				idx := base
+				for j := 0; j < m; j++ {
+					if l&(1<<(m-1-j)) != 0 {
+						idx |= masks[j]
+					}
+				}
+				M.Data[idx*dim+col] = acc
+			}
+		}
+	}
+}
+
+// ApplyGateVec left-multiplies the expanded operator of an m-qubit gate onto
+// a state vector of length 2^n, in place. Single- and two-qubit gates take
+// specialized kernels — they dominate state-vector simulation time.
+func ApplyGateVec(g Matrix, qs []int, n int, v []complex128) {
+	dim := 1 << n
+	if len(v) != dim {
+		panic(fmt.Sprintf("linalg: ApplyGateVec: vector len %d, want %d", len(v), dim))
+	}
+	m := len(qs)
+	if g.N != 1<<m {
+		panic("linalg: ApplyGateVec: gate dimension mismatch")
+	}
+	if m == 1 {
+		apply1QVec(g, qs[0], n, v)
+		return
+	}
+	if m == 2 {
+		apply2QVec(g, qs[0], qs[1], n, v)
+		return
+	}
+	masks := make([]int, m)
+	var tmask int
+	for j, q := range qs {
+		masks[j] = 1 << BitPos(n, q)
+		tmask |= masks[j]
+	}
+	gdim := 1 << m
+	in := make([]complex128, gdim)
+	for base := 0; base < dim; base++ {
+		if base&tmask != 0 {
+			continue
+		}
+		for l := 0; l < gdim; l++ {
+			idx := base
+			for j := 0; j < m; j++ {
+				if l&(1<<(m-1-j)) != 0 {
+					idx |= masks[j]
+				}
+			}
+			in[l] = v[idx]
+		}
+		for l := 0; l < gdim; l++ {
+			var acc complex128
+			grow := g.Data[l*gdim : (l+1)*gdim]
+			for k := 0; k < gdim; k++ {
+				acc += grow[k] * in[k]
+			}
+			idx := base
+			for j := 0; j < m; j++ {
+				if l&(1<<(m-1-j)) != 0 {
+					idx |= masks[j]
+				}
+			}
+			v[idx] = acc
+		}
+	}
+}
+
+// apply1QVec is the single-qubit fast path: amplitudes pair up at stride
+// 2^bit and each pair is mixed by the 2×2 matrix.
+func apply1QVec(g Matrix, q, n int, v []complex128) {
+	stride := 1 << uint(BitPos(n, q))
+	g00, g01 := g.Data[0], g.Data[1]
+	g10, g11 := g.Data[2], g.Data[3]
+	dim := len(v)
+	for base := 0; base < dim; base += stride << 1 {
+		for i := base; i < base+stride; i++ {
+			a, b := v[i], v[i+stride]
+			v[i] = g00*a + g01*b
+			v[i+stride] = g10*a + g11*b
+		}
+	}
+}
+
+// apply2QVec is the two-qubit fast path: amplitudes group into quadruples
+// indexed by the two qubit bits (qa = gate-local MSB).
+func apply2QVec(g Matrix, qa, qb, n int, v []complex128) {
+	ma := 1 << uint(BitPos(n, qa))
+	mb := 1 << uint(BitPos(n, qb))
+	dim := len(v)
+	var in [4]complex128
+	for base := 0; base < dim; base++ {
+		if base&ma != 0 || base&mb != 0 {
+			continue
+		}
+		i00 := base
+		i01 := base | mb
+		i10 := base | ma
+		i11 := base | ma | mb
+		in[0], in[1], in[2], in[3] = v[i00], v[i01], v[i10], v[i11]
+		v[i00] = g.Data[0]*in[0] + g.Data[1]*in[1] + g.Data[2]*in[2] + g.Data[3]*in[3]
+		v[i01] = g.Data[4]*in[0] + g.Data[5]*in[1] + g.Data[6]*in[2] + g.Data[7]*in[3]
+		v[i10] = g.Data[8]*in[0] + g.Data[9]*in[1] + g.Data[10]*in[2] + g.Data[11]*in[3]
+		v[i11] = g.Data[12]*in[0] + g.Data[13]*in[1] + g.Data[14]*in[2] + g.Data[15]*in[3]
+	}
+}
+
+// Expand returns the full 2^n × 2^n operator of an m-qubit gate g applied to
+// qubits qs of an n-qubit system. Used in tests and small-circuit paths; hot
+// paths use ApplyGateLeft instead.
+func Expand(g Matrix, qs []int, n int) Matrix {
+	out := Identity(1 << n)
+	ApplyGateLeft(g, qs, n, out)
+	return out
+}

@@ -1,0 +1,79 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Single-qubit Euler decompositions. These are the analytic workhorses behind
+// single-qubit gate fusion ("rewrite rules" for the IBM gate sets) and the
+// base case of numeric synthesis.
+
+// U3Angles decomposes an arbitrary 2×2 unitary U as
+//
+//	U = e^{iα} · U3(θ, φ, λ)
+//
+// where U3 is the IBM-style generic single-qubit gate
+//
+//	U3(θ,φ,λ) = [[cos(θ/2), −e^{iλ} sin(θ/2)], [e^{iφ} sin(θ/2), e^{i(φ+λ)} cos(θ/2)]].
+//
+// θ is returned in [0, π]. When U is diagonal (θ≈0) φ is fixed to 0; when U
+// is anti-diagonal (θ≈π) λ is fixed to 0; both conventions keep the result
+// deterministic.
+func U3Angles(u Matrix) (theta, phi, lambda, alpha float64) {
+	if u.N != 2 {
+		panic("linalg: U3Angles requires a 2x2 matrix")
+	}
+	u00, u01 := u.At(0, 0), u.At(0, 1)
+	u10, u11 := u.At(1, 0), u.At(1, 1)
+	theta = 2 * math.Atan2(cmplx.Abs(u10), cmplx.Abs(u00))
+	const eps = 1e-12
+	switch {
+	case cmplx.Abs(u00) < eps: // θ ≈ π, cos term vanishes
+		lambda = 0
+		alpha = cmplx.Phase(-u01)
+		phi = cmplx.Phase(u10) - alpha
+	case cmplx.Abs(u10) < eps: // θ ≈ 0, sin term vanishes
+		phi = 0
+		alpha = cmplx.Phase(u00)
+		lambda = cmplx.Phase(u11) - alpha
+	default:
+		alpha = cmplx.Phase(u00)
+		phi = cmplx.Phase(u10) - alpha
+		lambda = cmplx.Phase(-u01) - alpha
+	}
+	return theta, normAngle(phi), normAngle(lambda), normAngle(alpha)
+}
+
+// EulerZYZ decomposes U = e^{iα} · Rz(φ) · Ry(θ) · Rz(λ).
+// Using U3(θ,φ,λ) = e^{i(φ+λ)/2} Rz(φ)Ry(θ)Rz(λ).
+func EulerZYZ(u Matrix) (theta, phi, lambda, alpha float64) {
+	theta, phi, lambda, a3 := U3Angles(u)
+	return theta, phi, lambda, normAngle(a3 + (phi+lambda)/2)
+}
+
+// normAngle wraps an angle into (−π, π].
+func normAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a <= -math.Pi {
+		a += 2 * math.Pi
+	} else if a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	return a
+}
+
+// NormAngle wraps an angle into (−π, π]. Exported for use by rewrite rules
+// that combine rotation angles.
+func NormAngle(a float64) float64 { return normAngle(a) }
+
+// IsMultipleOf reports whether angle a is an integer multiple of unit within
+// tol (both treated modulo 2π). Used to recognize Clifford-representable
+// rotation angles.
+func IsMultipleOf(a, unit, tol float64) bool {
+	r := math.Mod(a, unit)
+	if r < 0 {
+		r += unit
+	}
+	return r < tol || unit-r < tol
+}

@@ -1,0 +1,52 @@
+package linalg
+
+import "math"
+
+// SolveReal solves the dense real linear system A·x = b in place by
+// Gaussian elimination with partial pivoting. A is n×n row-major and is
+// destroyed; b has length n. It returns false when A is (numerically)
+// singular. Used by the Levenberg–Marquardt polisher in synthesis, whose
+// systems are tiny (tens of parameters).
+func SolveReal(a []float64, b []float64, n int) bool {
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		maxAbs := math.Abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r*n+col]); v > maxAbs {
+				maxAbs = v
+				pivot = r
+			}
+		}
+		if maxAbs < 1e-300 {
+			return false
+		}
+		if pivot != col {
+			for c := 0; c < n; c++ {
+				a[pivot*n+c], a[col*n+c] = a[col*n+c], a[pivot*n+c]
+			}
+			b[pivot], b[col] = b[col], b[pivot]
+		}
+		inv := 1 / a[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := a[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r*n+col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r*n+c] -= f * a[col*n+c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r*n+c] * b[c]
+		}
+		b[r] = s / a[r*n+r]
+	}
+	return true
+}

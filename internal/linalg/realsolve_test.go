@@ -1,0 +1,71 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveRealKnown(t *testing.T) {
+	// 2x + y = 5; x − y = 1  →  x = 2, y = 1.
+	a := []float64{2, 1, 1, -1}
+	b := []float64{5, 1}
+	if !SolveReal(a, b, 2) {
+		t.Fatal("solver reported singular")
+	}
+	if math.Abs(b[0]-2) > 1e-12 || math.Abs(b[1]-1) > 1e-12 {
+		t.Fatalf("solution = %v, want [2 1]", b)
+	}
+}
+
+func TestSolveRealRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		a := make([]float64, n*n)
+		x := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		// b = A·x, then solve and compare.
+		b := make([]float64, n)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				b[r] += a[r*n+c] * x[c]
+			}
+		}
+		acopy := make([]float64, len(a))
+		copy(acopy, a)
+		if !SolveReal(acopy, b, n) {
+			continue // singular random draw, astronomically rare
+		}
+		for i := range x {
+			if math.Abs(b[i]-x[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, b[i], x[i])
+			}
+		}
+	}
+}
+
+func TestSolveRealSingular(t *testing.T) {
+	a := []float64{1, 2, 2, 4} // rank 1
+	b := []float64{1, 2}
+	if SolveReal(a, b, 2) {
+		t.Fatal("singular system should be rejected")
+	}
+}
+
+func TestSolveRealNeedsPivoting(t *testing.T) {
+	// Zero in the leading position requires a row swap.
+	a := []float64{0, 1, 1, 0}
+	b := []float64{3, 7}
+	if !SolveReal(a, b, 2) {
+		t.Fatal("solver failed on permutation matrix")
+	}
+	if math.Abs(b[0]-7) > 1e-12 || math.Abs(b[1]-3) > 1e-12 {
+		t.Fatalf("solution = %v, want [7 3]", b)
+	}
+}

@@ -1,0 +1,42 @@
+package opt
+
+import (
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gateset"
+)
+
+// Cost is the optimization objective (§5.1): any function of circuits to
+// minimize. The framework is objective-agnostic; these are the objectives
+// used in the paper's evaluation.
+type Cost func(c *circuit.Circuit) float64
+
+// TwoQubitCost is the NISQ objective: two-qubit gate count dominates, with
+// a small total-gate tiebreak so pure single-qubit cleanups are still
+// rewarded.
+func TwoQubitCost() Cost {
+	return func(c *circuit.Circuit) float64 {
+		return float64(c.TwoQubitCount()) + 1e-3*float64(c.Len())
+	}
+}
+
+// TCost is the FTQC objective of Example 5.1: primarily T gates, secondarily
+// two-qubit gates, with a total-count tiebreak.
+func TCost() Cost {
+	return func(c *circuit.Circuit) float64 {
+		return 2*float64(c.TCount()) + float64(c.TwoQubitCount()) + 1e-3*float64(c.Len())
+	}
+}
+
+// FidelityCost is the negated log-fidelity under a device model; minimizing
+// it maximizes estimated success probability (the paper's GUOQ
+// instantiation for NISQ maximizes fidelity).
+func FidelityCost(m gateset.FidelityModel) Cost {
+	return func(c *circuit.Circuit) float64 {
+		return -m.LogFidelity(c) + 1e-9*float64(c.Len())
+	}
+}
+
+// GateCountCost minimizes total gate count.
+func GateCountCost() Cost {
+	return func(c *circuit.Circuit) float64 { return float64(c.Len()) }
+}

@@ -1,0 +1,293 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+)
+
+// Options configures a GUOQ run (Alg. 1 plus the implementation details of
+// §5.3).
+type Options struct {
+	// Epsilon is the global error budget ε_f (hard constraint, Def. 5.2).
+	Epsilon float64
+	// Cost is the soft-constraint objective to minimize.
+	Cost Cost
+	// Temperature is the annealing hyperparameter t (10 in the paper —
+	// a very small probability of accepting a worse solution).
+	Temperature float64
+	// ResynthProb is the probability of choosing a slow transformation
+	// (0.015 in §5.3).
+	ResynthProb float64
+	// TimeBudget bounds the wall-clock search time (the paper uses 1 h; the
+	// compressed experiments use 100 ms – 2 s).
+	TimeBudget time.Duration
+	// MaxIters bounds iterations (0 = unlimited); used by tests.
+	MaxIters int
+	// Seed drives all randomness; runs with equal seeds are reproducible
+	// (in synchronous mode).
+	Seed int64
+	// Async applies resynthesis asynchronously (§5.3): rewrite moves keep
+	// running while a synthesis call is in flight, and an accepted result
+	// discards the interim rewrites. Synchronous mode is deterministic.
+	Async bool
+	// WarmStart applies every fast transformation once, deterministically,
+	// before the stochastic loop (with the usual acceptance rule). The
+	// randomized search reaches the same fixpoint given time; doing it up
+	// front removes compressed-budget noise without changing the
+	// algorithm's limit behaviour.
+	WarmStart bool
+	// OnImprove, when set, is invoked every time the best solution
+	// improves — the hook behind the Fig. 7 time series.
+	OnImprove func(elapsed time.Duration, best *circuit.Circuit)
+}
+
+// DefaultOptions mirrors the paper's instantiation: ε_f = 10⁻⁸, t = 10,
+// 1.5% resynthesis.
+func DefaultOptions() Options {
+	return Options{
+		Epsilon:     1e-8,
+		Temperature: 10,
+		ResynthProb: 0.015,
+		TimeBudget:  time.Second,
+	}
+}
+
+// Result reports a finished run.
+type Result struct {
+	Best      *circuit.Circuit
+	BestError float64 // accumulated ε upper bound for Best (Thm 4.2)
+	Iters     int
+	Accepted  int
+	Elapsed   time.Duration
+}
+
+// GUOQ runs Alg. 1: repeatedly sample a transformation and a random
+// subcircuit, apply, and accept probabilistically based on cost, tracking
+// the accumulated error against the ε_f budget.
+func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
+	if opts.Cost == nil {
+		opts.Cost = TwoQubitCost()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	start := time.Now()
+	deadline := start.Add(opts.TimeBudget)
+
+	var fast, slow []Transformation
+	for _, t := range ts {
+		if t.Slow() {
+			slow = append(slow, t)
+		} else {
+			fast = append(fast, t)
+		}
+	}
+
+	curr := c.Clone()
+	currErr := 0.0
+	currCost := opts.Cost(curr)
+	best := curr
+	bestErr := 0.0
+	bestCost := currCost
+
+	res := &Result{}
+	var worker *asyncWorker
+	if opts.Async && len(slow) > 0 && len(fast) > 0 {
+		worker = newAsyncWorker()
+		defer worker.stop()
+	}
+
+	if opts.WarmStart {
+		// Deterministic rounds of every fast transformation with the usual
+		// acceptance rule, to a cost fixpoint (bounded rounds). The
+		// stochastic loop reaches the same fixpoint eventually; doing it up
+		// front removes compressed-budget noise and matches the fixed-pass
+		// baselines' deterministic reach before the search proper begins.
+		warmRng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
+		for round := 0; round < 8; round++ {
+			roundStart := currCost
+			for _, t := range fast {
+				out, eps, ok := t.Apply(curr, 0, warmRng)
+				if !ok {
+					continue
+				}
+				if candCost := opts.Cost(out); candCost <= currCost {
+					curr, currCost = out, candCost
+					currErr += eps
+					res.Accepted++
+				}
+			}
+			if opts.TimeBudget > 0 && time.Now().After(deadline) {
+				break
+			}
+			if currCost >= roundStart {
+				break
+			}
+		}
+		if currCost < bestCost {
+			best, bestErr, bestCost = curr, currErr, currCost
+			if opts.OnImprove != nil {
+				opts.OnImprove(time.Since(start), best)
+			}
+		}
+	}
+
+	improve := func() {
+		if currCost < bestCost {
+			best, bestErr, bestCost = curr, currErr, currCost
+			if opts.OnImprove != nil {
+				opts.OnImprove(time.Since(start), best)
+			}
+		}
+	}
+	// accept decides per Alg. 1 lines 10-15.
+	accept := func(candCost float64) bool {
+		if candCost <= currCost {
+			return true
+		}
+		if currCost <= 0 {
+			return false
+		}
+		return rng.Float64() < math.Exp(-opts.Temperature*candCost/currCost)
+	}
+
+	for it := 0; ; it++ {
+		if opts.MaxIters > 0 && it >= opts.MaxIters {
+			break
+		}
+		if opts.TimeBudget > 0 && time.Now().After(deadline) {
+			break
+		}
+		res.Iters++
+
+		// Asynchronous resynthesis (§5.3): harvest a finished call — if
+		// accepted, interim rewrite modifications are discarded — and keep
+		// the worker continuously busy so slow search saturates wall-clock
+		// time while rewrites run in the foreground.
+		if worker != nil {
+			if r, ready := worker.poll(); ready {
+				if r.ok && currErr+r.eps <= opts.Epsilon {
+					candCost := opts.Cost(r.out)
+					if accept(candCost) {
+						curr, currCost = r.out, candCost
+						currErr += r.eps
+						res.Accepted++
+						improve()
+					}
+				}
+			}
+			if !worker.busy {
+				t := slow[rng.Intn(len(slow))]
+				if currErr+t.Epsilon() <= opts.Epsilon {
+					worker.launch(t, curr.Clone(), opts.Epsilon-currErr, rng.Int63())
+				}
+			}
+		}
+
+		var t Transformation
+		switch {
+		case len(fast) == 0 && len(slow) == 0:
+			res.Best, res.BestError, res.Elapsed = best, bestErr, time.Since(start)
+			return res
+		case len(fast) == 0:
+			t = slow[rng.Intn(len(slow))]
+		case len(slow) == 0 || worker != nil:
+			// With an async worker, foreground iterations are all fast.
+			t = fast[rng.Intn(len(fast))]
+		case rng.Float64() < opts.ResynthProb:
+			t = slow[rng.Intn(len(slow))]
+		default:
+			t = fast[rng.Intn(len(fast))]
+		}
+
+		// Alg. 1 line 6: admission against the remaining error budget.
+		if currErr+t.Epsilon() > opts.Epsilon {
+			continue
+		}
+		allowed := opts.Epsilon - currErr
+
+		out, eps, ok := t.Apply(curr, allowed, rng)
+		if !ok {
+			continue
+		}
+		candCost := opts.Cost(out)
+		if accept(candCost) {
+			curr, currCost = out, candCost
+			currErr += eps
+			res.Accepted++
+			improve()
+		}
+	}
+
+	res.Best = best
+	res.BestError = bestErr
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// asyncWorker runs at most one slow transformation at a time in a separate
+// goroutine, as in §5.3 ("we only apply resynthesis to a single subcircuit
+// per iteration" and calls are made asynchronously).
+type asyncWorker struct {
+	in   chan asyncJob
+	out  chan asyncResult
+	busy bool
+}
+
+type asyncJob struct {
+	t       Transformation
+	c       *circuit.Circuit
+	allowed float64
+	seed    int64
+}
+
+type asyncResult struct {
+	out *circuit.Circuit
+	eps float64
+	ok  bool
+}
+
+func newAsyncWorker() *asyncWorker {
+	w := &asyncWorker{
+		in:  make(chan asyncJob, 1),
+		out: make(chan asyncResult, 1),
+	}
+	go func() {
+		for job := range w.in {
+			rng := rand.New(rand.NewSource(job.seed))
+			o, eps, ok := job.t.Apply(job.c, job.allowed, rng)
+			w.out <- asyncResult{out: o, eps: eps, ok: ok}
+		}
+	}()
+	return w
+}
+
+// launch starts a job if the worker is idle; otherwise the request is
+// dropped (one in-flight resynthesis at a time).
+func (w *asyncWorker) launch(t Transformation, c *circuit.Circuit, allowed float64, seed int64) {
+	if w.busy {
+		return
+	}
+	w.busy = true
+	w.in <- asyncJob{t: t, c: c, allowed: allowed, seed: seed}
+}
+
+// poll returns a finished result if one is ready.
+func (w *asyncWorker) poll() (asyncResult, bool) {
+	select {
+	case r := <-w.out:
+		w.busy = false
+		return r, true
+	default:
+		return asyncResult{}, false
+	}
+}
+
+// stop shuts the worker down, draining any in-flight job.
+func (w *asyncWorker) stop() {
+	close(w.in)
+	if w.busy {
+		<-w.out
+	}
+}

@@ -1,0 +1,102 @@
+package opt
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/phasepoly"
+	"github.com/guoq-dev/guoq/internal/rewrite"
+	"github.com/guoq-dev/guoq/internal/synth"
+	"github.com/guoq-dev/guoq/internal/synth/finite"
+	"github.com/guoq-dev/guoq/internal/synth/numeric"
+)
+
+// InstantiateOptions tunes the construction of a transformation set.
+type InstantiateOptions struct {
+	// EpsilonF is the global error budget; the resynthesis transformation's
+	// declared per-application ε is EpsilonF/100 (admission classes; the
+	// loop accumulates achieved error, which is usually far smaller).
+	EpsilonF float64
+	// MaxQubits limits resynthesis subcircuit width (3 in the paper).
+	MaxQubits int
+	// SynthTime bounds one synthesis call.
+	SynthTime time.Duration
+	// WithPhaseFold includes the global phase-folding τ_0 (used in the
+	// FTQC instantiation; the NISQ one relies on rules + fusion).
+	WithPhaseFold bool
+}
+
+// Instantiate builds the paper's GUOQ transformation set for a gate set
+// (§6, "Instantiation of guoq"): the QUESO-style rule library, the cleanup
+// and 1q-fusion τ_0 passes, and a resynthesis τ_ε — numeric (BQSKit-style)
+// for continuous sets, finite-set search (Synthetiq-style) for Clifford+T.
+func Instantiate(gs *gateset.GateSet, io InstantiateOptions) ([]Transformation, error) {
+	if io.EpsilonF <= 0 {
+		io.EpsilonF = 1e-8
+	}
+	if io.MaxQubits == 0 {
+		io.MaxQubits = 3
+	}
+	rules, err := rewrite.RulesFor(gs.Name)
+	if err != nil {
+		return nil, fmt.Errorf("opt: instantiate: %w", err)
+	}
+	ts := []Transformation{&CleanupTransformation{GateSetName: gs.Name}}
+	for _, r := range rules {
+		ts = append(ts, &RuleTransformation{Rule: r})
+	}
+	var syn synth.Synthesizer
+	if gs.Continuous() {
+		ts = append(ts, &FuseTransformation{GateSet: gs})
+		ns := numeric.New(gs)
+		if io.SynthTime > 0 {
+			ns.MaxTime = io.SynthTime
+		}
+		syn = ns
+	} else {
+		fs := finite.New()
+		if io.SynthTime > 0 {
+			fs.MaxTime = io.SynthTime
+		}
+		syn = fs
+	}
+	if io.WithPhaseFold {
+		ts = append(ts, &PhaseFoldTransformation{GateSetName: gs.Name, Fold: phasepoly.Fold})
+	}
+	// Resynthesis at three declared ε classes (§4: a set of τ_ε with
+	// different ε). The coarse class admits aggressive approximations while
+	// budget remains; the fine classes keep resynthesis usable as the
+	// accumulated error approaches ε_f. The loop charges achieved error, so
+	// exact syntheses do not consume budget regardless of class.
+	for _, div := range []float64{1, 4, 16} {
+		ts = append(ts, &ResynthTransformation{
+			Synth:       syn,
+			MaxQubits:   io.MaxQubits,
+			DeclaredEps: io.EpsilonF / div,
+		})
+	}
+	return ts, nil
+}
+
+// FilterFast returns only the ε = 0 fast transformations (GUOQ-REWRITE).
+func FilterFast(ts []Transformation) []Transformation {
+	var out []Transformation
+	for _, t := range ts {
+		if !t.Slow() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// FilterSlow returns only the resynthesis transformations (GUOQ-RESYNTH).
+func FilterSlow(ts []Transformation) []Transformation {
+	var out []Transformation
+	for _, t := range ts {
+		if t.Slow() {
+			out = append(out, t)
+		}
+	}
+	return out
+}

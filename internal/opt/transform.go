@@ -1,0 +1,162 @@
+// Package opt implements the paper's core contribution: the unified
+// framework of circuit transformations (§4) and the GUOQ stochastic
+// optimization algorithm (§5, Alg. 1), plus the ablation variants used in
+// Q2/Q3 (rewrite-only, resynth-only, sequential orderings, beam search).
+package opt
+
+import (
+	"math/rand"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/linalg"
+	"github.com/guoq-dev/guoq/internal/rewrite"
+	"github.com/guoq-dev/guoq/internal/synth"
+)
+
+// Transformation is the τ_ε abstraction of Def. 4.1: a closed-box function
+// from circuits to ε-equivalent circuits. Epsilon is the declared error
+// class used for budget admission (Alg. 1 line 6); Apply additionally
+// reports the error actually incurred, which is what the loop accumulates
+// (the achieved Δ of each step is what Thm 4.2 sums).
+type Transformation interface {
+	// Name identifies the transformation in logs.
+	Name() string
+	// Epsilon is the declared worst-case error of one application.
+	Epsilon() float64
+	// Slow reports whether this is a "slow" (resynthesis-class)
+	// transformation for the 1.5% / 98.5% weighting of §5.3.
+	Slow() bool
+	// Apply attempts one application to a randomly chosen location,
+	// returning the transformed circuit, the error incurred, and whether
+	// anything was attempted. allowedEps caps the incurred error.
+	Apply(c *circuit.Circuit, allowedEps float64, rng *rand.Rand) (out *circuit.Circuit, eps float64, ok bool)
+}
+
+// ---------------------------------------------------------------------------
+
+// RuleTransformation wraps one rewrite rule as a τ_0: a full pass replacing
+// every disjoint match, starting from a random anchor (§5.3).
+type RuleTransformation struct {
+	Rule *rewrite.Rule
+}
+
+func (t *RuleTransformation) Name() string     { return "rule:" + t.Rule.Name }
+func (t *RuleTransformation) Epsilon() float64 { return 0 }
+func (t *RuleTransformation) Slow() bool       { return false }
+
+func (t *RuleTransformation) Apply(c *circuit.Circuit, _ float64, rng *rand.Rand) (*circuit.Circuit, float64, bool) {
+	if c.Len() == 0 {
+		return c, 0, false
+	}
+	out, n := rewrite.FullPass(c, t.Rule, rng.Intn(c.Len()))
+	if n == 0 {
+		return c, 0, false
+	}
+	return out, 0, true
+}
+
+// CleanupTransformation wraps the normalization pass as a τ_0.
+type CleanupTransformation struct {
+	GateSetName string
+}
+
+func (t *CleanupTransformation) Name() string     { return "cleanup" }
+func (t *CleanupTransformation) Epsilon() float64 { return 0 }
+func (t *CleanupTransformation) Slow() bool       { return false }
+
+func (t *CleanupTransformation) Apply(c *circuit.Circuit, _ float64, _ *rand.Rand) (*circuit.Circuit, float64, bool) {
+	out := rewrite.Cleanup(c, t.GateSetName)
+	if circuit.Equal(out, c) {
+		return c, 0, false
+	}
+	return out, 0, true
+}
+
+// FuseTransformation wraps single-qubit fusion as a τ_0 (continuous sets).
+type FuseTransformation struct {
+	GateSet *gateset.GateSet
+}
+
+func (t *FuseTransformation) Name() string     { return "fuse1q" }
+func (t *FuseTransformation) Epsilon() float64 { return 0 }
+func (t *FuseTransformation) Slow() bool       { return false }
+
+func (t *FuseTransformation) Apply(c *circuit.Circuit, _ float64, _ *rand.Rand) (*circuit.Circuit, float64, bool) {
+	out := rewrite.Fuse1Q(c, t.GateSet)
+	if circuit.Equal(out, c) {
+		return c, 0, false
+	}
+	return out, 0, true
+}
+
+// PhaseFoldTransformation wraps global phase folding as a τ_0. It is cheap,
+// exact, and particularly potent on Clifford+T circuits.
+type PhaseFoldTransformation struct {
+	GateSetName string
+	Fold        func(*circuit.Circuit, string) *circuit.Circuit
+}
+
+func (t *PhaseFoldTransformation) Name() string     { return "phasefold" }
+func (t *PhaseFoldTransformation) Epsilon() float64 { return 0 }
+func (t *PhaseFoldTransformation) Slow() bool       { return false }
+
+func (t *PhaseFoldTransformation) Apply(c *circuit.Circuit, _ float64, _ *rand.Rand) (*circuit.Circuit, float64, bool) {
+	out := t.Fold(c, t.GateSetName)
+	if circuit.Equal(out, c) {
+		return c, 0, false
+	}
+	return out, 0, true
+}
+
+// ---------------------------------------------------------------------------
+
+// ResynthTransformation is the τ_ε for resynthesis (§4.1): grow a random
+// convex subcircuit up to MaxQubits qubits (§5.3), compute its unitary, and
+// invoke unitary synthesis with the allowed tolerance.
+type ResynthTransformation struct {
+	Synth synth.Synthesizer
+	// MaxQubits limits subcircuit width (3 in the paper's instantiation).
+	MaxQubits int
+	// DeclaredEps is the per-application error class; the admission check
+	// of Alg. 1 line 6 uses this value.
+	DeclaredEps float64
+}
+
+func (t *ResynthTransformation) Name() string     { return "resynth:" + t.Synth.Name() }
+func (t *ResynthTransformation) Epsilon() float64 { return t.DeclaredEps }
+func (t *ResynthTransformation) Slow() bool       { return true }
+
+func (t *ResynthTransformation) Apply(c *circuit.Circuit, allowedEps float64, rng *rand.Rand) (*circuit.Circuit, float64, bool) {
+	// Sample the region width: 2-qubit regions synthesize in milliseconds
+	// (0..3 CX by the KAK bound), 3-qubit ones are the slow deep calls, so
+	// the mix keeps resynthesis throughput high at compressed budgets while
+	// preserving the paper's ≤3-qubit limit.
+	width := t.MaxQubits
+	if width >= 3 && rng.Intn(2) == 0 {
+		width = 2
+	}
+	region := circuit.RandomRegion(c, width, 0, rng)
+	if region == nil || len(region.Indices) < 2 {
+		return c, 0, false
+	}
+	sub := region.Extract(c)
+	eps := t.DeclaredEps
+	if allowedEps < eps {
+		eps = allowedEps
+	}
+	if eps < 0 {
+		return c, 0, false
+	}
+	target := sub.Unitary()
+	replacement, err := t.Synth.Synthesize(target, sub.NumQubits, eps)
+	if err != nil {
+		return c, 0, false
+	}
+	// Account the error actually incurred, not the declared class.
+	actual := linalg.HSDistance(target, replacement.Unitary())
+	if actual > eps {
+		return c, 0, false
+	}
+	return region.Replace(c, replacement), actual, true
+}

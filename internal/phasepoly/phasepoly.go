@@ -1,0 +1,189 @@
+// Package phasepoly implements phase folding (Nam et al.'s rotation
+// merging), the standard phase-polynomial optimization over {CX, X,
+// z-rotations} regions: inside such a region each qubit carries an affine
+// function (parity) of the region's input basis, so z-rotations applied to
+// equal parities merge additively, wherever they sit in the region.
+//
+// This is the repository's PyZX proxy (see DESIGN.md §3): like PyZX's
+// ZX-calculus pipeline on these benchmarks, it is excellent at reducing T
+// count and never changes the two-qubit gate count — the exact behavioural
+// profile Figs. 12–14 of the paper rely on.
+package phasepoly
+
+import (
+	"math"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/linalg"
+)
+
+// parityState tracks, per qubit, an affine function of tracked variables:
+// a bitset of variable indices plus a constant bit.
+type parityState struct {
+	bits []uint64
+	c    bool
+}
+
+func (p parityState) clone(words int) parityState {
+	b := make([]uint64, words)
+	copy(b, p.bits)
+	return parityState{bits: b, c: p.c}
+}
+
+func (p *parityState) xorWith(q parityState) {
+	for i := range q.bits {
+		for len(p.bits) <= i {
+			p.bits = append(p.bits, 0)
+		}
+		p.bits[i] ^= q.bits[i]
+	}
+	p.c = p.c != q.c
+}
+
+func (p parityState) key() string {
+	// Trim trailing zero words so keys are epoch-stable.
+	end := len(p.bits)
+	for end > 0 && p.bits[end-1] == 0 {
+		end--
+	}
+	buf := make([]byte, 0, end*8)
+	for _, w := range p.bits[:end] {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(w>>uint(s)))
+		}
+	}
+	return string(buf)
+}
+
+// zAngleOf maps a diagonal phase gate to its z-rotation angle (mod global
+// phase), mirroring the table in the rewrite cleaner.
+func zAngleOf(g gate.Gate) (float64, bool) {
+	switch g.Name {
+	case gate.Rz, gate.U1:
+		return g.Params[0], true
+	case gate.Z:
+		return math.Pi, true
+	case gate.S:
+		return math.Pi / 2, true
+	case gate.Sdg:
+		return -math.Pi / 2, true
+	case gate.T:
+		return math.Pi / 4, true
+	case gate.Tdg:
+		return -math.Pi / 4, true
+	}
+	return 0, false
+}
+
+// emitPhase renders a z-rotation in the gate set's native diagonal gates.
+func emitPhase(theta float64, q int, gatesetName string) []gate.Gate {
+	theta = linalg.NormAngle(theta)
+	if math.Abs(theta) < 1e-12 {
+		return nil
+	}
+	switch gatesetName {
+	case "ibmq20":
+		return []gate.Gate{gate.NewU1(theta, q)}
+	case "cliffordt":
+		if !linalg.IsMultipleOf(theta, math.Pi/4, 1e-9) {
+			return []gate.Gate{gate.NewRz(theta, q)}
+		}
+		k := int(math.Round(theta/(math.Pi/4))) % 8
+		if k < 0 {
+			k += 8
+		}
+		lad := map[int][]gate.Gate{
+			0: {}, 1: {gate.NewT(q)}, 2: {gate.NewS(q)},
+			3: {gate.NewS(q), gate.NewT(q)}, 4: {gate.NewS(q), gate.NewS(q)},
+			5: {gate.NewSdg(q), gate.NewTdg(q)}, 6: {gate.NewSdg(q)}, 7: {gate.NewTdg(q)},
+		}
+		return lad[k]
+	default:
+		return []gate.Gate{gate.NewRz(theta, q)}
+	}
+}
+
+// Fold performs one global phase-folding pass, emitting the result in the
+// named gate set's diagonal vocabulary. Non-diagonal gates are untouched;
+// two-qubit gate count is exactly preserved.
+func Fold(c *circuit.Circuit, gatesetName string) *circuit.Circuit {
+	n := c.NumQubits
+	words := (n + 63) / 64
+	nextVar := 0
+	state := make([]parityState, n)
+	fresh := func(q int) {
+		w := nextVar / 64
+		b := make([]uint64, w+1)
+		b[w] = 1 << uint(nextVar%64)
+		state[q] = parityState{bits: b}
+		nextVar++
+	}
+	for q := 0; q < n; q++ {
+		fresh(q)
+	}
+
+	type bucket struct {
+		firstIdx   int
+		firstConst bool
+		firstQubit int
+		total      float64
+	}
+	buckets := map[string]*bucket{}
+	drop := make([]bool, c.Len())
+	siteOf := make([]string, c.Len()) // phase-gate index -> bucket key ("" if none)
+
+	for i, g := range c.Gates {
+		if a, ok := zAngleOf(g); ok {
+			q := g.Qubits[0]
+			st := state[q]
+			key := st.key()
+			contrib := a
+			if st.c {
+				contrib = -a
+			}
+			if b, seen := buckets[key]; seen {
+				b.total += contrib
+				drop[i] = true
+			} else {
+				buckets[key] = &bucket{firstIdx: i, firstConst: st.c, firstQubit: q, total: contrib}
+				siteOf[i] = key
+			}
+			continue
+		}
+		switch g.Name {
+		case gate.CX:
+			cq, tq := g.Qubits[0], g.Qubits[1]
+			state[tq].xorWith(state[cq])
+		case gate.X:
+			state[cq(g)].c = !state[cq(g)].c
+		default:
+			// Untrackable gate: its qubits leave the affine regime; give
+			// them fresh variables (a new epoch for those wires).
+			for _, q := range g.Qubits {
+				fresh(q)
+			}
+		}
+	}
+	_ = words
+
+	out := circuit.New(n)
+	for i, g := range c.Gates {
+		if drop[i] {
+			continue
+		}
+		if key := siteOf[i]; key != "" {
+			b := buckets[key]
+			theta := b.total
+			if b.firstConst {
+				theta = -theta
+			}
+			out.Gates = append(out.Gates, emitPhase(theta, b.firstQubit, gatesetName)...)
+			continue
+		}
+		out.Gates = append(out.Gates, g.Clone())
+	}
+	return out
+}
+
+func cq(g gate.Gate) int { return g.Qubits[0] }

@@ -1,0 +1,242 @@
+package rewrite
+
+import (
+	"math"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/linalg"
+)
+
+// Cleanup is the ε = 0 normalization pass applied alongside the symbolic
+// rules: it drops identity rotations, cancels adjacent inverse pairs (h·h,
+// cx·cx, t·t†, ...), and merges adjacent z-diagonal phase gates and
+// same-axis rotations, emitting the merged gate in the target gate set's
+// native form. It is a single linear pass using per-wire stacks, so it is
+// cheap enough to run after every accepted transformation.
+func Cleanup(c *circuit.Circuit, gatesetName string) *circuit.Circuit {
+	p := &cleaner{
+		gateset: gatesetName,
+		alive:   make([]bool, 0, len(c.Gates)),
+		top:     make([]int, c.NumQubits),
+	}
+	for q := range p.top {
+		p.top[q] = -1
+	}
+	for _, g := range c.Gates {
+		p.feed(g)
+	}
+	out := circuit.New(c.NumQubits)
+	for i, g := range p.out {
+		if p.alive[i] {
+			out.Gates = append(out.Gates, g)
+		}
+	}
+	return out
+}
+
+type cleaner struct {
+	gateset string
+	out     []gate.Gate
+	alive   []bool
+	top     []int   // per qubit: index into out of the topmost alive gate, or -1
+	belowQ  [][]int // per out index: the previous top for each of its qubits
+}
+
+// push appends g as an alive output gate and records, for each of its
+// qubits, the previous top so cancellation can restore the stack.
+func (p *cleaner) push(g gate.Gate) {
+	idx := len(p.out)
+	p.out = append(p.out, g)
+	p.alive = append(p.alive, true)
+	prevs := make([]int, len(g.Qubits))
+	for k, q := range g.Qubits {
+		prevs[k] = p.top[q]
+		p.top[q] = idx
+	}
+	p.belowQ = append(p.belowQ, prevs)
+}
+
+// drop kills output gate idx and restores the stack tops for its qubits.
+func (p *cleaner) drop(idx int) {
+	p.alive[idx] = false
+	g := p.out[idx]
+	for k, q := range g.Qubits {
+		if p.top[q] == idx {
+			p.top[q] = p.belowQ[idx][k]
+		}
+	}
+}
+
+func (p *cleaner) feed(g gate.Gate) {
+	// Normalize angles and drop identities.
+	if len(g.Params) > 0 {
+		g = g.Clone()
+		for i := range g.Params {
+			g.Params[i] = linalg.NormAngle(g.Params[i])
+		}
+	}
+	if g.Name == gate.I || g.IsIdentityAngle(1e-12) {
+		return
+	}
+	switch len(g.Qubits) {
+	case 1:
+		p.feed1q(g)
+	case 2:
+		p.feed2q(g)
+	default:
+		p.push(g)
+	}
+}
+
+func (p *cleaner) feed1q(g gate.Gate) {
+	q := g.Qubits[0]
+	t := p.top[q]
+	if t < 0 || !p.alive[t] || len(p.out[t].Qubits) != 1 {
+		p.push(g)
+		return
+	}
+	prev := p.out[t]
+	// Inverse pair cancellation: U_g · U_prev ∝ I.
+	prod := linalg.Mul(gate.Matrix(g), gate.Matrix(prev))
+	if linalg.EqualUpToPhase(prod, linalg.Identity(2), 1e-10) {
+		p.drop(t)
+		return
+	}
+	// z-diagonal merging: absorb the whole consecutive diagonal run below
+	// the top, then emit the minimal ladder once. (Re-feeding the ladder
+	// would loop: the k=3 ladder [s, t] merges straight back to 3π/4.)
+	pa, pok := zPhaseOf(prev)
+	ga, gok := zPhaseOf(g)
+	if pok && gok {
+		total := pa + ga
+		p.drop(t)
+		for {
+			t2 := p.top[q]
+			if t2 < 0 || !p.alive[t2] || len(p.out[t2].Qubits) != 1 {
+				break
+			}
+			a2, ok := zPhaseOf(p.out[t2])
+			if !ok {
+				break
+			}
+			total += a2
+			p.drop(t2)
+		}
+		for _, m := range p.emitZPhase(linalg.NormAngle(total)) {
+			m.Qubits = []int{q}
+			p.push(m)
+		}
+		return
+	}
+	// Same-axis rotation merging (rx·rx, ry·ry), absorbing the whole run.
+	if (g.Name == gate.Rx || g.Name == gate.Ry) && prev.Name == g.Name {
+		sum := prev.Params[0] + g.Params[0]
+		p.drop(t)
+		for {
+			t2 := p.top[q]
+			if t2 < 0 || !p.alive[t2] || p.out[t2].Name != g.Name {
+				break
+			}
+			sum += p.out[t2].Params[0]
+			p.drop(t2)
+		}
+		sum = linalg.NormAngle(sum)
+		if math.Abs(sum) > 1e-12 {
+			p.push(gate.New(g.Name, []int{q}, []float64{sum}))
+		}
+		return
+	}
+	p.push(g)
+}
+
+func (p *cleaner) feed2q(g gate.Gate) {
+	a, b := g.Qubits[0], g.Qubits[1]
+	ta, tb := p.top[a], p.top[b]
+	if ta < 0 || ta != tb || !p.alive[ta] {
+		p.push(g)
+		return
+	}
+	prev := p.out[ta]
+	if prev.Name != g.Name {
+		p.push(g)
+		return
+	}
+	sameOrder := prev.Qubits[0] == a && prev.Qubits[1] == b
+	swapped := prev.Qubits[0] == b && prev.Qubits[1] == a
+	symmetric := g.Name == gate.CZ || g.Name == gate.Swap ||
+		g.Name == gate.Rxx || g.Name == gate.Rzz
+	if !sameOrder && !(swapped && symmetric) {
+		p.push(g)
+		return
+	}
+	switch g.Name {
+	case gate.CX, gate.CZ, gate.Swap:
+		p.drop(ta) // self-inverse pair
+		return
+	case gate.Rxx, gate.Rzz:
+		sum := linalg.NormAngle(prev.Params[0] + g.Params[0])
+		p.drop(ta)
+		if math.Abs(sum) > 1e-12 {
+			p.push(gate.New(g.Name, []int{a, b}, []float64{sum}))
+		}
+		return
+	}
+	p.push(g)
+}
+
+// zPhaseOf returns the z-rotation angle of a diagonal phase gate (mod
+// global phase) and whether the gate is one.
+func zPhaseOf(g gate.Gate) (float64, bool) {
+	switch g.Name {
+	case gate.Rz:
+		return g.Params[0], true
+	case gate.U1:
+		return g.Params[0], true
+	case gate.Z:
+		return math.Pi, true
+	case gate.S:
+		return math.Pi / 2, true
+	case gate.Sdg:
+		return -math.Pi / 2, true
+	case gate.T:
+		return math.Pi / 4, true
+	case gate.Tdg:
+		return -math.Pi / 4, true
+	}
+	return 0, false
+}
+
+// emitZPhase renders a z-rotation angle in the target gate set's native
+// diagonal gates (qubits are filled in by the caller).
+func (p *cleaner) emitZPhase(theta float64) []gate.Gate {
+	if math.Abs(theta) < 1e-12 {
+		return nil
+	}
+	switch p.gateset {
+	case "ibmq20":
+		return []gate.Gate{gate.New(gate.U1, []int{0}, []float64{theta})}
+	case "cliffordt":
+		if !linalg.IsMultipleOf(theta, math.Pi/4, 1e-9) {
+			// Not representable — should not happen for native circuits;
+			// fall back to an rz to preserve semantics (callers operating
+			// on native Clifford+T circuits never hit this).
+			return []gate.Gate{gate.New(gate.Rz, []int{0}, []float64{theta})}
+		}
+		k := int(math.Round(theta/(math.Pi/4))) % 8
+		if k < 0 {
+			k += 8
+		}
+		lad := map[int][]gate.Name{
+			0: {}, 1: {gate.T}, 2: {gate.S}, 3: {gate.S, gate.T},
+			4: {gate.S, gate.S}, 5: {gate.Sdg, gate.Tdg}, 6: {gate.Sdg}, 7: {gate.Tdg},
+		}
+		var out []gate.Gate
+		for _, n := range lad[k] {
+			out = append(out, gate.New(n, []int{0}, nil))
+		}
+		return out
+	default: // nam, ibm-eagle, ionq
+		return []gate.Gate{gate.New(gate.Rz, []int{0}, []float64{theta})}
+	}
+}

@@ -1,0 +1,85 @@
+package rewrite
+
+import (
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/linalg"
+)
+
+// Fuse1Q is the analytic single-qubit fusion pass for continuous gate sets:
+// every maximal run of consecutive single-qubit gates on a wire is
+// multiplied into one 2×2 unitary and re-emitted in the target set's
+// minimal native form (u3 for ibmq20, rz·sx·rz·sx·rz for ibm-eagle, ZYZ for
+// ionq, rz·h·rz·h·rz for nam). The fused form replaces the run only when it
+// is no longer than the original, so the pass never increases gate count.
+//
+// This plays the role of the nonlinear u-gate merge rules that symbolic
+// patterns cannot express (their parameter algebra is not linear).
+func Fuse1Q(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit {
+	out := circuit.New(c.NumQubits)
+	pending := make([][]gate.Gate, c.NumQubits)
+
+	flush := func(q int) {
+		run := pending[q]
+		pending[q] = nil
+		if len(run) == 0 {
+			return
+		}
+		if len(run) == 1 {
+			out.Gates = append(out.Gates, run[0])
+			return
+		}
+		u := linalg.Identity(2)
+		for _, g := range run {
+			u = linalg.Mul(gate.Matrix(g), u)
+		}
+		fused := emit1Q(u, q, gs)
+		if fused == nil || len(fused) > len(run) {
+			out.Gates = append(out.Gates, run...)
+			return
+		}
+		out.Gates = append(out.Gates, fused...)
+	}
+
+	for _, g := range c.Gates {
+		if len(g.Qubits) == 1 {
+			pending[g.Qubits[0]] = append(pending[g.Qubits[0]], g)
+			continue
+		}
+		for _, q := range g.Qubits {
+			flush(q)
+		}
+		out.Gates = append(out.Gates, g)
+	}
+	for q := range pending {
+		flush(q)
+	}
+	return out
+}
+
+// emit1Q renders an arbitrary 2×2 unitary as a minimal native single-qubit
+// sequence on qubit q, or nil when the set cannot represent it exactly
+// (finite sets with non-π/4 angles).
+func emit1Q(u linalg.Matrix, q int, gs *gateset.GateSet) []gate.Gate {
+	tmp := circuit.New(1)
+	th, ph, la, _ := linalg.U3Angles(u)
+	if th < 1e-12 {
+		// Diagonal unitary: emit as a plain z-rotation so ibmq20 gets a u1
+		// instead of a full u3.
+		tmp.Append(gate.NewRz(linalg.NormAngle(ph+la), 0))
+	} else {
+		tmp.Append(gate.NewU3(th, ph, la, 0))
+	}
+	native, err := gateset.Translate(tmp, gs)
+	if err != nil {
+		return nil
+	}
+	out := make([]gate.Gate, 0, len(native.Gates))
+	for _, g := range native.Gates {
+		ng := g.Clone()
+		ng.Qubits[0] = q
+		out = append(out, ng)
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package rewrite
+
+import (
+	"sort"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+)
+
+// Match records one occurrence of a rule pattern in a circuit: the matched
+// gate indices (ascending), the qubit mapping (pattern-local → global), and
+// the bound angle variables.
+type Match struct {
+	Rule     *Rule
+	Indices  []int
+	QubitMap []int // QubitMap[patternQubit] = circuit qubit (-1 if unused)
+	Binding  []float64
+	Lo, Hi   int // window bounds (min/max of Indices)
+}
+
+// matchAt attempts to match rule r with its anchor (pattern gate 0) at
+// circuit gate index anchor. Pattern gates are matched in the rule's BFS
+// order: each new pattern gate is located through a wire-adjacency
+// constraint against an already-matched neighbour — if the neighbour
+// precedes it on a pattern wire, the candidate is the next circuit gate on
+// that wire, and symmetrically for following neighbours. All constraints
+// must agree on a single candidate.
+//
+// The match is accepted only if the matched set is a pure window region:
+// every gate between the first and last matched index that touches a
+// matched qubit is itself matched. That invariant makes the match a convex
+// region (§3), so replacement is always semantics-preserving.
+func matchAt(c *circuit.Circuit, d *circuit.DAG, r *Rule, anchor int) (*Match, bool) {
+	first := c.Gates[anchor]
+	pg0 := r.Pattern[0]
+	if first.Name != pg0.Name || len(first.Qubits) != len(pg0.Qubits) {
+		return nil, false
+	}
+	binding := make([]float64, r.NumVars)
+	bound := make([]bool, r.NumVars)
+	for i, p := range pg0.Params {
+		if !matchParam(p, first.Params[i], binding, bound) {
+			return nil, false
+		}
+	}
+	qmap := make([]int, r.NumQubits) // pattern qubit -> circuit qubit
+	rmap := map[int]int{}            // circuit qubit -> pattern qubit
+	for i := range qmap {
+		qmap[i] = -1
+	}
+	for k, pq := range pg0.Qubits {
+		cq := first.Qubits[k]
+		if _, used := rmap[cq]; used {
+			return nil, false
+		}
+		qmap[pq] = cq
+		rmap[cq] = pq
+	}
+	pos := make([]int, len(r.Pattern)) // pattern gate -> circuit index
+	matched := make([]bool, len(r.Pattern))
+	pos[0] = anchor
+	matched[0] = true
+	taken := map[int]bool{anchor: true} // circuit indices already used
+
+	for _, gi := range r.matchOrder[1:] {
+		pg := r.Pattern[gi]
+		cand := -1
+		for k, pq := range pg.Qubits {
+			cq := qmap[pq]
+			if pp := r.prevPat[gi][k]; pp >= 0 && matched[pp] {
+				// cq is mapped: the neighbour uses the same pattern wire.
+				nxt := d.NextOnWire(pos[pp], cq)
+				if nxt < 0 || (cand >= 0 && cand != nxt) {
+					return nil, false
+				}
+				cand = nxt
+			}
+			if np := r.nextPat[gi][k]; np >= 0 && matched[np] {
+				prv := d.PrevOnWire(pos[np], cq)
+				if prv < 0 || (cand >= 0 && cand != prv) {
+					return nil, false
+				}
+				cand = prv
+			}
+		}
+		if cand < 0 || taken[cand] {
+			return nil, false
+		}
+		g := c.Gates[cand]
+		if g.Name != pg.Name || len(g.Qubits) != len(pg.Qubits) {
+			return nil, false
+		}
+		for k, pq := range pg.Qubits {
+			cq := g.Qubits[k]
+			switch {
+			case qmap[pq] == cq:
+			case qmap[pq] < 0:
+				if _, used := rmap[cq]; used {
+					return nil, false
+				}
+				qmap[pq] = cq
+				rmap[cq] = pq
+			default:
+				return nil, false
+			}
+		}
+		for i, p := range pg.Params {
+			if !matchParam(p, g.Params[i], binding, bound) {
+				return nil, false
+			}
+		}
+		pos[gi] = cand
+		matched[gi] = true
+		taken[cand] = true
+	}
+
+	indices := make([]int, len(pos))
+	copy(indices, pos)
+	sort.Ints(indices)
+	lo, hi := indices[0], indices[len(indices)-1]
+	// Window purity: any gate in [lo,hi] touching a matched qubit must be
+	// in the match.
+	for i := lo; i <= hi; i++ {
+		if taken[i] {
+			continue
+		}
+		for _, q := range c.Gates[i].Qubits {
+			if _, mapped := rmap[q]; mapped {
+				return nil, false
+			}
+		}
+	}
+	return &Match{
+		Rule: r, Indices: indices, QubitMap: qmap,
+		Binding: binding, Lo: lo, Hi: hi,
+	}, true
+}
+
+// FindMatches scans the whole circuit and returns all non-overlapping
+// matches of r, greedily from the given start index, wrapping around. This
+// implements the full-pass strategy of §5.3: "perform a full pass through
+// the circuit, replacing every disjoint match". Matches whose windows
+// overlap an earlier match are skipped.
+func FindMatches(c *circuit.Circuit, r *Rule, start int) []*Match {
+	n := len(c.Gates)
+	if n == 0 {
+		return nil
+	}
+	d := circuit.BuildDAG(c)
+	used := make([]bool, n)
+	var out []*Match
+	if start < 0 {
+		start = 0
+	}
+	for k := 0; k < n; k++ {
+		anchor := (start + k) % n
+		if used[anchor] {
+			continue
+		}
+		m, ok := matchAt(c, d, r, anchor)
+		if !ok {
+			continue
+		}
+		clash := false
+		for i := m.Lo; i <= m.Hi; i++ {
+			if used[i] {
+				clash = true
+				break
+			}
+		}
+		if clash {
+			continue
+		}
+		for i := m.Lo; i <= m.Hi; i++ {
+			used[i] = true
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// MatchAt exposes single-site matching for tests and the beam-search
+// baseline.
+func MatchAt(c *circuit.Circuit, d *circuit.DAG, r *Rule, anchor int) (*Match, bool) {
+	return matchAt(c, d, r, anchor)
+}
+
+// Apply replaces every given match in one pass, producing a new circuit.
+// Matches must be non-overlapping (as produced by FindMatches).
+func Apply(c *circuit.Circuit, matches []*Match) *circuit.Circuit {
+	if len(matches) == 0 {
+		return c
+	}
+	sorted := make([]*Match, len(matches))
+	copy(sorted, matches)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo < sorted[j].Lo })
+
+	out := circuit.New(c.NumQubits)
+	startAt := map[int]*Match{}
+	sel := map[int]bool{}
+	for _, m := range sorted {
+		startAt[m.Lo] = m
+		for _, i := range m.Indices {
+			sel[i] = true
+		}
+	}
+	i := 0
+	for i < len(c.Gates) {
+		m, startsHere := startAt[i]
+		if !startsHere {
+			out.Gates = append(out.Gates, c.Gates[i])
+			i++
+			continue
+		}
+		// Emit unmatched window gates (they touch no matched qubit), then
+		// the instantiated replacement.
+		for j := m.Lo; j <= m.Hi; j++ {
+			if !sel[j] {
+				out.Gates = append(out.Gates, c.Gates[j])
+			}
+		}
+		for _, g := range m.Rule.ReplacementCircuitAt(m.Binding) {
+			ng := g.Clone()
+			for k, pq := range ng.Qubits {
+				ng.Qubits[k] = m.QubitMap[pq]
+			}
+			out.Gates = append(out.Gates, ng)
+		}
+		i = m.Hi + 1
+	}
+	return out
+}
+
+// FullPass runs FindMatches + Apply for one rule starting at the given
+// anchor, returning the rewritten circuit and the number of sites replaced.
+// When nothing matches, the original circuit is returned unchanged.
+func FullPass(c *circuit.Circuit, r *Rule, start int) (*circuit.Circuit, int) {
+	ms := FindMatches(c, r, start)
+	if len(ms) == 0 {
+		return c, 0
+	}
+	return Apply(c, ms), len(ms)
+}

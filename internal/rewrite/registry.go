@@ -1,0 +1,34 @@
+package rewrite
+
+import "fmt"
+
+// RulesFor returns the verified rule library for a gate set name (the names
+// of gateset.All). The libraries play the role of QUESO's synthesized rule
+// sets in the paper's GUOQ instantiation (§6).
+func RulesFor(gatesetName string) ([]*Rule, error) {
+	switch gatesetName {
+	case "nam":
+		return namRules(), nil
+	case "cliffordt":
+		return cliffordTRules(), nil
+	case "ibmq20":
+		return ibmq20Rules(), nil
+	case "ibm-eagle":
+		return ibmEagleRules(), nil
+	case "ionq":
+		return ionqRules(), nil
+	}
+	return nil, fmt.Errorf("rewrite: no rule library for gate set %q", gatesetName)
+}
+
+// AllLibraries returns every rule library keyed by gate set name, for
+// exhaustive verification in tests.
+func AllLibraries() map[string][]*Rule {
+	return map[string][]*Rule{
+		"nam":       namRules(),
+		"cliffordt": cliffordTRules(),
+		"ibmq20":    ibmq20Rules(),
+		"ibm-eagle": ibmEagleRules(),
+		"ionq":      ionqRules(),
+	}
+}

@@ -1,0 +1,286 @@
+// Package rewrite implements the fast half of the paper: rewrite rules as
+// symbolic pattern → replacement pairs over small subcircuits (Fig. 3), a
+// DAG-based matcher, and the full-pass application strategy of §5.3
+// ("start at a random node and replace every disjoint match").
+//
+// Every rule registered in this package is machine-verified: the test suite
+// checks pattern ≡ replacement (mod global phase) at randomized angles.
+package rewrite
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/linalg"
+)
+
+// PatParam is one parameter slot in a pattern gate: either a symbolic
+// variable (matched against any angle and bound) or a constant (matched
+// within tolerance).
+type PatParam struct {
+	IsVar bool
+	Var   int     // variable index when IsVar
+	Value float64 // constant to match otherwise
+}
+
+// V returns a symbolic parameter variable.
+func V(i int) PatParam { return PatParam{IsVar: true, Var: i} }
+
+// C returns a constant parameter that must match exactly (within tolerance).
+func C(x float64) PatParam { return PatParam{Value: x} }
+
+// PatGate is a gate in a rule pattern. Qubits are pattern-local variables
+// 0..NumQubits-1; the matcher binds them injectively to circuit qubits.
+type PatGate struct {
+	Name   gate.Name
+	Qubits []int
+	Params []PatParam
+}
+
+// ParamExpr is a linear expression c₀ + Σ cᵢ·varᵢ over the pattern's bound
+// parameter variables, used for replacement gate parameters (e.g. θ₁+θ₂ in
+// the merge rule of Fig. 3d).
+type ParamExpr struct {
+	Const  float64
+	Coeffs map[int]float64
+}
+
+// EC returns a constant expression.
+func EC(x float64) ParamExpr { return ParamExpr{Const: x} }
+
+// EV returns the expression equal to variable i.
+func EV(i int) ParamExpr { return ParamExpr{Coeffs: map[int]float64{i: 1}} }
+
+// ENeg returns −varᵢ.
+func ENeg(i int) ParamExpr { return ParamExpr{Coeffs: map[int]float64{i: -1}} }
+
+// ESum returns varᵢ + varⱼ.
+func ESum(i, j int) ParamExpr {
+	if i == j {
+		return ParamExpr{Coeffs: map[int]float64{i: 2}}
+	}
+	return ParamExpr{Coeffs: map[int]float64{i: 1, j: 1}}
+}
+
+// Eval evaluates the expression under a variable binding, normalizing the
+// result into (−π, π].
+func (e ParamExpr) Eval(binding []float64) float64 {
+	v := e.Const
+	for i, c := range e.Coeffs {
+		v += c * binding[i]
+	}
+	return linalg.NormAngle(v)
+}
+
+// RepGate is a gate in a rule replacement.
+type RepGate struct {
+	Name   gate.Name
+	Qubits []int
+	Params []ParamExpr
+}
+
+// Rule is a rewrite rule: a pattern subcircuit and a semantically equivalent
+// replacement, both over NumQubits pattern-local qubits and NumVars symbolic
+// angle variables. Rules are exact (ε = 0 transformations).
+type Rule struct {
+	Name        string
+	NumQubits   int
+	NumVars     int
+	Pattern     []PatGate // in execution order
+	Replacement []RepGate // in execution order
+
+	// Matching plan, precomputed by NewRule. prevPat/nextPat give, per
+	// pattern gate and qubit position, the pattern index of the previous /
+	// next pattern gate on that pattern wire (-1 if none). matchOrder is a
+	// BFS order over wire adjacency starting from pattern gate 0, so each
+	// later gate has at least one already-matched wire neighbour.
+	prevPat    [][]int
+	nextPat    [][]int
+	matchOrder []int
+}
+
+// Delta returns the gate-count change of applying the rule (negative is a
+// reduction). The GUOQ instantiation excludes size-increasing rules (§6).
+func (r *Rule) Delta() int { return len(r.Replacement) - len(r.Pattern) }
+
+// P builds a pattern gate; params then qubits.
+func P(n gate.Name, params []PatParam, qubits ...int) PatGate {
+	return PatGate{Name: n, Qubits: qubits, Params: params}
+}
+
+// Rep builds a replacement gate; params then qubits.
+func Rep(n gate.Name, params []ParamExpr, qubits ...int) RepGate {
+	return RepGate{Name: n, Qubits: qubits, Params: params}
+}
+
+// NewRule validates and constructs a rule: arities and parameter counts
+// must match the gate specs, qubit variables must be in range, and the
+// pattern must be connected over wire adjacency so the matcher can reach
+// every pattern gate from the anchor (pattern gate 0).
+func NewRule(name string, numQubits, numVars int, pattern []PatGate, replacement []RepGate) (*Rule, error) {
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("rewrite: rule %s: empty pattern", name)
+	}
+	for gi, pg := range pattern {
+		spec, ok := gate.SpecOf(pg.Name)
+		if !ok {
+			return nil, fmt.Errorf("rewrite: rule %s: unknown gate %s", name, pg.Name)
+		}
+		if len(pg.Qubits) != spec.Qubits || len(pg.Params) != spec.Params {
+			return nil, fmt.Errorf("rewrite: rule %s: pattern gate %d malformed", name, gi)
+		}
+		for _, q := range pg.Qubits {
+			if q < 0 || q >= numQubits {
+				return nil, fmt.Errorf("rewrite: rule %s: pattern qubit %d out of range", name, q)
+			}
+		}
+		for _, p := range pg.Params {
+			if p.IsVar && (p.Var < 0 || p.Var >= numVars) {
+				return nil, fmt.Errorf("rewrite: rule %s: pattern var %d out of range", name, p.Var)
+			}
+		}
+	}
+	for gi, rg := range replacement {
+		spec, ok := gate.SpecOf(rg.Name)
+		if !ok {
+			return nil, fmt.Errorf("rewrite: rule %s: unknown replacement gate %s", name, rg.Name)
+		}
+		if len(rg.Qubits) != spec.Qubits || len(rg.Params) != spec.Params {
+			return nil, fmt.Errorf("rewrite: rule %s: replacement gate %d malformed", name, gi)
+		}
+		for _, q := range rg.Qubits {
+			if q < 0 || q >= numQubits {
+				return nil, fmt.Errorf("rewrite: rule %s: replacement qubit %d out of range", name, q)
+			}
+		}
+	}
+	r := &Rule{
+		Name: name, NumQubits: numQubits, NumVars: numVars,
+		Pattern: pattern, Replacement: replacement,
+	}
+	if err := r.buildPlan(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// buildPlan precomputes the pattern wire structure and the BFS match order.
+func (r *Rule) buildPlan() error {
+	n := len(r.Pattern)
+	r.prevPat = make([][]int, n)
+	r.nextPat = make([][]int, n)
+	lastOn := make([]int, r.NumQubits)
+	for i := range lastOn {
+		lastOn[i] = -1
+	}
+	for gi, pg := range r.Pattern {
+		r.prevPat[gi] = make([]int, len(pg.Qubits))
+		r.nextPat[gi] = make([]int, len(pg.Qubits))
+		for k, q := range pg.Qubits {
+			r.prevPat[gi][k] = lastOn[q]
+			r.nextPat[gi][k] = -1
+			if p := lastOn[q]; p >= 0 {
+				for pk, pq := range r.Pattern[p].Qubits {
+					if pq == q {
+						r.nextPat[p][pk] = gi
+					}
+				}
+			}
+			lastOn[q] = gi
+		}
+	}
+	// BFS from gate 0 over wire adjacency (prev/next neighbours).
+	visited := make([]bool, n)
+	r.matchOrder = []int{0}
+	visited[0] = true
+	for head := 0; head < len(r.matchOrder); head++ {
+		gi := r.matchOrder[head]
+		for k := range r.Pattern[gi].Qubits {
+			for _, nb := range []int{r.prevPat[gi][k], r.nextPat[gi][k]} {
+				if nb >= 0 && !visited[nb] {
+					visited[nb] = true
+					r.matchOrder = append(r.matchOrder, nb)
+				}
+			}
+		}
+	}
+	if len(r.matchOrder) != n {
+		return fmt.Errorf("rewrite: rule %s: pattern is not wire-connected", r.Name)
+	}
+	return nil
+}
+
+// MustRule is NewRule for the static rule libraries; it panics on error.
+func MustRule(name string, numQubits, numVars int, pattern []PatGate, replacement []RepGate) *Rule {
+	r, err := NewRule(name, numQubits, numVars, pattern, replacement)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// PatternCircuitAt instantiates the rule's pattern as a concrete circuit
+// with the given variable binding, for verification.
+func (r *Rule) PatternCircuitAt(binding []float64) []gate.Gate {
+	out := make([]gate.Gate, 0, len(r.Pattern))
+	for _, pg := range r.Pattern {
+		ps := make([]float64, len(pg.Params))
+		for i, p := range pg.Params {
+			if p.IsVar {
+				ps[i] = binding[p.Var]
+			} else {
+				ps[i] = p.Value
+			}
+		}
+		qs := make([]int, len(pg.Qubits))
+		copy(qs, pg.Qubits)
+		out = append(out, gate.New(pg.Name, qs, ps))
+	}
+	return out
+}
+
+// ReplacementCircuitAt instantiates the rule's replacement under a binding.
+func (r *Rule) ReplacementCircuitAt(binding []float64) []gate.Gate {
+	out := make([]gate.Gate, 0, len(r.Replacement))
+	for _, rg := range r.Replacement {
+		ps := make([]float64, len(rg.Params))
+		for i, e := range rg.Params {
+			ps[i] = e.Eval(binding)
+		}
+		qs := make([]int, len(rg.Qubits))
+		copy(qs, rg.Qubits)
+		out = append(out, gate.New(rg.Name, qs, ps))
+	}
+	return out
+}
+
+// Verify checks pattern ≡ replacement (mod global phase) at the given
+// binding, returning the Hilbert–Schmidt distance.
+func (r *Rule) Verify(binding []float64) float64 {
+	u := linalg.Identity(1 << r.NumQubits)
+	for _, g := range r.PatternCircuitAt(binding) {
+		linalg.ApplyGateLeft(gate.Matrix(g), g.Qubits, r.NumQubits, u)
+	}
+	v := linalg.Identity(1 << r.NumQubits)
+	for _, g := range r.ReplacementCircuitAt(binding) {
+		linalg.ApplyGateLeft(gate.Matrix(g), g.Qubits, r.NumQubits, v)
+	}
+	return linalg.HSDistance(u, v)
+}
+
+const paramTol = 1e-9
+
+// matchParam checks a pattern parameter against a concrete angle, extending
+// the binding. bound[i] reports whether variable i is already bound.
+func matchParam(p PatParam, angle float64, binding []float64, bound []bool) bool {
+	if !p.IsVar {
+		return math.Abs(linalg.NormAngle(angle-p.Value)) <= paramTol
+	}
+	if bound[p.Var] {
+		return math.Abs(linalg.NormAngle(angle-binding[p.Var])) <= paramTol
+	}
+	binding[p.Var] = angle
+	bound[p.Var] = true
+	return true
+}

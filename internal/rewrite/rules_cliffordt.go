@@ -1,0 +1,136 @@
+package rewrite
+
+import (
+	"github.com/guoq-dev/guoq/internal/gate"
+)
+
+// Rule library for the Clifford+T gate set {t, tdg, s, sdg, h, x, cx} (Q4).
+// Phase-gate algebra is the workhorse here: runs of diagonal gates collapse,
+// and diagonal gates commute through cx controls, which is what lets the
+// search cancel distant T gates.
+
+func cliffordTRules() []*Rule {
+	var rs []*Rule
+	add := func(r *Rule) { rs = append(rs, r) }
+
+	diag := []gate.Name{gate.T, gate.Tdg, gate.S, gate.Sdg}
+
+	// --- inverse cancellations ---
+	pairs := [][2]gate.Name{
+		{gate.T, gate.Tdg}, {gate.Tdg, gate.T},
+		{gate.S, gate.Sdg}, {gate.Sdg, gate.S},
+		{gate.H, gate.H}, {gate.X, gate.X},
+	}
+	for _, p := range pairs {
+		add(MustRule("cliffordt/"+string(p[0])+"-"+string(p[1])+"-cancel", 1, 0,
+			[]PatGate{P(p[0], nil, 0), P(p[1], nil, 0)},
+			nil))
+	}
+	add(MustRule("cliffordt/cx-cx-cancel", 2, 0,
+		[]PatGate{P(gate.CX, nil, 0, 1), P(gate.CX, nil, 0, 1)},
+		nil))
+
+	// --- phase-gate fusions ---
+	add(MustRule("cliffordt/t-t-to-s", 1, 0,
+		[]PatGate{P(gate.T, nil, 0), P(gate.T, nil, 0)},
+		[]RepGate{Rep(gate.S, nil, 0)}))
+	add(MustRule("cliffordt/tdg-tdg-to-sdg", 1, 0,
+		[]PatGate{P(gate.Tdg, nil, 0), P(gate.Tdg, nil, 0)},
+		[]RepGate{Rep(gate.Sdg, nil, 0)}))
+	add(MustRule("cliffordt/s-s-s-to-sdg", 1, 0,
+		[]PatGate{P(gate.S, nil, 0), P(gate.S, nil, 0), P(gate.S, nil, 0)},
+		[]RepGate{Rep(gate.Sdg, nil, 0)}))
+	add(MustRule("cliffordt/sdg-sdg-sdg-to-s", 1, 0,
+		[]PatGate{P(gate.Sdg, nil, 0), P(gate.Sdg, nil, 0), P(gate.Sdg, nil, 0)},
+		[]RepGate{Rep(gate.S, nil, 0)}))
+	// s·s·t ∝ sdg·tdg (z·t collapses to the shorter −3π/4 phase).
+	add(MustRule("cliffordt/s-s-t-shorten", 1, 0,
+		[]PatGate{P(gate.S, nil, 0), P(gate.S, nil, 0), P(gate.T, nil, 0)},
+		[]RepGate{Rep(gate.Sdg, nil, 0), Rep(gate.Tdg, nil, 0)}))
+	add(MustRule("cliffordt/sdg-sdg-tdg-shorten", 1, 0,
+		[]PatGate{P(gate.Sdg, nil, 0), P(gate.Sdg, nil, 0), P(gate.Tdg, nil, 0)},
+		[]RepGate{Rep(gate.S, nil, 0), Rep(gate.T, nil, 0)}))
+	// t·s·t ∝ z = s·s.
+	add(MustRule("cliffordt/t-s-t-to-z", 1, 0,
+		[]PatGate{P(gate.T, nil, 0), P(gate.S, nil, 0), P(gate.T, nil, 0)},
+		[]RepGate{Rep(gate.S, nil, 0), Rep(gate.S, nil, 0)}))
+
+	// --- x conjugation: x·d·x = d† for diagonal d (mod phase) ---
+	inv := map[gate.Name]gate.Name{
+		gate.T: gate.Tdg, gate.Tdg: gate.T, gate.S: gate.Sdg, gate.Sdg: gate.S,
+	}
+	for _, d := range diag {
+		add(MustRule("cliffordt/"+string(d)+"-x-flip", 1, 0,
+			[]PatGate{P(d, nil, 0), P(gate.X, nil, 0)},
+			[]RepGate{Rep(gate.X, nil, 0), Rep(inv[d], nil, 0)}))
+	}
+
+	// --- diagonal gates commute through the cx control ---
+	for _, d := range diag {
+		add(MustRule("cliffordt/"+string(d)+"-cx-control", 2, 0,
+			[]PatGate{P(d, nil, 0), P(gate.CX, nil, 0, 1)},
+			[]RepGate{Rep(gate.CX, nil, 0, 1), Rep(d, nil, 0)}))
+		add(MustRule("cliffordt/cx-control-"+string(d), 2, 0,
+			[]PatGate{P(gate.CX, nil, 0, 1), P(d, nil, 0)},
+			[]RepGate{Rep(d, nil, 0), Rep(gate.CX, nil, 0, 1)}))
+	}
+	// x commutes through the cx target.
+	add(MustRule("cliffordt/x-cx-target", 2, 0,
+		[]PatGate{P(gate.X, nil, 1), P(gate.CX, nil, 0, 1)},
+		[]RepGate{Rep(gate.CX, nil, 0, 1), Rep(gate.X, nil, 1)}))
+	add(MustRule("cliffordt/cx-target-x", 2, 0,
+		[]PatGate{P(gate.CX, nil, 0, 1), P(gate.X, nil, 1)},
+		[]RepGate{Rep(gate.X, nil, 1), Rep(gate.CX, nil, 0, 1)}))
+
+	// --- Hadamard conjugations ---
+	// h·x·h = z = s·s ; h·z·h = x (4 → 1).
+	add(MustRule("cliffordt/h-x-h-to-z", 1, 0,
+		[]PatGate{P(gate.H, nil, 0), P(gate.X, nil, 0), P(gate.H, nil, 0)},
+		[]RepGate{Rep(gate.S, nil, 0), Rep(gate.S, nil, 0)}))
+	add(MustRule("cliffordt/h-z-h-to-x", 1, 0,
+		[]PatGate{P(gate.H, nil, 0), P(gate.S, nil, 0), P(gate.S, nil, 0), P(gate.H, nil, 0)},
+		[]RepGate{Rep(gate.X, nil, 0)}))
+	// Z moves through H as X: h·s·s → x·h and s·s·h → h·x (3 → 2).
+	add(MustRule("cliffordt/h-z-to-x-h", 1, 0,
+		[]PatGate{P(gate.H, nil, 0), P(gate.S, nil, 0), P(gate.S, nil, 0)},
+		[]RepGate{Rep(gate.X, nil, 0), Rep(gate.H, nil, 0)}))
+	add(MustRule("cliffordt/z-h-to-h-x", 1, 0,
+		[]PatGate{P(gate.S, nil, 0), P(gate.S, nil, 0), P(gate.H, nil, 0)},
+		[]RepGate{Rep(gate.H, nil, 0), Rep(gate.X, nil, 0)}))
+	// s·h·s·h·s ∝ h: a 5 → 1 collapse.
+	add(MustRule("cliffordt/shshs-to-h", 1, 0,
+		[]PatGate{
+			P(gate.S, nil, 0), P(gate.H, nil, 0), P(gate.S, nil, 0),
+			P(gate.H, nil, 0), P(gate.S, nil, 0),
+		},
+		[]RepGate{Rep(gate.H, nil, 0)}))
+	// (h·s)³ ∝ I.
+	add(MustRule("cliffordt/hs-cubed", 1, 0,
+		[]PatGate{
+			P(gate.S, nil, 0), P(gate.H, nil, 0),
+			P(gate.S, nil, 0), P(gate.H, nil, 0),
+			P(gate.S, nil, 0), P(gate.H, nil, 0),
+		},
+		nil))
+	// s·h·sdg·h — no shortening; skip.
+
+	// --- cx structure ---
+	add(MustRule("cliffordt/cx-shared-control", 3, 0,
+		[]PatGate{P(gate.CX, nil, 0, 1), P(gate.CX, nil, 0, 2)},
+		[]RepGate{Rep(gate.CX, nil, 0, 2), Rep(gate.CX, nil, 0, 1)}))
+	add(MustRule("cliffordt/cx-shared-target", 3, 0,
+		[]PatGate{P(gate.CX, nil, 0, 2), P(gate.CX, nil, 1, 2)},
+		[]RepGate{Rep(gate.CX, nil, 1, 2), Rep(gate.CX, nil, 0, 2)}))
+	add(MustRule("cliffordt/cx-chain-collapse", 3, 0,
+		[]PatGate{P(gate.CX, nil, 1, 2), P(gate.CX, nil, 0, 2), P(gate.CX, nil, 0, 1)},
+		[]RepGate{Rep(gate.CX, nil, 0, 1), Rep(gate.CX, nil, 1, 2)}))
+	add(MustRule("cliffordt/cx-reversal", 2, 0,
+		[]PatGate{
+			P(gate.H, nil, 0), P(gate.H, nil, 1),
+			P(gate.CX, nil, 0, 1),
+			P(gate.H, nil, 0), P(gate.H, nil, 1),
+		},
+		[]RepGate{Rep(gate.CX, nil, 1, 0)}))
+
+	return rs
+}

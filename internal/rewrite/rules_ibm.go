@@ -1,0 +1,144 @@
+package rewrite
+
+import (
+	"math"
+
+	"github.com/guoq-dev/guoq/internal/gate"
+)
+
+// Rule libraries for the two IBM gate sets of Table 2.
+
+// ibmq20Rules covers {u1, u2, u3, cx}. The u-gate algebra is mostly
+// nonlinear (generic fusion is handled exactly by the Fuse1Q built-in
+// transformation); the symbolic rules capture the linear fragment: u1
+// phase absorption, cx structure, and the cx reversal with h = u2(0, π).
+func ibmq20Rules() []*Rule {
+	var rs []*Rule
+	add := func(r *Rule) { rs = append(rs, r) }
+
+	add(MustRule("ibmq20/cx-cx-cancel", 2, 0,
+		[]PatGate{P(gate.CX, nil, 0, 1), P(gate.CX, nil, 0, 1)},
+		nil))
+	add(MustRule("ibmq20/u1-merge", 1, 2,
+		[]PatGate{P(gate.U1, []PatParam{V(0)}, 0), P(gate.U1, []PatParam{V(1)}, 0)},
+		[]RepGate{Rep(gate.U1, []ParamExpr{ESum(0, 1)}, 0)}))
+
+	// u1 absorbs into neighbouring u3/u2 exactly (diagonal composition).
+	add(MustRule("ibmq20/u1-into-u3", 1, 4,
+		[]PatGate{
+			P(gate.U1, []PatParam{V(0)}, 0),
+			P(gate.U3, []PatParam{V(1), V(2), V(3)}, 0),
+		},
+		[]RepGate{Rep(gate.U3, []ParamExpr{EV(1), EV(2), ESum(3, 0)}, 0)}))
+	add(MustRule("ibmq20/u3-into-u1", 1, 4,
+		[]PatGate{
+			P(gate.U3, []PatParam{V(1), V(2), V(3)}, 0),
+			P(gate.U1, []PatParam{V(0)}, 0),
+		},
+		[]RepGate{Rep(gate.U3, []ParamExpr{EV(1), ESum(2, 0), EV(3)}, 0)}))
+	add(MustRule("ibmq20/u1-into-u2", 1, 3,
+		[]PatGate{
+			P(gate.U1, []PatParam{V(0)}, 0),
+			P(gate.U2, []PatParam{V(1), V(2)}, 0),
+		},
+		[]RepGate{Rep(gate.U2, []ParamExpr{EV(1), ESum(2, 0)}, 0)}))
+	add(MustRule("ibmq20/u2-into-u1", 1, 3,
+		[]PatGate{
+			P(gate.U2, []PatParam{V(1), V(2)}, 0),
+			P(gate.U1, []PatParam{V(0)}, 0),
+		},
+		[]RepGate{Rep(gate.U2, []ParamExpr{ESum(1, 0), EV(2)}, 0)}))
+
+	// u1 commutes through the cx control.
+	add(MustRule("ibmq20/u1-cx-control", 2, 1,
+		[]PatGate{P(gate.U1, []PatParam{V(0)}, 0), P(gate.CX, nil, 0, 1)},
+		[]RepGate{Rep(gate.CX, nil, 0, 1), Rep(gate.U1, []ParamExpr{EV(0)}, 0)}))
+	add(MustRule("ibmq20/cx-control-u1", 2, 1,
+		[]PatGate{P(gate.CX, nil, 0, 1), P(gate.U1, []PatParam{V(0)}, 0)},
+		[]RepGate{Rep(gate.U1, []ParamExpr{EV(0)}, 0), Rep(gate.CX, nil, 0, 1)}))
+
+	// cx structure.
+	add(MustRule("ibmq20/cx-shared-control", 3, 0,
+		[]PatGate{P(gate.CX, nil, 0, 1), P(gate.CX, nil, 0, 2)},
+		[]RepGate{Rep(gate.CX, nil, 0, 2), Rep(gate.CX, nil, 0, 1)}))
+	add(MustRule("ibmq20/cx-shared-target", 3, 0,
+		[]PatGate{P(gate.CX, nil, 0, 2), P(gate.CX, nil, 1, 2)},
+		[]RepGate{Rep(gate.CX, nil, 1, 2), Rep(gate.CX, nil, 0, 2)}))
+	add(MustRule("ibmq20/cx-chain-collapse", 3, 0,
+		[]PatGate{P(gate.CX, nil, 1, 2), P(gate.CX, nil, 0, 2), P(gate.CX, nil, 0, 1)},
+		[]RepGate{Rep(gate.CX, nil, 0, 1), Rep(gate.CX, nil, 1, 2)}))
+	add(MustRule("ibmq20/cx-reversal", 2, 0,
+		[]PatGate{
+			P(gate.U2, []PatParam{C(0), C(math.Pi)}, 0),
+			P(gate.U2, []PatParam{C(0), C(math.Pi)}, 1),
+			P(gate.CX, nil, 0, 1),
+			P(gate.U2, []PatParam{C(0), C(math.Pi)}, 0),
+			P(gate.U2, []PatParam{C(0), C(math.Pi)}, 1),
+		},
+		[]RepGate{Rep(gate.CX, nil, 1, 0)}))
+
+	return rs
+}
+
+// ibmEagleRules covers {rz, sx, x, cx}.
+func ibmEagleRules() []*Rule {
+	var rs []*Rule
+	add := func(r *Rule) { rs = append(rs, r) }
+
+	add(MustRule("eagle/x-x-cancel", 1, 0,
+		[]PatGate{P(gate.X, nil, 0), P(gate.X, nil, 0)},
+		nil))
+	add(MustRule("eagle/cx-cx-cancel", 2, 0,
+		[]PatGate{P(gate.CX, nil, 0, 1), P(gate.CX, nil, 0, 1)},
+		nil))
+	add(MustRule("eagle/rz-merge", 1, 2,
+		[]PatGate{P(gate.Rz, []PatParam{V(0)}, 0), P(gate.Rz, []PatParam{V(1)}, 0)},
+		[]RepGate{Rep(gate.Rz, []ParamExpr{ESum(0, 1)}, 0)}))
+	add(MustRule("eagle/sx-sx-to-x", 1, 0,
+		[]PatGate{P(gate.SX, nil, 0), P(gate.SX, nil, 0)},
+		[]RepGate{Rep(gate.X, nil, 0)}))
+	add(MustRule("eagle/sx-x-sx-cancel", 1, 0,
+		[]PatGate{P(gate.SX, nil, 0), P(gate.X, nil, 0), P(gate.SX, nil, 0)},
+		nil))
+	add(MustRule("eagle/x-sx-x-to-sx", 1, 0,
+		[]PatGate{P(gate.X, nil, 0), P(gate.SX, nil, 0), P(gate.X, nil, 0)},
+		[]RepGate{Rep(gate.SX, nil, 0)}))
+	// z·sx·z ∝ sx·x (3 → 2, and frees an rz-merge on each side).
+	add(MustRule("eagle/z-sx-z-shorten", 1, 0,
+		[]PatGate{
+			P(gate.Rz, []PatParam{C(math.Pi)}, 0),
+			P(gate.SX, nil, 0),
+			P(gate.Rz, []PatParam{C(math.Pi)}, 0),
+		},
+		[]RepGate{Rep(gate.SX, nil, 0), Rep(gate.X, nil, 0)}))
+	add(MustRule("eagle/rz-x-flip", 1, 1,
+		[]PatGate{P(gate.Rz, []PatParam{V(0)}, 0), P(gate.X, nil, 0)},
+		[]RepGate{Rep(gate.X, nil, 0), Rep(gate.Rz, []ParamExpr{ENeg(0)}, 0)}))
+	add(MustRule("eagle/x-rz-flip", 1, 1,
+		[]PatGate{P(gate.X, nil, 0), P(gate.Rz, []PatParam{V(0)}, 0)},
+		[]RepGate{Rep(gate.Rz, []ParamExpr{ENeg(0)}, 0), Rep(gate.X, nil, 0)}))
+
+	add(MustRule("eagle/rz-cx-control", 2, 1,
+		[]PatGate{P(gate.Rz, []PatParam{V(0)}, 0), P(gate.CX, nil, 0, 1)},
+		[]RepGate{Rep(gate.CX, nil, 0, 1), Rep(gate.Rz, []ParamExpr{EV(0)}, 0)}))
+	add(MustRule("eagle/cx-control-rz", 2, 1,
+		[]PatGate{P(gate.CX, nil, 0, 1), P(gate.Rz, []PatParam{V(0)}, 0)},
+		[]RepGate{Rep(gate.Rz, []ParamExpr{EV(0)}, 0), Rep(gate.CX, nil, 0, 1)}))
+	add(MustRule("eagle/x-cx-target", 2, 0,
+		[]PatGate{P(gate.X, nil, 1), P(gate.CX, nil, 0, 1)},
+		[]RepGate{Rep(gate.CX, nil, 0, 1), Rep(gate.X, nil, 1)}))
+	add(MustRule("eagle/cx-target-x", 2, 0,
+		[]PatGate{P(gate.CX, nil, 0, 1), P(gate.X, nil, 1)},
+		[]RepGate{Rep(gate.X, nil, 1), Rep(gate.CX, nil, 0, 1)}))
+	add(MustRule("eagle/cx-shared-control", 3, 0,
+		[]PatGate{P(gate.CX, nil, 0, 1), P(gate.CX, nil, 0, 2)},
+		[]RepGate{Rep(gate.CX, nil, 0, 2), Rep(gate.CX, nil, 0, 1)}))
+	add(MustRule("eagle/cx-shared-target", 3, 0,
+		[]PatGate{P(gate.CX, nil, 0, 2), P(gate.CX, nil, 1, 2)},
+		[]RepGate{Rep(gate.CX, nil, 1, 2), Rep(gate.CX, nil, 0, 2)}))
+	add(MustRule("eagle/cx-chain-collapse", 3, 0,
+		[]PatGate{P(gate.CX, nil, 1, 2), P(gate.CX, nil, 0, 2), P(gate.CX, nil, 0, 1)},
+		[]RepGate{Rep(gate.CX, nil, 0, 1), Rep(gate.CX, nil, 1, 2)}))
+
+	return rs
+}

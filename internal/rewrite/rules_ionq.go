@@ -1,0 +1,91 @@
+package rewrite
+
+import (
+	"math"
+
+	"github.com/guoq-dev/guoq/internal/gate"
+)
+
+// ionqRules covers the trapped-ion set {rx, ry, rz, rxx}. Q1 observes this
+// set is hard for pure rule-based tools (QUESO) because ≤3-gate patterns
+// capture little of the continuous Rxx algebra — the library is accordingly
+// thin, which is exactly the regime where resynthesis compensates (Fig. 9).
+func ionqRules() []*Rule {
+	var rs []*Rule
+	add := func(r *Rule) { rs = append(rs, r) }
+
+	// Same-axis rotation merges.
+	for _, ax := range []gate.Name{gate.Rx, gate.Ry, gate.Rz} {
+		add(MustRule("ionq/"+string(ax)+"-merge", 1, 2,
+			[]PatGate{P(ax, []PatParam{V(0)}, 0), P(ax, []PatParam{V(1)}, 0)},
+			[]RepGate{Rep(ax, []ParamExpr{ESum(0, 1)}, 0)}))
+	}
+	add(MustRule("ionq/rxx-merge", 2, 2,
+		[]PatGate{P(gate.Rxx, []PatParam{V(0)}, 0, 1), P(gate.Rxx, []PatParam{V(1)}, 0, 1)},
+		[]RepGate{Rep(gate.Rxx, []ParamExpr{ESum(0, 1)}, 0, 1)}))
+
+	// π-rotation conjugation flips: P·R(θ)·P† = R(−θ) for anticommuting
+	// axes, with P ∈ {rx(π) ~ X, ry(π) ~ Y, rz(π) ~ Z}.
+	flip := func(name string, mover, moved gate.Name) {
+		add(MustRule("ionq/"+name, 1, 1,
+			[]PatGate{
+				P(moved, []PatParam{V(0)}, 0),
+				P(mover, []PatParam{C(math.Pi)}, 0),
+			},
+			[]RepGate{
+				Rep(mover, []ParamExpr{EC(math.Pi)}, 0),
+				Rep(moved, []ParamExpr{ENeg(0)}, 0),
+			}))
+	}
+	flip("rz-through-xpi", gate.Rx, gate.Rz)
+	flip("rz-through-ypi", gate.Ry, gate.Rz)
+	flip("rx-through-ypi", gate.Ry, gate.Rx)
+	flip("rx-through-zpi", gate.Rz, gate.Rx)
+	flip("ry-through-xpi", gate.Rx, gate.Ry)
+	flip("ry-through-zpi", gate.Rz, gate.Ry)
+
+	// rx commutes with rxx on either leg (X⊗X commutes with X⊗I and I⊗X).
+	for leg := 0; leg < 2; leg++ {
+		suffix := []string{"a", "b"}[leg]
+		add(MustRule("ionq/rx-rxx-commute-"+suffix, 2, 2,
+			[]PatGate{
+				P(gate.Rx, []PatParam{V(0)}, leg),
+				P(gate.Rxx, []PatParam{V(1)}, 0, 1),
+			},
+			[]RepGate{
+				Rep(gate.Rxx, []ParamExpr{EV(1)}, 0, 1),
+				Rep(gate.Rx, []ParamExpr{EV(0)}, leg),
+			}))
+		add(MustRule("ionq/rxx-rx-commute-"+suffix, 2, 2,
+			[]PatGate{
+				P(gate.Rxx, []PatParam{V(1)}, 0, 1),
+				P(gate.Rx, []PatParam{V(0)}, leg),
+			},
+			[]RepGate{
+				Rep(gate.Rx, []ParamExpr{EV(0)}, leg),
+				Rep(gate.Rxx, []ParamExpr{EV(1)}, 0, 1),
+			}))
+	}
+
+	// rxx(π) ∝ X⊗X: a two-qubit gate dissolves into local bit flips — the
+	// only rule in the library that removes a two-qubit gate outright.
+	add(MustRule("ionq/rxx-pi-split", 2, 0,
+		[]PatGate{P(gate.Rxx, []PatParam{C(math.Pi)}, 0, 1)},
+		[]RepGate{
+			Rep(gate.Rx, []ParamExpr{EC(math.Pi)}, 0),
+			Rep(gate.Rx, []ParamExpr{EC(math.Pi)}, 1),
+		}))
+
+	// Overlapping rxx gates commute (all X operators commute).
+	add(MustRule("ionq/rxx-rxx-chain-commute", 3, 2,
+		[]PatGate{
+			P(gate.Rxx, []PatParam{V(0)}, 0, 1),
+			P(gate.Rxx, []PatParam{V(1)}, 1, 2),
+		},
+		[]RepGate{
+			Rep(gate.Rxx, []ParamExpr{EV(1)}, 1, 2),
+			Rep(gate.Rxx, []ParamExpr{EV(0)}, 0, 1),
+		}))
+
+	return rs
+}

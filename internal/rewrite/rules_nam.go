@@ -1,0 +1,117 @@
+package rewrite
+
+import (
+	"math"
+
+	"github.com/guoq-dev/guoq/internal/gate"
+)
+
+// Rule library for the Nam gate set {rz, h, x, cx}. These mirror the
+// QUESO-style small-pattern rules (≤ 5 gates): cancellations, merges,
+// commutations (size-neutral moves that unlock later reductions), and the
+// classic CX-reversal collapse. Every rule is verified by TestAllRulesSound.
+
+func namRules() []*Rule {
+	var rs []*Rule
+	add := func(r *Rule) { rs = append(rs, r) }
+
+	// --- cancellations (Fig. 3a and friends) ---
+	add(MustRule("nam/h-h", 1, 0,
+		[]PatGate{P(gate.H, nil, 0), P(gate.H, nil, 0)},
+		nil))
+	add(MustRule("nam/x-x", 1, 0,
+		[]PatGate{P(gate.X, nil, 0), P(gate.X, nil, 0)},
+		nil))
+	add(MustRule("nam/cx-cx", 2, 0,
+		[]PatGate{P(gate.CX, nil, 0, 1), P(gate.CX, nil, 0, 1)},
+		nil))
+
+	// --- merges (Fig. 3d) ---
+	add(MustRule("nam/rz-merge", 1, 2,
+		[]PatGate{P(gate.Rz, []PatParam{V(0)}, 0), P(gate.Rz, []PatParam{V(1)}, 0)},
+		[]RepGate{Rep(gate.Rz, []ParamExpr{ESum(0, 1)}, 0)}))
+
+	// --- single-qubit identities ---
+	// x·rz(θ)·x = rz(−θ): [rz(θ), x] ≡ [x, rz(−θ)] and vice versa.
+	add(MustRule("nam/rz-x-flip", 1, 1,
+		[]PatGate{P(gate.Rz, []PatParam{V(0)}, 0), P(gate.X, nil, 0)},
+		[]RepGate{Rep(gate.X, nil, 0), Rep(gate.Rz, []ParamExpr{ENeg(0)}, 0)}))
+	add(MustRule("nam/x-rz-flip", 1, 1,
+		[]PatGate{P(gate.X, nil, 0), P(gate.Rz, []PatParam{V(0)}, 0)},
+		[]RepGate{Rep(gate.Rz, []ParamExpr{ENeg(0)}, 0), Rep(gate.X, nil, 0)}))
+	// h·x·h = z = rz(π) (mod phase), and the reverse direction.
+	add(MustRule("nam/h-x-h", 1, 0,
+		[]PatGate{P(gate.H, nil, 0), P(gate.X, nil, 0), P(gate.H, nil, 0)},
+		[]RepGate{Rep(gate.Rz, []ParamExpr{EC(math.Pi)}, 0)}))
+	add(MustRule("nam/h-z-h", 1, 0,
+		[]PatGate{P(gate.H, nil, 0), P(gate.Rz, []PatParam{C(math.Pi)}, 0), P(gate.H, nil, 0)},
+		[]RepGate{Rep(gate.X, nil, 0)}))
+	// h·rz(±π/2)·h = rx(±π/2) → expressible as rz·h·rz? Keep the compact
+	// Euler flip: h rz(π/2) h = rz(π/2)? No — use the verified pair below:
+	// h·rz(π/2)·h·rz(π/2) appears in QFT tails; handled by resynthesis.
+
+	// --- commutations (Fig. 3b, 3c) ---
+	// rz through the cx control.
+	add(MustRule("nam/rz-cx-control", 2, 1,
+		[]PatGate{P(gate.Rz, []PatParam{V(0)}, 0), P(gate.CX, nil, 0, 1)},
+		[]RepGate{Rep(gate.CX, nil, 0, 1), Rep(gate.Rz, []ParamExpr{EV(0)}, 0)}))
+	add(MustRule("nam/cx-control-rz", 2, 1,
+		[]PatGate{P(gate.CX, nil, 0, 1), P(gate.Rz, []PatParam{V(0)}, 0)},
+		[]RepGate{Rep(gate.Rz, []ParamExpr{EV(0)}, 0), Rep(gate.CX, nil, 0, 1)}))
+	// x through the cx target.
+	add(MustRule("nam/x-cx-target", 2, 0,
+		[]PatGate{P(gate.X, nil, 1), P(gate.CX, nil, 0, 1)},
+		[]RepGate{Rep(gate.CX, nil, 0, 1), Rep(gate.X, nil, 1)}))
+	add(MustRule("nam/cx-target-x", 2, 0,
+		[]PatGate{P(gate.CX, nil, 0, 1), P(gate.X, nil, 1)},
+		[]RepGate{Rep(gate.X, nil, 1), Rep(gate.CX, nil, 0, 1)}))
+	// cx pairs sharing a control or sharing a target commute.
+	add(MustRule("nam/cx-shared-control", 3, 0,
+		[]PatGate{P(gate.CX, nil, 0, 1), P(gate.CX, nil, 0, 2)},
+		[]RepGate{Rep(gate.CX, nil, 0, 2), Rep(gate.CX, nil, 0, 1)}))
+	add(MustRule("nam/cx-shared-target", 3, 0,
+		[]PatGate{P(gate.CX, nil, 0, 2), P(gate.CX, nil, 1, 2)},
+		[]RepGate{Rep(gate.CX, nil, 1, 2), Rep(gate.CX, nil, 0, 2)}))
+	// Nontrivial 3-qubit commutation: cx(0,1)·cx(1,2) = cx(1,2)·cx(0,2)·cx(0,1)
+	// is size-increasing; its reverse is size-decreasing.
+	add(MustRule("nam/cx-chain-collapse", 3, 0,
+		[]PatGate{P(gate.CX, nil, 1, 2), P(gate.CX, nil, 0, 2), P(gate.CX, nil, 0, 1)},
+		[]RepGate{Rep(gate.CX, nil, 0, 1), Rep(gate.CX, nil, 1, 2)}))
+
+	// --- cx reversal: (H⊗H)·CX(0,1)·(H⊗H) = CX(1,0) ---
+	add(MustRule("nam/cx-reversal", 2, 0,
+		[]PatGate{
+			P(gate.H, nil, 0), P(gate.H, nil, 1),
+			P(gate.CX, nil, 0, 1),
+			P(gate.H, nil, 0), P(gate.H, nil, 1),
+		},
+		[]RepGate{Rep(gate.CX, nil, 1, 0)}))
+
+	// Z moves through H as X (Z·H = H·X), unlocking x cancellations.
+	add(MustRule("nam/h-z-commute", 1, 0,
+		[]PatGate{P(gate.H, nil, 0), P(gate.Rz, []PatParam{C(math.Pi)}, 0)},
+		[]RepGate{Rep(gate.X, nil, 0), Rep(gate.H, nil, 0)}))
+	add(MustRule("nam/z-h-commute", 1, 0,
+		[]PatGate{P(gate.Rz, []PatParam{C(math.Pi)}, 0), P(gate.H, nil, 0)},
+		[]RepGate{Rep(gate.H, nil, 0), Rep(gate.X, nil, 0)}))
+	// s·h·s·h·s ∝ h (from (H·S)³ ∝ I): a 5 → 1 collapse.
+	add(MustRule("nam/shshs-to-h", 1, 0,
+		[]PatGate{
+			P(gate.Rz, []PatParam{C(math.Pi / 2)}, 0), P(gate.H, nil, 0),
+			P(gate.Rz, []PatParam{C(math.Pi / 2)}, 0), P(gate.H, nil, 0),
+			P(gate.Rz, []PatParam{C(math.Pi / 2)}, 0),
+		},
+		[]RepGate{Rep(gate.H, nil, 0)}))
+
+	// (H·S)³ ∝ I — the order-3 axis of the single-qubit Clifford group,
+	// with S written as rz(π/2).
+	add(MustRule("nam/hs-cubed", 1, 0,
+		[]PatGate{
+			P(gate.Rz, []PatParam{C(math.Pi / 2)}, 0), P(gate.H, nil, 0),
+			P(gate.Rz, []PatParam{C(math.Pi / 2)}, 0), P(gate.H, nil, 0),
+			P(gate.Rz, []PatParam{C(math.Pi / 2)}, 0), P(gate.H, nil, 0),
+		},
+		[]RepGate{}))
+
+	return rs
+}

@@ -1,0 +1,213 @@
+// Package stabilizer implements an Aaronson–Gottesman (CHP) tableau
+// simulator for Clifford circuits. Conjugation of the 2n Pauli generators
+// costs O(n) bits per gate, so Clifford circuits of any width verify
+// exactly — a counterpart to package verify's sampling check:
+//
+//   - verify:     any gates, ≤ 24 qubits, probabilistic
+//   - stabilizer: Clifford gates only, unbounded width, exact
+//
+// A Clifford unitary equals the identity (up to global phase) iff it
+// conjugates every X_i and Z_i to itself with positive sign, so circuit
+// equivalence reduces to "apply A then B† and check the tableau is
+// trivial".
+package stabilizer
+
+import (
+	"fmt"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+)
+
+// Tableau tracks the images of the destabilizer (X_i) and stabilizer (Z_i)
+// generators under conjugation. Row i < n is the image of X_i; row n+i is
+// the image of Z_i. Bits are packed 64 per word.
+type Tableau struct {
+	n     int
+	words int
+	x     [][]uint64 // x[row][word]
+	z     [][]uint64
+	r     []uint8 // sign bit per row (0: +, 1: −)
+}
+
+// NewIdentity returns the identity tableau on n qubits.
+func NewIdentity(n int) *Tableau {
+	words := (n + 63) / 64
+	t := &Tableau{n: n, words: words,
+		x: make([][]uint64, 2*n), z: make([][]uint64, 2*n), r: make([]uint8, 2*n)}
+	for row := 0; row < 2*n; row++ {
+		t.x[row] = make([]uint64, words)
+		t.z[row] = make([]uint64, words)
+	}
+	for i := 0; i < n; i++ {
+		t.x[i][i/64] |= 1 << uint(i%64)   // row i = X_i
+		t.z[n+i][i/64] |= 1 << uint(i%64) // row n+i = Z_i
+	}
+	return t
+}
+
+// N returns the qubit count.
+func (t *Tableau) N() int { return t.n }
+
+func (t *Tableau) getX(row, q int) uint64 { return (t.x[row][q/64] >> uint(q%64)) & 1 }
+func (t *Tableau) getZ(row, q int) uint64 { return (t.z[row][q/64] >> uint(q%64)) & 1 }
+
+// ApplyH applies a Hadamard on qubit q: X↔Z, phase flips when both set.
+func (t *Tableau) ApplyH(q int) {
+	w, b := q/64, uint(q%64)
+	for row := 0; row < 2*t.n; row++ {
+		xq := (t.x[row][w] >> b) & 1
+		zq := (t.z[row][w] >> b) & 1
+		t.r[row] ^= uint8(xq & zq)
+		// swap bits
+		t.x[row][w] ^= (xq ^ zq) << b
+		t.z[row][w] ^= (xq ^ zq) << b
+	}
+}
+
+// ApplyS applies the phase gate on qubit q: Z ^= X, phase flips when both.
+func (t *Tableau) ApplyS(q int) {
+	w, b := q/64, uint(q%64)
+	for row := 0; row < 2*t.n; row++ {
+		xq := (t.x[row][w] >> b) & 1
+		zq := (t.z[row][w] >> b) & 1
+		t.r[row] ^= uint8(xq & zq)
+		t.z[row][w] ^= xq << b
+	}
+}
+
+// ApplyCX applies a CNOT with control c and target tq.
+func (t *Tableau) ApplyCX(c, tq int) {
+	cw, cb := c/64, uint(c%64)
+	tw, tb := tq/64, uint(tq%64)
+	for row := 0; row < 2*t.n; row++ {
+		xc := (t.x[row][cw] >> cb) & 1
+		zc := (t.z[row][cw] >> cb) & 1
+		xt := (t.x[row][tw] >> tb) & 1
+		zt := (t.z[row][tw] >> tb) & 1
+		t.r[row] ^= uint8(xc & zt & (xt ^ zc ^ 1))
+		t.x[row][tw] ^= xc << tb
+		t.z[row][cw] ^= zt << cb
+	}
+}
+
+// ApplyGate applies any Clifford gate from the vocabulary, or returns an
+// error for non-Clifford gates (t, rotations with generic angles, ...).
+func (t *Tableau) ApplyGate(g gate.Gate) error {
+	q := g.Qubits
+	switch g.Name {
+	case gate.I:
+	case gate.H:
+		t.ApplyH(q[0])
+	case gate.S:
+		t.ApplyS(q[0])
+	case gate.Sdg:
+		t.ApplyS(q[0])
+		t.ApplyS(q[0])
+		t.ApplyS(q[0])
+	case gate.Z:
+		t.ApplyS(q[0])
+		t.ApplyS(q[0])
+	case gate.X:
+		t.ApplyH(q[0])
+		t.ApplyS(q[0])
+		t.ApplyS(q[0])
+		t.ApplyH(q[0])
+	case gate.Y: // conjugation by Y = conjugation by Z·X (phase is global)
+		t.ApplyS(q[0])
+		t.ApplyS(q[0])
+		t.ApplyH(q[0])
+		t.ApplyS(q[0])
+		t.ApplyS(q[0])
+		t.ApplyH(q[0])
+	case gate.SX, gate.SXdg: // √X ~ H·S(†)·H up to global phase
+		t.ApplyH(q[0])
+		t.ApplyS(q[0])
+		if g.Name == gate.SXdg {
+			t.ApplyS(q[0])
+			t.ApplyS(q[0])
+		}
+		t.ApplyH(q[0])
+	case gate.CX:
+		t.ApplyCX(q[0], q[1])
+	case gate.CZ:
+		t.ApplyH(q[1])
+		t.ApplyCX(q[0], q[1])
+		t.ApplyH(q[1])
+	case gate.Swap:
+		t.ApplyCX(q[0], q[1])
+		t.ApplyCX(q[1], q[0])
+		t.ApplyCX(q[0], q[1])
+	default:
+		return fmt.Errorf("stabilizer: %s is not a Clifford gate", g.Name)
+	}
+	return nil
+}
+
+// Apply runs a whole circuit through a fresh tableau.
+func Apply(c *circuit.Circuit) (*Tableau, error) {
+	t := NewIdentity(c.NumQubits)
+	for _, g := range c.Gates {
+		if err := t.ApplyGate(g); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// IsIdentity reports whether the tableau is the identity conjugation: every
+// generator maps to itself with positive sign — i.e. the simulated Clifford
+// is e^{iφ}·I.
+func (t *Tableau) IsIdentity() bool {
+	for i := 0; i < t.n; i++ {
+		if t.r[i] != 0 || t.r[t.n+i] != 0 {
+			return false
+		}
+		for w := 0; w < t.words; w++ {
+			wantX := uint64(0)
+			if w == i/64 {
+				wantX = 1 << uint(i%64)
+			}
+			if t.x[i][w] != wantX || t.z[i][w] != 0 {
+				return false
+			}
+			if t.z[t.n+i][w] != wantX || t.x[t.n+i][w] != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsClifford reports whether every gate of the circuit is supported.
+func IsClifford(c *circuit.Circuit) bool {
+	for _, g := range c.Gates {
+		switch g.Name {
+		case gate.I, gate.H, gate.S, gate.Sdg, gate.Z, gate.X, gate.Y,
+			gate.SX, gate.SXdg, gate.CX, gate.CZ, gate.Swap:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// EquivalentClifford checks a ≡ b (mod global phase) exactly, for Clifford
+// circuits of any width, by simulating a·b† and testing for the identity.
+func EquivalentClifford(a, b *circuit.Circuit) (bool, error) {
+	if a.NumQubits != b.NumQubits {
+		return false, fmt.Errorf("stabilizer: qubit counts differ: %d vs %d", a.NumQubits, b.NumQubits)
+	}
+	t := NewIdentity(a.NumQubits)
+	for _, g := range a.Gates {
+		if err := t.ApplyGate(g); err != nil {
+			return false, err
+		}
+	}
+	for _, g := range b.Inverse().Gates {
+		if err := t.ApplyGate(g); err != nil {
+			return false, err
+		}
+	}
+	return t.IsIdentity(), nil
+}

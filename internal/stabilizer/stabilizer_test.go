@@ -1,0 +1,155 @@
+package stabilizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/benchmarks"
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/linalg"
+)
+
+var cliffordVocab = []gate.Name{
+	gate.H, gate.S, gate.Sdg, gate.X, gate.Y, gate.Z, gate.SX, gate.SXdg,
+	gate.CX, gate.CZ, gate.Swap,
+}
+
+func TestIdentityTableau(t *testing.T) {
+	tab := NewIdentity(5)
+	if !tab.IsIdentity() {
+		t.Fatal("fresh tableau should be identity")
+	}
+	tab.ApplyH(2)
+	if tab.IsIdentity() {
+		t.Fatal("H is not the identity")
+	}
+	tab.ApplyH(2)
+	if !tab.IsIdentity() {
+		t.Fatal("H·H should restore the identity")
+	}
+}
+
+func TestKnownCliffordIdentities(t *testing.T) {
+	cases := []struct {
+		name  string
+		gates []gate.Gate
+	}{
+		{"ssss", []gate.Gate{gate.NewS(0), gate.NewS(0), gate.NewS(0), gate.NewS(0)}},
+		{"s-sdg", []gate.Gate{gate.NewS(0), gate.NewSdg(0)}},
+		{"xx", []gate.Gate{gate.NewX(0), gate.NewX(0)}},
+		{"cxcx", []gate.Gate{gate.NewCX(0, 1), gate.NewCX(0, 1)}},
+		{"hzh=x", []gate.Gate{gate.NewH(0), gate.NewZ(0), gate.NewH(0), gate.NewX(0)}},
+		{"swap=3cx", []gate.Gate{gate.NewSwap(0, 1), gate.NewCX(0, 1), gate.NewCX(1, 0), gate.NewCX(0, 1)}},
+		{"cz-sym", []gate.Gate{gate.NewCZ(0, 1), gate.NewCZ(1, 0)}},
+		{"sxsx=x", []gate.Gate{gate.NewSX(0), gate.NewSX(0), gate.NewX(0)}},
+		{"yy", []gate.Gate{gate.NewY(0), gate.NewY(0)}},
+	}
+	for _, c := range cases {
+		circ := circuit.New(2)
+		circ.Append(c.gates...)
+		tab, err := Apply(circ)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !tab.IsIdentity() {
+			t.Errorf("%s: should conjugate to identity", c.name)
+		}
+	}
+}
+
+// TestAgreesWithUnitary cross-checks the tableau equivalence decision
+// against exact unitary comparison on small random Clifford circuits.
+func TestAgreesWithUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		a := circuit.Random(3, 14, cliffordVocab, rng)
+		var b *circuit.Circuit
+		if trial%2 == 0 {
+			// Equivalent variant: append a do-undo pair.
+			b = a.Clone()
+			b.Append(gate.NewCX(0, 2), gate.NewCX(0, 2))
+		} else {
+			b = circuit.Random(3, 14, cliffordVocab, rng)
+		}
+		want := linalg.EqualUpToPhase(a.Unitary(), b.Unitary(), 1e-9)
+		got, err := EquivalentClifford(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: tableau says %v, unitary says %v", trial, got, want)
+		}
+	}
+}
+
+func TestWideCliffordEquivalence(t *testing.T) {
+	// 60-qubit check — far beyond any state-vector method.
+	rng := rand.New(rand.NewSource(2))
+	a := circuit.Random(60, 600, cliffordVocab, rng)
+	ok, err := EquivalentClifford(a, a.Clone())
+	if err != nil || !ok {
+		t.Fatalf("wide self-equivalence failed: %v %v", ok, err)
+	}
+	// C·C† must be the identity conjugation.
+	full := a.Clone()
+	full.Append(a.Inverse().Gates...)
+	tab, err := Apply(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.IsIdentity() {
+		t.Fatal("C·C† tableau not identity")
+	}
+	// Tampering must be detected.
+	b := a.Clone()
+	b.Gates[300] = gate.NewS(b.Gates[300].Qubits[0])
+	ok, err = EquivalentClifford(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("tampered wide circuit passed")
+	}
+}
+
+func TestRejectsNonClifford(t *testing.T) {
+	c := circuit.New(1)
+	c.Append(gate.NewT(0))
+	if _, err := Apply(c); err == nil {
+		t.Fatal("T gate should be rejected")
+	}
+	if IsClifford(c) {
+		t.Fatal("IsClifford(T) = true")
+	}
+	c2 := circuit.New(2)
+	c2.Append(gate.NewH(0), gate.NewCZ(0, 1))
+	if !IsClifford(c2) {
+		t.Fatal("Clifford circuit misclassified")
+	}
+}
+
+func TestHiddenShiftIdentityCheck(t *testing.T) {
+	// The hidden-shift benchmark is Clifford-only: two instances with the
+	// same shift are equal; different shifts differ.
+	a := benchmarks.HiddenShift(12, 0x3b, 1)
+	b := benchmarks.HiddenShift(12, 0x3b, 99)
+	ok, err := EquivalentClifford(a, b)
+	if err != nil || !ok {
+		t.Fatalf("same shift should be equivalent: %v %v", ok, err)
+	}
+	c := benchmarks.HiddenShift(12, 0x1c, 1)
+	ok, err = EquivalentClifford(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("different shifts should differ")
+	}
+}
+
+func TestMismatchedWidths(t *testing.T) {
+	if _, err := EquivalentClifford(circuit.New(2), circuit.New(3)); err == nil {
+		t.Fatal("width mismatch should error")
+	}
+}

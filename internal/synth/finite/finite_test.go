@@ -1,0 +1,101 @@
+package finite
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/linalg"
+)
+
+func TestIdentityIsEmpty(t *testing.T) {
+	s := New()
+	out, err := s.Synthesize(linalg.Identity(4), 2, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("identity gave %d gates", out.Len())
+	}
+}
+
+func TestBFS1QFindsMinimal(t *testing.T) {
+	s := New()
+	// Target: T·H (2 gates). BFS must find a word of length ≤ 2.
+	c := circuit.New(1)
+	c.Append(gate.NewH(0), gate.NewT(0))
+	out, err := s.Synthesize(c.Unitary(), 1, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() > 2 {
+		t.Fatalf("BFS found %d gates for an H·T target", out.Len())
+	}
+	if d := linalg.HSDistance(out.Unitary(), c.Unitary()); d > 1e-8 {
+		t.Fatalf("distance %g", d)
+	}
+}
+
+func TestBFS1QRandomWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New()
+	vocab := []gate.Name{gate.H, gate.T, gate.Tdg, gate.S, gate.X}
+	for trial := 0; trial < 10; trial++ {
+		c := circuit.Random(1, 6, vocab, rng)
+		out, err := s.Synthesize(c.Unitary(), 1, 1e-8)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if out.Len() > 6 {
+			t.Fatalf("trial %d: found %d gates for a 6-gate target", trial, out.Len())
+		}
+		if d := linalg.HSDistance(out.Unitary(), c.Unitary()); d > 1e-8 {
+			t.Fatalf("trial %d: distance %g", trial, d)
+		}
+	}
+}
+
+func TestAnneal2QShortTargets(t *testing.T) {
+	s := New()
+	s.Seed = 42
+	// cx·(t ⊗ id) — a 2-gate Clifford+T circuit.
+	c := circuit.New(2)
+	c.Append(gate.NewT(1), gate.NewCX(0, 1))
+	out, err := s.Synthesize(c.Unitary(), 2, 1e-8)
+	if err != nil {
+		t.Skipf("annealer missed a short target within budget: %v", err)
+	}
+	if d := linalg.HSDistance(out.Unitary(), c.Unitary()); d > 1e-8 {
+		t.Fatalf("distance %g", d)
+	}
+	if !gateset.CliffordT.IsNative(out) {
+		t.Fatal("non-native output")
+	}
+}
+
+func TestAnnealRespectsTolerance(t *testing.T) {
+	// Whatever the annealer returns must be within eps.
+	rng := rand.New(rand.NewSource(2))
+	s := New()
+	s.Iters = 1500
+	vocab := []gate.Name{gate.H, gate.T, gate.S, gate.X, gate.CX}
+	for trial := 0; trial < 3; trial++ {
+		c := circuit.Random(2, 4, vocab, rng)
+		out, err := s.Synthesize(c.Unitary(), 2, 1e-8)
+		if err != nil {
+			continue // no solution found is acceptable
+		}
+		if d := linalg.HSDistance(out.Unitary(), c.Unitary()); d > 1e-8 {
+			t.Fatalf("trial %d: returned a solution outside tolerance: %g", trial, d)
+		}
+	}
+}
+
+func TestTooManyQubitsRejected(t *testing.T) {
+	s := New()
+	if _, err := s.Synthesize(linalg.Identity(16), 4, 1e-8); err == nil {
+		t.Fatal("4 qubits should be rejected")
+	}
+}

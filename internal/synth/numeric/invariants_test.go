@@ -1,0 +1,137 @@
+package numeric
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/linalg"
+)
+
+func TestDet4(t *testing.T) {
+	if d := det4(linalg.Identity(4)); cmplx.Abs(d-1) > 1e-12 {
+		t.Fatalf("det(I) = %v", d)
+	}
+	// det of a diagonal matrix is the product of entries.
+	m := linalg.Identity(4)
+	m.Set(0, 0, 2i)
+	m.Set(3, 3, -3)
+	if d := det4(m); cmplx.Abs(d-(-6i)) > 1e-12 {
+		t.Fatalf("det(diag) = %v, want -6i", d)
+	}
+	// det of a unitary has modulus 1.
+	rng := rand.New(rand.NewSource(1))
+	u := circuit.Random(2, 12, circuit.DefaultTestVocab, rng).Unitary()
+	if d := det4(u); math.Abs(cmplx.Abs(d)-1) > 1e-9 {
+		t.Fatalf("|det(U)| = %g", cmplx.Abs(d))
+	}
+}
+
+// random2QWithCX builds a random 2-qubit circuit with exactly k CX gates
+// separated by random single-qubit gates — its minimal CX count is ≤ k, and
+// generically exactly k.
+func random2QWithCX(k int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New(2)
+	sprinkle := func() {
+		for q := 0; q < 2; q++ {
+			c.Append(gate.NewU3(
+				rng.Float64()*math.Pi,
+				rng.Float64()*2*math.Pi-math.Pi,
+				rng.Float64()*2*math.Pi-math.Pi, q))
+		}
+	}
+	sprinkle()
+	for i := 0; i < k; i++ {
+		if rng.Intn(2) == 0 {
+			c.Append(gate.NewCX(0, 1))
+		} else {
+			c.Append(gate.NewCX(1, 0))
+		}
+		sprinkle()
+	}
+	return c
+}
+
+func TestMinCXCountKnownGates(t *testing.T) {
+	cases := []struct {
+		name string
+		u    linalg.Matrix
+		want int
+	}{
+		{"identity", linalg.Identity(4), 0},
+		{"cx", gate.Matrix(gate.NewCX(0, 1)), 1},
+		{"cz", gate.Matrix(gate.NewCZ(0, 1)), 1},
+		{"swap", gate.Matrix(gate.NewSwap(0, 1)), 3},
+		{"local", linalg.Kron(gate.Matrix(gate.NewH(0)), gate.Matrix(gate.NewT(0))), 0},
+	}
+	for _, c := range cases {
+		if got := MinCXCount(c.u); got != c.want {
+			t.Errorf("%s: MinCXCount = %d, want %d", c.name, got, c.want)
+		}
+	}
+	// iSWAP-class: rxx(π/2) composed with rzz-style phases needs 2.
+	c2 := circuit.New(2)
+	c2.Append(gate.NewRxx(math.Pi/3, 0, 1), gate.NewRzz(math.Pi/5, 0, 1))
+	if got := MinCXCount(c2.Unitary()); got != 2 {
+		t.Errorf("two-axis interaction: MinCXCount = %d, want 2", got)
+	}
+}
+
+func TestMinCXCountGenericCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for k := 0; k <= 3; k++ {
+		for trial := 0; trial < 10; trial++ {
+			c := random2QWithCX(k, rng)
+			got := MinCXCount(c.Unitary())
+			if got > k {
+				t.Fatalf("k=%d trial %d: predicted %d > constructed %d", k, trial, got, k)
+			}
+			// Generic angles almost surely need exactly k.
+			if k <= 1 && got != k {
+				t.Fatalf("k=%d trial %d: predicted %d", k, trial, got)
+			}
+		}
+	}
+}
+
+func TestMinCXCountLocalInvariance(t *testing.T) {
+	// The invariant must not change under pre/post single-qubit gates.
+	rng := rand.New(rand.NewSource(3))
+	base := random2QWithCX(2, rng)
+	want := MinCXCount(base.Unitary())
+	for trial := 0; trial < 10; trial++ {
+		c := base.Clone()
+		pre := circuit.New(2)
+		pre.Append(gate.NewU3(rng.Float64()*3, rng.Float64(), rng.Float64(), rng.Intn(2)))
+		pre.Append(c.Gates...)
+		pre.Append(gate.NewU3(rng.Float64()*3, rng.Float64(), rng.Float64(), rng.Intn(2)))
+		if got := MinCXCount(pre.Unitary()); got != want {
+			t.Fatalf("trial %d: local gates changed invariant %d -> %d", trial, want, got)
+		}
+	}
+}
+
+// TestSearchStartsAtPredictedDepth checks the synthesizer integration: a
+// 2-CX-class target must synthesize with exactly 2 CX.
+func TestSearchStartsAtPredictedDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := New(gateset.IBMQ20)
+	for trial := 0; trial < 5; trial++ {
+		c := random2QWithCX(2, rng)
+		u := c.Unitary()
+		if MinCXCount(u) != 2 {
+			continue // degenerate draw
+		}
+		out, err := s.Synthesize(u, 2, 1e-8)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := out.TwoQubitCount(); got != 2 {
+			t.Fatalf("trial %d: synthesized with %d CX, invariant says 2", trial, got)
+		}
+	}
+}

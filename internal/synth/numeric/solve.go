@@ -1,0 +1,205 @@
+package numeric
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/linalg"
+)
+
+// Rotosolve-style exact coordinate ascent on the Hilbert–Schmidt overlap.
+//
+// For a template U(θ) = M_k ··· M_1 and target A, the normalized overlap is
+// τ = Tr(A†·U)/N and Δ = sqrt(1 − |τ|²). Every parameterized element is a
+// Pauli rotation M_p(θ) = cos(θ/2)·I − i·sin(θ/2)·P, so with all other
+// angles fixed
+//
+//	Tr(A†·U) = a·cos(θ/2) + b·sin(θ/2)
+//
+// with a = Tr(L·R) and b = Tr(L·(−iP)·R) for the partial products L, R
+// around position p. |a·cos x + b·sin x|² is a sinusoid in 2x, so the
+// maximizing θ has the closed form θ* = atan2(C, A−B) with A = |a|²,
+// B = |b|², C = 2·Re(a·conj(b)). Each sweep monotonically increases |τ|.
+
+// overlap returns |Tr(A†·U(params))| / N.
+func (t *Template) overlap(adj linalg.Matrix, params []float64) float64 {
+	u := t.Unitary(params)
+	return cmplx.Abs(linalg.Trace(linalg.Mul(adj, u))) / float64(u.N)
+}
+
+// Distance returns the HS distance of the instantiated template from the
+// target (given as the target itself, not its adjoint).
+func (t *Template) Distance(target linalg.Matrix, params []float64) float64 {
+	return linalg.HSDistance(target, t.Unitary(params))
+}
+
+// sweep performs one coordinate-ascent pass over all parameters, returning
+// the final |τ|. adj is the target's adjoint.
+func (t *Template) sweep(adj linalg.Matrix, params []float64) float64 {
+	dim := 1 << t.N
+	// Suffix products S[i] = M_k ··· M_i (matrices applied after element i).
+	k := len(t.Elems)
+	suffix := make([]linalg.Matrix, k+1)
+	suffix[k] = linalg.Identity(dim)
+	pidx := make([]int, k)
+	pi := t.nparam
+	for i := k - 1; i >= 0; i-- {
+		e := t.Elems[i]
+		if !e.fixed {
+			pi--
+			pidx[i] = pi
+		} else {
+			pidx[i] = -1
+		}
+		m := suffix[i+1].Clone()
+		// Left-multiplication by M_i happens on the right side of the
+		// suffix: S[i] = S[i+1]·M_i, i.e. apply M_i's adjoint… Instead keep
+		// S[i] = S[i+1]·Expand(M_i) by multiplying on the right:
+		var gm linalg.Matrix
+		if e.fixed {
+			gm = gate.Matrix(gate.New(e.name, e.qubits, nil))
+		} else {
+			gm = gate.Matrix(gate.New(e.name, e.qubits, []float64{params[pidx[i]]}))
+		}
+		m = mulRight(m, gm, e.qubits, t.N)
+		suffix[i] = m
+	}
+	// Prefix R = M_{i-1} ··· M_1, updated as we move right.
+	prefix := linalg.Identity(dim)
+	var tau float64
+	for i := 0; i < k; i++ {
+		e := t.Elems[i]
+		if e.fixed {
+			gm := gate.Matrix(gate.New(e.name, e.qubits, nil))
+			linalg.ApplyGateLeft(gm, e.qubits, t.N, prefix)
+			continue
+		}
+		// L = A†·S[i+1]; a = Tr(L·R), b = Tr(L·(−iP)·R).
+		L := linalg.Mul(adj, suffix[i+1])
+		LR := linalg.Mul(L, prefix)
+		a := linalg.Trace(LR)
+		// (−iP)·R: apply the Pauli generator to prefix.
+		pr := prefix.Clone()
+		var pauli linalg.Matrix
+		if e.name == gate.Rz {
+			pauli = linalg.FromRows([][]complex128{{-1i, 0}, {0, 1i}}) // −i·σz
+		} else {
+			pauli = linalg.FromRows([][]complex128{{0, -1}, {1, 0}}) // −i·σy
+		}
+		linalg.ApplyGateLeft(pauli, e.qubits, t.N, pr)
+		b := linalg.Trace(linalg.Mul(L, pr))
+		A := real(a)*real(a) + imag(a)*imag(a)
+		B := real(b)*real(b) + imag(b)*imag(b)
+		C := 2 * (real(a)*real(b) + imag(a)*imag(b))
+		theta := math.Atan2(C, A-B)
+		params[pidx[i]] = theta
+		// Fold the updated element into the prefix.
+		gm := gate.Matrix(gate.New(e.name, e.qubits, []float64{theta}))
+		linalg.ApplyGateLeft(gm, e.qubits, t.N, prefix)
+		// |τ| at the optimum of this coordinate.
+		x := theta / 2
+		v := complex(math.Cos(x), 0)*a + complex(math.Sin(x), 0)*b
+		tau = cmplx.Abs(v) / float64(dim)
+	}
+	return tau
+}
+
+// mulRight returns m·Expand(g, qs) without materializing the expansion:
+// right-multiplication acts on columns, which is left-multiplication of the
+// adjoint; equivalently apply g^T to the row space. We implement it via
+// (m·G) = (G^T·m^T)^T using ApplyGateLeft on the transpose.
+func mulRight(m, g linalg.Matrix, qs []int, n int) linalg.Matrix {
+	mt := transpose(m)
+	linalg.ApplyGateLeft(transpose(g), qs, n, mt)
+	return transpose(mt)
+}
+
+func transpose(m linalg.Matrix) linalg.Matrix {
+	out := linalg.New(m.N)
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			out.Data[j*m.N+i] = m.Data[i*m.N+j]
+		}
+	}
+	return out
+}
+
+// Optimize runs coordinate ascent from each initial parameter vector (plus
+// zero and random restarts up to `restarts` total starts), stopping early on
+// success or stall. It returns the best parameters and the achieved HS
+// distance.
+//
+// Convergence is linear (≈0.85 contraction per sweep near the optimum), so
+// reaching the 1e-9..1e-10 distances needed for tight ε budgets takes a few
+// hundred sweeps; the stall detector cuts hopeless starts quickly. Note the
+// raw overlap |τ| saturates at 1 within float64 long before the distance
+// bottoms out, so progress is tracked with the accurate HSDistance, not τ.
+func (t *Template) Optimize(target linalg.Matrix, inits [][]float64, restarts, maxSweeps int, tol float64, deadline time.Time) ([]float64, float64) {
+	adj := linalg.Adjoint(target)
+	rng := rand.New(rand.NewSource(hashMatrix(target) ^ int64(t.nparam)))
+	var starts [][]float64
+	starts = append(starts, inits...)
+	for len(starts) < restarts {
+		p := make([]float64, t.nparam)
+		if len(starts) > len(inits) { // one zero start, the rest random
+			for i := range p {
+				p[i] = rng.Float64()*2*math.Pi - math.Pi
+			}
+		}
+		starts = append(starts, p)
+	}
+
+	best := make([]float64, t.nparam)
+	bestDist := math.Inf(1)
+	for _, init := range starts {
+		params := make([]float64, t.nparam)
+		copy(params, init)
+		lastDist := math.Inf(1)
+		stall := 0
+		for s := 0; s < maxSweeps; s++ {
+			t.sweep(adj, params)
+			if s%5 == 4 || s == maxSweeps-1 {
+				d := t.Distance(target, params)
+				if d < bestDist {
+					bestDist = d
+					copy(best, params)
+				}
+				if d <= tol {
+					return best, bestDist
+				}
+				if d > lastDist*0.995 {
+					stall++
+					if stall >= 3 {
+						break
+					}
+				} else {
+					stall = 0
+				}
+				lastDist = d
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return best, bestDist
+				}
+			}
+		}
+		// Terminal convergence: coordinate ascent plateaus with a linear
+		// rate near 1 on ill-conditioned instances; Levenberg–Marquardt
+		// finishes quadratically from anywhere in the basin.
+		if d := t.Distance(target, params); d < 5e-2 {
+			d = t.PolishLM(target, params, 40, tol)
+			if d < bestDist {
+				bestDist = d
+				copy(best, params)
+			}
+			if bestDist <= tol {
+				return best, bestDist
+			}
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+	}
+	return best, bestDist
+}

@@ -1,0 +1,110 @@
+// Package numeric implements BQSKit-style bottom-up synthesis for
+// continuous gate sets: template circuits made of CX gates and
+// parameterized single-qubit rotations, instantiated by Rotosolve-style
+// exact coordinate ascent on the Hilbert–Schmidt overlap, searched
+// structure-by-structure in increasing two-qubit gate count.
+package numeric
+
+import (
+	"math"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/linalg"
+)
+
+// elem is one element of a template: either a fixed CX or a parameterized
+// rotation (rz/ry) on one qubit. U3 sites are expanded to rz·ry·rz so every
+// parameter is a single Pauli-rotation angle, which makes each coordinate of
+// the overlap an exact sinusoid (see solve.go).
+type elem struct {
+	fixed  bool
+	name   gate.Name // cx for fixed; rz or ry for parameterized
+	qubits []int
+}
+
+// Template is a parameterized circuit skeleton on n qubits.
+type Template struct {
+	N      int
+	Elems  []elem
+	NumCX  int
+	nparam int
+}
+
+// NewTemplate builds the standard bottom-up skeleton: a U3 on every qubit,
+// then for each pair in pairs a CX followed by a U3 on each of its qubits.
+func NewTemplate(n int, pairs [][2]int) *Template {
+	t := &Template{N: n}
+	for q := 0; q < n; q++ {
+		t.addU3(q)
+	}
+	for _, p := range pairs {
+		t.Elems = append(t.Elems, elem{fixed: true, name: gate.CX, qubits: []int{p[0], p[1]}})
+		t.NumCX++
+		t.addU3(p[0])
+		t.addU3(p[1])
+	}
+	return t
+}
+
+func (t *Template) addU3(q int) {
+	// U3(θ,φ,λ) ∝ Rz(φ)·Ry(θ)·Rz(λ): execution order rz(λ), ry(θ), rz(φ).
+	t.Elems = append(t.Elems,
+		elem{name: gate.Rz, qubits: []int{q}},
+		elem{name: gate.Ry, qubits: []int{q}},
+		elem{name: gate.Rz, qubits: []int{q}},
+	)
+	t.nparam += 3
+}
+
+// NumParams returns the number of free angles.
+func (t *Template) NumParams() int { return t.nparam }
+
+// Unitary evaluates the template at the given parameters.
+func (t *Template) Unitary(params []float64) linalg.Matrix {
+	u := linalg.Identity(1 << t.N)
+	pi := 0
+	for _, e := range t.Elems {
+		var m linalg.Matrix
+		if e.fixed {
+			m = gate.Matrix(gate.New(e.name, e.qubits, nil))
+		} else {
+			m = gate.Matrix(gate.New(e.name, e.qubits, []float64{params[pi]}))
+			pi++
+		}
+		linalg.ApplyGateLeft(m, e.qubits, t.N, u)
+	}
+	return u
+}
+
+// Instantiate renders the template at the given parameters as a circuit of
+// rz/ry/cx gates, dropping (near-)zero rotations.
+func (t *Template) Instantiate(params []float64) *circuit.Circuit {
+	c := circuit.New(t.N)
+	pi := 0
+	for _, e := range t.Elems {
+		if e.fixed {
+			c.Append(gate.New(e.name, append([]int{}, e.qubits...), nil))
+			continue
+		}
+		th := linalg.NormAngle(params[pi])
+		pi++
+		if math.Abs(th) > 1e-10 {
+			c.Append(gate.New(e.name, append([]int{}, e.qubits...), []float64{th}))
+		}
+	}
+	return c
+}
+
+// pairSets enumerates the two-qubit interaction pairs available on n qubits
+// (all-to-all connectivity, as in the paper's setting where optimizers may
+// change connectivity).
+func pairSets(n int) [][2]int {
+	var out [][2]int
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			out = append(out, [2]int{a, b})
+		}
+	}
+	return out
+}

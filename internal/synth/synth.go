@@ -1,0 +1,34 @@
+// Package synth defines the unitary synthesis interface shared by the
+// numeric (continuous gate sets, BQSKit-style) and finite (Clifford+T,
+// Synthetiq-style) synthesizers, and the resynthesis wrapper of §4.1 that
+// turns a synthesizer into a circuit transformation.
+package synth
+
+import (
+	"errors"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/linalg"
+)
+
+// ErrNoSolution is returned when a synthesizer cannot find a circuit within
+// the requested tolerance and budget. Resynthesis transformations treat it
+// as "keep the original subcircuit".
+var ErrNoSolution = errors.New("synth: no solution within tolerance and budget")
+
+// Synthesizer produces a circuit implementing a target unitary within eps
+// Hilbert–Schmidt distance (Def. 3.2), minimizing the caller's cost notion
+// (primarily two-qubit / T gates).
+type Synthesizer interface {
+	// Synthesize returns a circuit on numQubits qubits with
+	// Δ(U_circuit, target) ≤ eps, or ErrNoSolution.
+	Synthesize(target linalg.Matrix, numQubits int, eps float64) (*circuit.Circuit, error)
+	// Name identifies the synthesizer in logs and experiment output.
+	Name() string
+}
+
+// Resynthesize is the thin wrapper of §4.1: it computes the subcircuit's
+// unitary and invokes unitary synthesis, yielding an ε-equivalent circuit.
+func Resynthesize(s Synthesizer, sub *circuit.Circuit, eps float64) (*circuit.Circuit, error) {
+	return s.Synthesize(sub.Unitary(), sub.NumQubits, eps)
+}

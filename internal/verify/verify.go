@@ -1,0 +1,133 @@
+// Package verify provides equivalence checking between circuits that are
+// too wide for full unitary evaluation: it propagates random product states
+// through both circuits with the state-vector simulator and compares output
+// overlaps. A single random product state distinguishes inequivalent
+// unitaries with overwhelming probability; several independent states drive
+// the error probability to negligible.
+//
+// This is the testing substrate for whole-benchmark optimizer runs (up to
+// ~20 qubits at full amplitude fidelity) — the paper's own evaluation leans
+// on the same inability to simulate classically (§7), so exact checks stay
+// confined to ≤ MaxUnitaryQubits circuits while this sampler covers the
+// rest.
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+)
+
+// MaxStateQubits bounds state-vector simulation (2^24 amplitudes ≈ 256 MB).
+const MaxStateQubits = 24
+
+// Options tunes an equivalence check.
+type Options struct {
+	// Samples is the number of random product states (default 4).
+	Samples int
+	// Tolerance is the allowed deviation of |<ψ_a|ψ_b>| from 1
+	// (default 1e-7; use the ε_f budget for approximate optimizations).
+	Tolerance float64
+	// Seed drives the random input states.
+	Seed int64
+}
+
+// Result reports a check.
+type Result struct {
+	Equivalent bool
+	// WorstOverlap is the smallest |<ψ_a|ψ_b>| observed across samples
+	// (1 means identical up to global phase on that input).
+	WorstOverlap float64
+	Samples      int
+}
+
+// Equivalent checks a ≡ b (mod global phase, within tolerance) on random
+// product states. It returns an error for mismatched shapes or circuits too
+// wide to simulate.
+func Equivalent(a, b *circuit.Circuit, o Options) (Result, error) {
+	if a.NumQubits != b.NumQubits {
+		return Result{}, fmt.Errorf("verify: qubit counts differ: %d vs %d", a.NumQubits, b.NumQubits)
+	}
+	if a.NumQubits > MaxStateQubits {
+		return Result{}, fmt.Errorf("verify: %d qubits exceeds simulation limit %d", a.NumQubits, MaxStateQubits)
+	}
+	if o.Samples <= 0 {
+		o.Samples = 4
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-7
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	res := Result{Equivalent: true, WorstOverlap: 1, Samples: o.Samples}
+	n := a.NumQubits
+	dim := 1 << n
+	sa := make([]complex128, dim)
+	sb := make([]complex128, dim)
+	for s := 0; s < o.Samples; s++ {
+		writeRandomProductState(sa, n, rng)
+		copy(sb, sa)
+		a.Apply(sa)
+		b.Apply(sb)
+		ov := overlap(sa, sb)
+		if ov < res.WorstOverlap {
+			res.WorstOverlap = ov
+		}
+		if 1-ov > o.Tolerance {
+			res.Equivalent = false
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// MustBeEquivalent is a test helper contract: it returns nil when the
+// circuits pass the sampled check and a descriptive error otherwise.
+func MustBeEquivalent(a, b *circuit.Circuit, tol float64, seed int64) error {
+	res, err := Equivalent(a, b, Options{Tolerance: tol, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if !res.Equivalent {
+		return fmt.Errorf("verify: circuits differ (worst overlap %.12f, tolerance %g)",
+			res.WorstOverlap, tol)
+	}
+	return nil
+}
+
+// writeRandomProductState fills state with ⊗_q (cos α_q |0> + e^{iφ_q} sin α_q |1>).
+func writeRandomProductState(state []complex128, n int, rng *rand.Rand) {
+	type amp struct{ a0, a1 complex128 }
+	qs := make([]amp, n)
+	for q := range qs {
+		alpha := rng.Float64() * math.Pi / 2
+		phi := rng.Float64() * 2 * math.Pi
+		qs[q] = amp{
+			a0: complex(math.Cos(alpha), 0),
+			a1: cmplx.Exp(complex(0, phi)) * complex(math.Sin(alpha), 0),
+		}
+	}
+	for idx := range state {
+		v := complex(1, 0)
+		for q := 0; q < n; q++ {
+			if idx&(1<<uint(n-1-q)) != 0 {
+				v *= qs[q].a1
+			} else {
+				v *= qs[q].a0
+			}
+		}
+		state[idx] = v
+	}
+}
+
+// overlap returns |<a|b>|.
+func overlap(a, b []complex128) float64 {
+	var acc complex128
+	for i := range a {
+		acc += cmplx.Conj(a[i]) * b[i]
+	}
+	return cmplx.Abs(acc)
+}
