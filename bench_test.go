@@ -313,6 +313,162 @@ func BenchmarkAblationQubitLimit(b *testing.B) {
 	}
 }
 
+// --- Parallel engine --------------------------------------------------------
+
+// BenchmarkParallel compares the portfolio and partition-parallel engines
+// against the single-threaded loop at equal wall-clock budget.
+func BenchmarkParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sums, err := experiments.Parallel(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSummaries(b, sums)
+		}
+	}
+}
+
+// TestPortfolioNoWorseThanSingleWorker is the scaling acceptance check:
+// with 4 workers at the same wall-clock budget, the portfolio's mean
+// two-qubit count over a suite sample must not exceed the single-worker
+// mean. Equal wall-clock on multi-core hardware means equal *per-worker*
+// iteration counts (workers run simultaneously), so the comparison runs
+// both engines synchronously with the same per-worker iteration bound and
+// migration disabled — fully deterministic on any host (worker 0 then
+// reproduces the equally-seeded single run exactly, so the portfolio
+// minimum provably cannot be worse), where wall-clock budgets on
+// time-sliced CI runners would measure scheduler noise instead of the
+// algorithm.
+func TestPortfolioNoWorseThanSingleWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second comparison")
+	}
+	gs := gateset.IBMQ20
+	suite, err := benchmarks.SuiteFor(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := opt.Instantiate(gs, opt.InstantiateOptions{
+		EpsilonF:  1e-8,
+		SynthTime: 15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"barenco_tof_4", "tof_5", "adder_6", "vqe_8_2", "qft_8", "gf2mult_4"}
+	var singleTotal, portfolioTotal int
+	for _, name := range names {
+		bench, ok := benchmarks.ByName(suite, name)
+		if !ok {
+			t.Fatalf("missing benchmark %s", name)
+		}
+		for seed := int64(1); seed <= 2; seed++ {
+			opts := opt.DefaultOptions()
+			opts.Cost = opt.TwoQubitCost()
+			opts.TimeBudget = 0
+			opts.MaxIters = 500 // per worker — the equal-wall-clock unit
+			opts.Seed = seed
+			opts.Async = false
+			opts.WarmStart = true
+			opts.ExchangeEvery = -1 // independent workers: deterministic
+			singleTotal += opt.GUOQ(bench.Circuit, ts, opts).Best.TwoQubitCount()
+			portfolioTotal += opt.Portfolio(bench.Circuit, ts, opts, 4).Best.TwoQubitCount()
+		}
+	}
+	t.Logf("mean 2q over %d runs: single=%.1f portfolio=%.1f",
+		2*len(names), float64(singleTotal)/float64(2*len(names)), float64(portfolioTotal)/float64(2*len(names)))
+	if portfolioTotal > singleTotal {
+		t.Errorf("portfolio mean 2q count %d exceeds single-worker %d at equal per-worker iterations",
+			portfolioTotal, singleTotal)
+	}
+}
+
+// --- Two-qubit guardrail ----------------------------------------------------
+
+// guardrailExpect pins the two-qubit count of the deterministic rewrite-only
+// optimization of each family's smallest benchmark (ibmq20, seed 1, 400
+// synchronous iterations). The run is fully deterministic — rules are exact
+// and synchronous mode is seeded — so any increase is a real regression in
+// the translation or rewrite stack. Improvements show up as a failure too:
+// update the pinned value so the gain is kept.
+var guardrailExpect = map[string]int{
+	"qft":         18,
+	"ghz":         3,
+	"qaoa":        22,
+	"vqe":         6,
+	"ising":       50,
+	"heisenberg":  90,
+	"qpe":         20,
+	"grover":      50,
+	"adder":       64,
+	"barenco_tof": 18,
+	"tof":         12,
+	"gf2mult":     72,
+	"multiplier":  66,
+	"vbe_adder":   82,
+	"bv":          3,
+	"dj":          4,
+	"hiddenshift": 6,
+	"wstate":      9,
+	"random":      47,
+}
+
+// guardrailCount deterministically optimizes a circuit with the rewrite-only
+// synchronous search and returns the resulting two-qubit count.
+func guardrailCount(t *testing.T, ts []opt.Transformation, c *circuit.Circuit) int {
+	t.Helper()
+	opts := opt.DefaultOptions()
+	opts.Cost = opt.TwoQubitCost()
+	opts.TimeBudget = 0
+	opts.MaxIters = 400
+	opts.Seed = 1
+	opts.Async = false
+	opts.WarmStart = true
+	return opt.GUOQ(c, opt.FilterFast(ts), opts).Best.TwoQubitCount()
+}
+
+func TestTwoQubitGuardrail(t *testing.T) {
+	gs := gateset.IBMQ20
+	suite, err := benchmarks.SuiteFor(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := opt.Instantiate(gs, opt.InstantiateOptions{EpsilonF: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	var order []string
+	for _, b := range suite {
+		if _, seen := got[b.Family]; seen {
+			continue // first of each family is its smallest instance
+		}
+		got[b.Family] = guardrailCount(t, ts, b.Circuit)
+		order = append(order, b.Family)
+	}
+	for _, fam := range order {
+		want, ok := guardrailExpect[fam]
+		if !ok {
+			t.Errorf("family %-12s 2q=%3d — missing from guardrailExpect, add it", fam, got[fam])
+			continue
+		}
+		switch {
+		case got[fam] > want:
+			t.Errorf("family %-12s regressed: 2q count %d, expected %d", fam, got[fam], want)
+		case got[fam] < want:
+			t.Errorf("family %-12s improved: 2q count %d, expected %d — update guardrailExpect to lock in the gain", fam, got[fam], want)
+		default:
+			t.Logf("family %-12s 2q=%3d ok", fam, got[fam])
+		}
+	}
+	for fam := range guardrailExpect {
+		if _, ok := got[fam]; !ok {
+			t.Errorf("guardrailExpect lists unknown family %q", fam)
+		}
+	}
+}
+
 // --- Microbenchmarks for the substrates -------------------------------------
 
 func BenchmarkUnitary6Q(b *testing.B) {

@@ -3,7 +3,8 @@
 // Usage:
 //
 //	guoq -gateset ibm-eagle -budget 2s [-objective 2q|t|fidelity|gates]
-//	     [-epsilon 1e-8] [-seed 1] [-async] [-o out.qasm] input.qasm
+//	     [-epsilon 1e-8] [-seed 1] [-async] [-parallel N] [-partition]
+//	     [-o out.qasm] input.qasm
 //
 // The input is translated into the target gate set first, so any circuit in
 // the supported vocabulary is accepted. Statistics go to stderr, the
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"github.com/guoq-dev/guoq"
+	"github.com/guoq-dev/guoq/internal/opt"
 )
 
 func main() {
@@ -27,6 +29,8 @@ func main() {
 		budget    = flag.Duration("budget", 2*time.Second, "search time budget")
 		seed      = flag.Int64("seed", 1, "random seed")
 		async     = flag.Bool("async", false, "apply resynthesis asynchronously")
+		parallel  = flag.Int("parallel", 1, "concurrent search workers (0 = one per CPU, capped at 8)")
+		part      = flag.Bool("partition", false, "with -parallel ≥ 2, optimize disjoint time windows of large circuits concurrently")
 		outPath   = flag.String("o", "", "output QASM path (default stdout)")
 	)
 	flag.Parse()
@@ -47,13 +51,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = opt.AutoWorkers()
+	}
 	out, res, err := guoq.Optimize(native, guoq.Options{
-		GateSet:   *gateSet,
-		Objective: guoq.Objective(*objective),
-		Epsilon:   *epsilon,
-		Budget:    *budget,
-		Seed:      *seed,
-		Async:     *async,
+		GateSet:           *gateSet,
+		Objective:         guoq.Objective(*objective),
+		Epsilon:           *epsilon,
+		Budget:            *budget,
+		Seed:              *seed,
+		Async:             *async,
+		Parallelism:       workers,
+		PartitionParallel: *part,
 	})
 	if err != nil {
 		fatal(err)

@@ -5,9 +5,11 @@
 //	guoqbench -exp fig1 [-budget 500ms] [-trials 3] [-limit 40] [-seed 1]
 //
 // Experiments: table2, table3, fig1, fig7, fig8, fig9, fig10, fig11,
-// fig12, fig13, fig14, fig15, all. -limit 0 runs the full 247-circuit
-// suite (slow); smaller limits subsample evenly. Output mirrors the rows
-// and series the paper reports; see EXPERIMENTS.md for the recorded runs.
+// fig12, fig13, fig14, fig15, parallel, all. -limit 0 runs the full
+// 247-circuit suite (slow); smaller limits subsample evenly. Output mirrors
+// the rows and series the paper reports ("parallel" compares the portfolio
+// and partition-parallel engines against the single-threaded loop); see
+// EXPERIMENTS.md for the recorded runs.
 package main
 
 import (
@@ -21,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "fig1", "experiment id (table2, table3, fig1, fig7..fig15, all)")
+		exp    = flag.String("exp", "fig1", "experiment id (table2, table3, fig1, fig7..fig15, parallel, all)")
 		budget = flag.Duration("budget", 300*time.Millisecond, "per-tool per-circuit budget")
 		trials = flag.Int("trials", 3, "GUOQ trials per benchmark")
 		limit  = flag.Int("limit", 40, "suite subsample size (0 = full 247)")
@@ -68,6 +70,8 @@ func main() {
 			sums, err = experiments.Fig14(cfg)
 		case "fig15":
 			_, err = experiments.Fig15(cfg)
+		case "parallel":
+			sums, err = experiments.Parallel(cfg)
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -85,7 +89,7 @@ func main() {
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = []string{"table2", "table3", "fig15", "fig1", "fig7", "fig8",
-			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "parallel"}
 	}
 	for _, id := range ids {
 		if err := run(id); err != nil {

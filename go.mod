@@ -1,0 +1,3 @@
+module github.com/guoq-dev/guoq
+
+go 1.22

@@ -121,6 +121,18 @@ type Options struct {
 	Seed int64
 	// Async runs resynthesis asynchronously alongside rewriting (§5.3).
 	Async bool
+	// Parallelism is the number of concurrent search workers. 0 or 1 runs
+	// the classic single-threaded loop; larger values launch a portfolio of
+	// GUOQ workers with diversified seeds and temperatures that periodically
+	// exchange the best-so-far solution. Parallel runs are not bit-for-bit
+	// reproducible; the ε guarantee is unchanged.
+	Parallelism int
+	// PartitionParallel additionally splits large circuits into disjoint
+	// time windows optimized concurrently, dividing Epsilon across windows
+	// (the summed window errors stay within the global budget, Thm 4.2).
+	// Circuits too small to window fall back to the portfolio. Requires
+	// Parallelism ≥ 2.
+	PartitionParallel bool
 }
 
 // Result reports optimization statistics.
@@ -181,6 +193,8 @@ func Optimize(c *Circuit, o Options) (*Circuit, *Result, error) {
 
 	runner := baselines.NewGUOQ(o.Epsilon)
 	runner.Async = o.Async
+	runner.Parallelism = o.Parallelism
+	runner.Partition = o.PartitionParallel
 	start := time.Now()
 	out := runner.Optimize(c, gs, cost, o.Budget, o.Seed)
 	res := &Result{

@@ -78,6 +78,31 @@ func TestEstimateFidelity(t *testing.T) {
 	}
 }
 
+func TestOptimizeParallel(t *testing.T) {
+	c := NewCircuit(3)
+	c.Append(H(0), CX(0, 1), CX(0, 1), T(2), Tdg(2), CCX(0, 1, 2))
+	native, err := Translate(c, "nam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []Options{
+		{GateSet: "nam", Budget: 200 * time.Millisecond, Seed: 1, Parallelism: 4},
+		{GateSet: "nam", Budget: 200 * time.Millisecond, Seed: 1, Parallelism: 4, PartitionParallel: true},
+	} {
+		out, res, err := Optimize(native, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TwoQubitAfter > res.TwoQubitBefore {
+			t.Fatalf("parallel optimization made circuit worse: %d -> %d",
+				res.TwoQubitBefore, res.TwoQubitAfter)
+		}
+		if !linalg.EqualUpToPhase(out.Unitary(), native.Unitary(), 1e-8+1e-9) {
+			t.Fatal("parallel Optimize broke semantics")
+		}
+	}
+}
+
 func TestObjectiveDefaults(t *testing.T) {
 	c := NewCircuit(1)
 	c.Append(T(0), Tdg(0))

@@ -108,7 +108,8 @@ func TestGUOQBeatsQiskitOnRedundantCircuit(t *testing.T) {
 func TestByNameRegistry(t *testing.T) {
 	names := []string{"qiskit", "tket", "voqc", "bqskit", "synthetiq", "queso",
 		"quartz", "quarl", "pyzx", "guoq", "guoq-rewrite", "guoq-resynth",
-		"guoq-seq-rewrite-resynth", "guoq-seq-resynth-rewrite", "guoq-beam"}
+		"guoq-seq-rewrite-resynth", "guoq-seq-resynth-rewrite", "guoq-beam",
+		"portfolio", "partition-parallel"}
 	for _, n := range names {
 		tool, err := ByName(n, 1e-8)
 		if err != nil {

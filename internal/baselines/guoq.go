@@ -22,6 +22,14 @@ type GUOQ struct {
 	WithPhaseFold bool
 	// Async enables asynchronous resynthesis.
 	Async bool
+	// Parallelism is the number of concurrent search workers (0 or 1 =
+	// the classic single-threaded loop). Workers form a portfolio with
+	// diversified seeds/temperatures exchanging the best solution.
+	Parallelism int
+	// Partition additionally splits large circuits into disjoint time
+	// windows optimized concurrently (ε split across windows, Thm 4.2);
+	// circuits too small to window fall back to the portfolio.
+	Partition bool
 }
 
 // GUOQMode selects among the paper's search variants.
@@ -53,6 +61,25 @@ func NewGUOQ(eps float64) *GUOQ {
 // NewGUOQVariant builds a named ablation variant.
 func NewGUOQVariant(tool string, mode GUOQMode, eps float64) *GUOQ {
 	return &GUOQ{Tool: tool, Mode: mode, Epsilon: eps}
+}
+
+// NewPortfolio builds the parallel portfolio runner: `workers` concurrent
+// GUOQ searches exchanging the best-so-far solution (workers ≤ 0 selects
+// one worker per available CPU, capped at 8).
+func NewPortfolio(eps float64, workers int) *GUOQ {
+	if workers <= 0 {
+		workers = opt.AutoWorkers()
+	}
+	return &GUOQ{Tool: "portfolio", Mode: ModeFull, Epsilon: eps, Async: true, Parallelism: workers}
+}
+
+// NewPartitionParallel builds the partition-parallel runner: large
+// circuits are split into disjoint time windows optimized concurrently.
+func NewPartitionParallel(eps float64, workers int) *GUOQ {
+	p := NewPortfolio(eps, workers)
+	p.Tool = "partition-parallel"
+	p.Partition = true
+	return p
 }
 
 // Name implements Optimizer.
@@ -100,7 +127,14 @@ func (g *GUOQ) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, 
 	case ModeBeam:
 		res = opt.Beam(c, ts, opts, 32)
 	default:
-		res = opt.GUOQ(c, ts, opts)
+		switch {
+		case g.Partition && g.Parallelism > 1:
+			res = opt.PartitionParallel(c, ts, opts, g.Parallelism)
+		case g.Parallelism > 1:
+			res = opt.Portfolio(c, ts, opts, g.Parallelism)
+		default:
+			res = opt.GUOQ(c, ts, opts)
+		}
 	}
 	return keepBetter(c, res.Best, cost)
 }

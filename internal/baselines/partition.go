@@ -7,6 +7,7 @@ import (
 	"github.com/guoq-dev/guoq/internal/gateset"
 	"github.com/guoq-dev/guoq/internal/linalg"
 	"github.com/guoq-dev/guoq/internal/opt"
+	"github.com/guoq-dev/guoq/internal/partition"
 	"github.com/guoq-dev/guoq/internal/synth"
 	"github.com/guoq-dev/guoq/internal/synth/finite"
 	"github.com/guoq-dev/guoq/internal/synth/numeric"
@@ -42,62 +43,10 @@ func NewSynthetiqPartition(eps float64) *Partition {
 func (p *Partition) Name() string { return p.Tool }
 
 // Blocks splits the circuit into consecutive convex blocks spanning at most
-// MaxQubits qubits each. Consecutive gate runs are trivially convex.
+// MaxQubits qubits each (shared with the parallel engine via
+// internal/partition).
 func (p *Partition) Blocks(c *circuit.Circuit) []*circuit.Region {
-	var blocks []*circuit.Region
-	var cur *circuit.Region
-	var curQubits map[int]bool
-	flush := func() {
-		if cur != nil && len(cur.Indices) > 0 {
-			blocks = append(blocks, cur)
-		}
-		cur = nil
-	}
-	for i, g := range c.Gates {
-		if len(g.Qubits) > p.MaxQubits {
-			flush()
-			continue // leave wide gates untouched between blocks
-		}
-		if cur != nil {
-			extra := 0
-			for _, q := range g.Qubits {
-				if !curQubits[q] {
-					extra++
-				}
-			}
-			if len(curQubits)+extra <= p.MaxQubits {
-				cur.Indices = append(cur.Indices, i)
-				cur.Hi = i
-				for _, q := range g.Qubits {
-					curQubits[q] = true
-				}
-				continue
-			}
-			flush()
-		}
-		curQubits = map[int]bool{}
-		for _, q := range g.Qubits {
-			curQubits[q] = true
-		}
-		cur = &circuit.Region{Lo: i, Hi: i, Indices: []int{i}}
-	}
-	flush()
-	// Fill in the sorted qubit lists.
-	for _, b := range blocks {
-		qs := map[int]bool{}
-		for _, i := range b.Indices {
-			for _, q := range c.Gates[i].Qubits {
-				qs[q] = true
-			}
-		}
-		b.Qubits = b.Qubits[:0]
-		for q := 0; q < c.NumQubits; q++ {
-			if qs[q] {
-				b.Qubits = append(b.Qubits, q)
-			}
-		}
-	}
-	return blocks
+	return partition.Blocks(c, p.MaxQubits)
 }
 
 // Optimize implements Optimizer: one partition pass, resynthesizing each

@@ -39,6 +39,10 @@ func ByName(name string, eps float64) (Optimizer, error) {
 		return NewPyZX(), nil
 	case "guoq":
 		return NewGUOQ(eps), nil
+	case "portfolio":
+		return NewPortfolio(eps, 0), nil
+	case "partition-parallel":
+		return NewPartitionParallel(eps, 0), nil
 	case "guoq-rewrite":
 		return NewGUOQVariant("guoq-rewrite", ModeRewrite, eps), nil
 	case "guoq-resynth":

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/guoq-dev/guoq/internal/baselines"
+	"github.com/guoq-dev/guoq/internal/benchmarks"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/opt"
+)
+
+// Parallel compares the parallel engine against the single-threaded loop
+// at equal wall-clock budget: the portfolio runner (4 diversified workers
+// exchanging the best solution) and the partition-parallel runner (disjoint
+// time windows optimized concurrently) versus stock GUOQ on ibmq20,
+// two-qubit reduction. In each returned Summary, GUOQMean is the parallel
+// runner's suite-mean reduction and ToolMean the single-worker one — the
+// scaling headline is GUOQMean ≥ ToolMean on multi-core hardware.
+func Parallel(cfg Config) ([]Summary, error) {
+	cfg.normalize()
+	gs := gateset.IBMQ20
+	suite, err := benchmarks.SuiteFor(gs)
+	if err != nil {
+		return nil, err
+	}
+	suite = subsample(suite, cfg.SuiteLimit)
+	single := baselines.NewGUOQ(cfg.Epsilon)
+	m := TwoQubitReduction()
+	var out []Summary
+	for _, par := range []baselines.Optimizer{
+		baselines.NewPortfolio(cfg.Epsilon, 4),
+		baselines.NewPartitionParallel(cfg.Epsilon, 4),
+	} {
+		rs := Comparison(par, single, suite, gs, opt.TwoQubitCost(), m, cfg)
+		PrintComparison(cfg.Out,
+			fmt.Sprintf("%s (4 workers) vs single-worker guoq on %s", par.Name(), gs.Name), m, rs)
+		out = append(out, summarize(par.Name()+"-vs-1w", m, rs))
+	}
+	return out, nil
+}

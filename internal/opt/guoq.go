@@ -42,6 +42,20 @@ type Options struct {
 	// OnImprove, when set, is invoked every time the best solution
 	// improves — the hook behind the Fig. 7 time series.
 	OnImprove func(elapsed time.Duration, best *circuit.Circuit)
+	// Exchange, when set, is polled every ExchangeEvery iterations with the
+	// worker's best solution and its accumulated error bound. It may return
+	// a replacement solution (with its own error bound) to adopt as the
+	// current search point — the portfolio coordinator's migration channel.
+	// Adoption is only performed when the replacement's cost beats the
+	// worker's current cost, so a stale coordinator can never regress a
+	// worker. The replacement must never be mutated by the callee afterwards.
+	Exchange func(best *circuit.Circuit, bestErr, bestCost float64) (adopt *circuit.Circuit, adoptErr float64, ok bool)
+	// ExchangeEvery is the polling period in iterations (default 64). A
+	// negative value disables migration entirely: Portfolio workers then
+	// search fully independently, which makes an iteration-bounded
+	// synchronous portfolio deterministic (worker 0 reproduces the
+	// equally-seeded single-worker run exactly).
+	ExchangeEvery int
 }
 
 // DefaultOptions mirrors the paper's instantiation: ε_f = 10⁻⁸, t = 10,
@@ -152,6 +166,11 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		return rng.Float64() < math.Exp(-opts.Temperature*candCost/currCost)
 	}
 
+	exchangeEvery := opts.ExchangeEvery
+	if exchangeEvery <= 0 {
+		exchangeEvery = 64
+	}
+
 	for it := 0; ; it++ {
 		if opts.MaxIters > 0 && it >= opts.MaxIters {
 			break
@@ -161,17 +180,33 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		}
 		res.Iters++
 
+		// Portfolio migration: publish our best, and adopt the coordinator's
+		// best-so-far when it strictly beats our current search point. The
+		// adopted circuit carries its own accumulated ε bound, so subsequent
+		// budget admission (line 6) stays sound under Thm 4.2.
+		if opts.Exchange != nil && it%exchangeEvery == 0 {
+			if adopt, adoptErr, ok := opts.Exchange(best, bestErr, bestCost); ok {
+				if candCost := opts.Cost(adopt); candCost < currCost {
+					curr, currErr, currCost = adopt, adoptErr, candCost
+					improve()
+				}
+			}
+		}
+
 		// Asynchronous resynthesis (§5.3): harvest a finished call — if
 		// accepted, interim rewrite modifications are discarded — and keep
 		// the worker continuously busy so slow search saturates wall-clock
-		// time while rewrites run in the foreground.
+		// time while rewrites run in the foreground. The job's result is a
+		// transformation of the circuit at launch time, so its total error
+		// is the launch-time base plus the incurred eps — not the current
+		// currErr, which an exchange adoption may have replaced meanwhile.
 		if worker != nil {
 			if r, ready := worker.poll(); ready {
-				if r.ok && currErr+r.eps <= opts.Epsilon {
+				if r.ok && r.baseErr+r.eps <= opts.Epsilon {
 					candCost := opts.Cost(r.out)
 					if accept(candCost) {
 						curr, currCost = r.out, candCost
-						currErr += r.eps
+						currErr = r.baseErr + r.eps
 						res.Accepted++
 						improve()
 					}
@@ -180,7 +215,7 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 			if !worker.busy {
 				t := slow[rng.Intn(len(slow))]
 				if currErr+t.Epsilon() <= opts.Epsilon {
-					worker.launch(t, curr.Clone(), opts.Epsilon-currErr, rng.Int63())
+					worker.launch(t, curr.Clone(), currErr, opts.Epsilon-currErr, rng.Int63())
 				}
 			}
 		}
@@ -238,14 +273,16 @@ type asyncWorker struct {
 type asyncJob struct {
 	t       Transformation
 	c       *circuit.Circuit
+	baseErr float64 // accumulated error of c at launch time
 	allowed float64
 	seed    int64
 }
 
 type asyncResult struct {
-	out *circuit.Circuit
-	eps float64
-	ok  bool
+	out     *circuit.Circuit
+	baseErr float64
+	eps     float64
+	ok      bool
 }
 
 func newAsyncWorker() *asyncWorker {
@@ -257,7 +294,7 @@ func newAsyncWorker() *asyncWorker {
 		for job := range w.in {
 			rng := rand.New(rand.NewSource(job.seed))
 			o, eps, ok := job.t.Apply(job.c, job.allowed, rng)
-			w.out <- asyncResult{out: o, eps: eps, ok: ok}
+			w.out <- asyncResult{out: o, baseErr: job.baseErr, eps: eps, ok: ok}
 		}
 	}()
 	return w
@@ -265,12 +302,12 @@ func newAsyncWorker() *asyncWorker {
 
 // launch starts a job if the worker is idle; otherwise the request is
 // dropped (one in-flight resynthesis at a time).
-func (w *asyncWorker) launch(t Transformation, c *circuit.Circuit, allowed float64, seed int64) {
+func (w *asyncWorker) launch(t Transformation, c *circuit.Circuit, baseErr, allowed float64, seed int64) {
 	if w.busy {
 		return
 	}
 	w.busy = true
-	w.in <- asyncJob{t: t, c: c, allowed: allowed, seed: seed}
+	w.in <- asyncJob{t: t, c: c, baseErr: baseErr, allowed: allowed, seed: seed}
 }
 
 // poll returns a finished result if one is ready.

@@ -1,0 +1,200 @@
+package opt
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/partition"
+)
+
+// AutoWorkers is the default portfolio size when the caller does not pick
+// one: one worker per available CPU, capped at 8 (beyond that the
+// temperature ladder repeats and exchange contention outweighs diversity).
+func AutoWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// tempLadder diversifies the portfolio: worker w runs at
+// Temperature × tempLadder[w % len]. Worker 0 keeps the caller's
+// configuration, the others trade acceptance strictness for exploration
+// (larger multipliers reject worse moves more aggressively, smaller ones
+// accept more uphill moves).
+var tempLadder = []float64{1, 0.5, 2, 0.25, 4, 0.125, 8, 1}
+
+// coordinator is the portfolio's shared best-so-far store. Workers publish
+// their best solution at exchange points and adopt the global best when it
+// beats their current search point. Circuits handed to the coordinator are
+// never mutated afterwards (the search loop is persistent: transformations
+// return fresh circuits), so sharing pointers across workers is safe.
+type coordinator struct {
+	mu      sync.Mutex
+	cost    Cost
+	best    *circuit.Circuit
+	bestErr float64
+	bestVal float64
+
+	start     time.Time
+	onImprove func(elapsed time.Duration, best *circuit.Circuit)
+}
+
+func newCoordinator(c *circuit.Circuit, cost Cost, onImprove func(time.Duration, *circuit.Circuit)) *coordinator {
+	return &coordinator{
+		cost:      cost,
+		best:      c,
+		bestErr:   0,
+		bestVal:   cost(c),
+		start:     time.Now(),
+		onImprove: onImprove,
+	}
+}
+
+// exchange implements Options.Exchange: record the worker's best, return
+// the global best when it is strictly better than what the worker has.
+func (co *coordinator) exchange(best *circuit.Circuit, bestErr, bestCost float64) (*circuit.Circuit, float64, bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if bestCost < co.bestVal {
+		co.best, co.bestErr, co.bestVal = best, bestErr, bestCost
+		if co.onImprove != nil {
+			co.onImprove(time.Since(co.start), co.best)
+		}
+	}
+	if co.bestVal < bestCost {
+		return co.best, co.bestErr, true
+	}
+	return nil, 0, false
+}
+
+// Portfolio runs `workers` concurrent GUOQ searches over the same circuit
+// with diversified seeds and temperatures, periodically exchanging the
+// best-so-far solution through a coordinator (POPQC-style parallel
+// portfolio). Every worker's solution is individually ε-bounded, and
+// migration transfers the solution together with its accumulated error
+// bound, so the returned BestError ≤ opts.Epsilon holds exactly as in the
+// single-worker case. workers ≤ 1 degrades to the classic loop.
+//
+// The portfolio is not deterministic across runs (exchange points depend
+// on wall-clock interleaving); use the synchronous single-worker mode when
+// byte-identical reproducibility matters.
+func Portfolio(c *circuit.Circuit, ts []Transformation, opts Options, workers int) *Result {
+	if workers <= 1 {
+		return GUOQ(c, ts, opts)
+	}
+	if opts.Cost == nil {
+		opts.Cost = TwoQubitCost()
+	}
+	start := time.Now()
+	co := newCoordinator(c, opts.Cost, opts.OnImprove)
+
+	results := make([]*Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wOpts := opts
+		wOpts.Seed = opts.Seed + int64(w)*0x9E3779B9
+		wOpts.Temperature *= tempLadder[w%len(tempLadder)]
+		if opts.ExchangeEvery >= 0 {
+			wOpts.Exchange = co.exchange
+		}
+		wOpts.OnImprove = nil // routed through the coordinator
+		wg.Add(1)
+		go func(w int, o Options) {
+			defer wg.Done()
+			results[w] = GUOQ(c, ts, o)
+		}(w, wOpts)
+	}
+	wg.Wait()
+
+	merged := &Result{Best: c, BestError: 0}
+	bestCost := opts.Cost(c)
+	for _, r := range results {
+		merged.Iters += r.Iters
+		merged.Accepted += r.Accepted
+		cost := opts.Cost(r.Best)
+		if cost < bestCost || (cost == bestCost && r.BestError < merged.BestError) {
+			merged.Best, merged.BestError, bestCost = r.Best, r.BestError, cost
+		}
+	}
+	// Workers only publish at exchange points, so improvements found after
+	// a worker's last poll reach the merged result but not the coordinator;
+	// publish the final best so the OnImprove series ends at Result.Best.
+	co.exchange(merged.Best, merged.BestError, bestCost)
+	merged.Elapsed = time.Since(start)
+	return merged
+}
+
+// minWindowGates is the smallest time window worth optimizing on its own;
+// slimmer windows leave too little context for rules or resynthesis.
+const minWindowGates = 24
+
+// PartitionParallel splits the circuit into up to `workers` disjoint time
+// windows (internal/partition), optimizes every window concurrently with
+// its own GUOQ search, and stitches the results back in order. The global
+// ε budget is divided evenly across windows and the achieved per-window
+// errors are summed into BestError, which is sound by the composition
+// argument of Thm 4.2: replacing disjoint windows with ε_i-equivalent
+// subcircuits yields a circuit within Σ ε_i of the original.
+//
+// Circuits too small to window (or workers ≤ 1) fall back to a portfolio
+// run, so callers can treat this as the "large circuit" strategy without
+// pre-checking sizes.
+func PartitionParallel(c *circuit.Circuit, ts []Transformation, opts Options, workers int) *Result {
+	if opts.Cost == nil {
+		opts.Cost = TwoQubitCost()
+	}
+	windows := partition.TimeWindows(c, workers, minWindowGates)
+	if workers <= 1 || windows == nil {
+		return Portfolio(c, ts, opts, workers)
+	}
+	start := time.Now()
+	epsPer := opts.Epsilon / float64(len(windows))
+
+	type windowResult struct {
+		res *Result
+		sub *circuit.Circuit // the window's input, for the never-worse guard
+	}
+	outs := make([]windowResult, len(windows))
+	var wg sync.WaitGroup
+	for i, win := range windows {
+		sub := win.Extract(c)
+		wOpts := opts
+		wOpts.Epsilon = epsPer
+		wOpts.Seed = opts.Seed + int64(i)*0x9E3779B9
+		wOpts.Exchange = nil
+		wOpts.OnImprove = nil // per-window improvements are not global ones
+		wg.Add(1)
+		go func(i int, sub *circuit.Circuit, o Options) {
+			defer wg.Done()
+			outs[i] = windowResult{res: GUOQ(sub, ts, o), sub: sub}
+		}(i, sub, wOpts)
+	}
+	wg.Wait()
+
+	res := &Result{}
+	stitched := c
+	// Replace back-to-front so earlier gate indices stay valid.
+	for i := len(windows) - 1; i >= 0; i-- {
+		wr := outs[i]
+		res.Iters += wr.res.Iters
+		res.Accepted += wr.res.Accepted
+		if opts.Cost(wr.res.Best) >= opts.Cost(wr.sub) {
+			continue // no win: keep the window's original gates, spend no ε
+		}
+		stitched = windows[i].Replace(stitched, wr.res.Best)
+		res.BestError += wr.res.BestError
+	}
+	res.Best = stitched
+	res.Elapsed = time.Since(start)
+	if opts.Cost(stitched) > opts.Cost(c) {
+		// The per-window costs are additive for every objective we ship, so
+		// this should not trigger; the guard keeps the "never worse"
+		// contract under exotic caller-supplied costs.
+		res.Best, res.BestError = c, 0
+	}
+	return res
+}

@@ -1,0 +1,200 @@
+package opt
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/verify"
+)
+
+func eagleSetup(t *testing.T, seed int64, gates int) (*circuit.Circuit, []Transformation) {
+	t.Helper()
+	ts, err := Instantiate(gateset.IBMEagle, InstantiateOptions{
+		EpsilonF:  1e-8,
+		SynthTime: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.Random(5, gates, gateset.IBMEagle.Gates, rand.New(rand.NewSource(seed)))
+	return c, ts
+}
+
+// Same seed ⇒ byte-identical output in synchronous single-worker mode: the
+// reproducibility contract documented on Options.Seed.
+func TestSynchronousDeterminism(t *testing.T) {
+	c, ts := eagleSetup(t, 3, 50)
+	run := func() string {
+		opts := DefaultOptions()
+		opts.Cost = TwoQubitCost()
+		opts.Seed = 99
+		opts.Async = false
+		opts.TimeBudget = 0
+		opts.MaxIters = 600
+		return GUOQ(c, ts, opts).Best.WriteQASM()
+	}
+	first := run()
+	for i := 0; i < 2; i++ {
+		if got := run(); got != first {
+			t.Fatalf("synchronous runs with equal seeds diverged:\n%s\nvs\n%s", first, got)
+		}
+	}
+}
+
+// Portfolio with one worker must degrade to the classic loop exactly.
+func TestPortfolioSingleWorkerIsGUOQ(t *testing.T) {
+	c, ts := eagleSetup(t, 4, 40)
+	opts := DefaultOptions()
+	opts.Cost = TwoQubitCost()
+	opts.Seed = 5
+	opts.Async = false
+	opts.TimeBudget = 0
+	opts.MaxIters = 300
+	direct := GUOQ(c, ts, opts).Best.WriteQASM()
+	viaPortfolio := Portfolio(c, ts, opts, 1).Best.WriteQASM()
+	if direct != viaPortfolio {
+		t.Fatal("Portfolio(workers=1) diverged from GUOQ with identical options")
+	}
+}
+
+// The coordinator hands the global best only to workers that are strictly
+// behind, and never regresses on a worse report.
+func TestCoordinatorExchange(t *testing.T) {
+	cost := TwoQubitCost()
+	base := circuit.Random(4, 30, gateset.IBMEagle.Gates, rand.New(rand.NewSource(8)))
+	better := circuit.New(4) // empty circuit: cost 0, unbeatable
+	co := newCoordinator(base, cost, nil)
+
+	if _, _, ok := co.exchange(base, 0, cost(base)); ok {
+		t.Fatal("exchange offered a solution no better than the caller's")
+	}
+	if _, _, ok := co.exchange(better, 1e-9, cost(better)); ok {
+		t.Fatal("exchange offered the publisher its own solution back")
+	}
+	adopt, adoptErr, ok := co.exchange(base, 0, cost(base))
+	if !ok || adopt != better || adoptErr != 1e-9 {
+		t.Fatalf("exchange did not return the published best: ok=%v adopt=%p err=%g", ok, adopt, adoptErr)
+	}
+	// A stale worse report must not displace the stored best.
+	if _, _, ok := co.exchange(base, 0, cost(base)); !ok {
+		t.Fatal("best was lost after a worse report")
+	}
+}
+
+// Exercises the coordinator and the async resynthesis worker together
+// under concurrency — the main subject of `go test -race ./internal/opt`.
+func TestPortfolioConcurrentWithAsync(t *testing.T) {
+	c, ts := eagleSetup(t, 6, 60)
+	opts := DefaultOptions()
+	opts.Cost = TwoQubitCost()
+	opts.Seed = 2
+	opts.Async = true
+	opts.TimeBudget = 150 * time.Millisecond
+	opts.ExchangeEvery = 8 // high migration pressure
+	res := Portfolio(c, ts, opts, 4)
+	if res.Best == nil || res.Iters == 0 {
+		t.Fatal("portfolio did no work")
+	}
+	if res.BestError > opts.Epsilon {
+		t.Fatalf("BestError %g exceeds budget %g", res.BestError, opts.Epsilon)
+	}
+	if err := verify.MustBeEquivalent(c, res.Best, 1e-6, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got, in := opts.Cost(res.Best), opts.Cost(c); got > in {
+		t.Fatalf("cost regressed: %g -> %g", in, got)
+	}
+}
+
+// Concurrent portfolios over the same shared transformation set: the
+// transformations themselves must be safe to share between engines.
+func TestSharedTransformationsAcrossPortfolios(t *testing.T) {
+	c, ts := eagleSetup(t, 9, 40)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			opts := DefaultOptions()
+			opts.Cost = TwoQubitCost()
+			opts.Seed = seed
+			opts.TimeBudget = 80 * time.Millisecond
+			Portfolio(c, ts, opts, 2)
+		}(int64(i))
+	}
+	wg.Wait()
+}
+
+// Partition-parallel must stitch an equivalent circuit and keep the summed
+// per-window error within the global budget (Thm 4.2 composition).
+func TestPartitionParallelComposition(t *testing.T) {
+	c, ts := eagleSetup(t, 11, 96) // 4 windows of minWindowGates
+	opts := DefaultOptions()
+	opts.Cost = TwoQubitCost()
+	opts.Seed = 13
+	opts.TimeBudget = 150 * time.Millisecond
+	res := PartitionParallel(c, ts, opts, 4)
+	if res.Best.NumQubits != c.NumQubits {
+		t.Fatalf("qubit count changed: %d -> %d", c.NumQubits, res.Best.NumQubits)
+	}
+	if res.BestError > opts.Epsilon {
+		t.Fatalf("summed window error %g exceeds global budget %g", res.BestError, opts.Epsilon)
+	}
+	if got, in := opts.Cost(res.Best), opts.Cost(c); got > in {
+		t.Fatalf("cost regressed: %g -> %g", in, got)
+	}
+	if err := verify.MustBeEquivalent(c, res.Best, 1e-6, 17); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stubSlow is a controllable slow transformation for accounting tests.
+type stubSlow struct{ eps float64 }
+
+func (s stubSlow) Name() string     { return "stub-slow" }
+func (s stubSlow) Epsilon() float64 { return s.eps }
+func (s stubSlow) Slow() bool       { return true }
+func (s stubSlow) Apply(c *circuit.Circuit, _ float64, _ *rand.Rand) (*circuit.Circuit, float64, bool) {
+	return c.Clone(), s.eps, true
+}
+
+// The async worker must report results against the error base the job was
+// launched with: an exchange adoption can replace the loop's accumulated
+// error while a job is in flight, and charging the job's eps against the
+// adopted (smaller) base would understate the true bound and let the loop
+// overspend the hard ε budget.
+func TestAsyncWorkerCarriesErrorBase(t *testing.T) {
+	w := newAsyncWorker()
+	defer w.stop()
+	w.launch(stubSlow{eps: 0.125}, circuit.New(1), 0.25, 0.5, 1)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if r, ready := w.poll(); ready {
+			if !r.ok || r.baseErr != 0.25 || r.eps != 0.125 {
+				t.Fatalf("result = {ok:%v baseErr:%g eps:%g}, want {true 0.25 0.125}", r.ok, r.baseErr, r.eps)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async result never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Circuits too small to window must silently fall back to the portfolio.
+func TestPartitionParallelSmallCircuitFallback(t *testing.T) {
+	c, ts := eagleSetup(t, 12, 20) // below 2×minWindowGates
+	opts := DefaultOptions()
+	opts.Cost = TwoQubitCost()
+	opts.Seed = 1
+	opts.TimeBudget = 60 * time.Millisecond
+	res := PartitionParallel(c, ts, opts, 4)
+	if err := verify.MustBeEquivalent(c, res.Best, 1e-6, 19); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package partition provides circuit partitioning shared by the
+// BQSKit/QUEST-style partition baseline and the parallel optimization
+// engine: qubit-bounded blocks for per-block resynthesis, and disjoint
+// time windows for partition-parallel search. Every partition is a list
+// of circuit.Regions whose selections are pairwise disjoint, so replacing
+// each window with an ε_i-equivalent subcircuit yields a circuit within
+// Σ ε_i of the original (Thm 4.2 composition).
+package partition
+
+import "github.com/guoq-dev/guoq/internal/circuit"
+
+// Blocks splits the circuit into consecutive convex blocks spanning at most
+// maxQubits qubits each. Consecutive gate runs are trivially convex. Gates
+// wider than maxQubits are left untouched between blocks.
+func Blocks(c *circuit.Circuit, maxQubits int) []*circuit.Region {
+	var blocks []*circuit.Region
+	var cur *circuit.Region
+	var curQubits map[int]bool
+	flush := func() {
+		if cur != nil && len(cur.Indices) > 0 {
+			blocks = append(blocks, cur)
+		}
+		cur = nil
+	}
+	for i, g := range c.Gates {
+		if len(g.Qubits) > maxQubits {
+			flush()
+			continue // leave wide gates untouched between blocks
+		}
+		if cur != nil {
+			extra := 0
+			for _, q := range g.Qubits {
+				if !curQubits[q] {
+					extra++
+				}
+			}
+			if len(curQubits)+extra <= maxQubits {
+				cur.Indices = append(cur.Indices, i)
+				cur.Hi = i
+				for _, q := range g.Qubits {
+					curQubits[q] = true
+				}
+				continue
+			}
+			flush()
+		}
+		curQubits = map[int]bool{}
+		for _, q := range g.Qubits {
+			curQubits[q] = true
+		}
+		cur = &circuit.Region{Lo: i, Hi: i, Indices: []int{i}}
+	}
+	flush()
+	for _, b := range blocks {
+		fillQubits(c, b)
+	}
+	return blocks
+}
+
+// TimeWindows splits the gate list into at most n consecutive windows of
+// near-equal gate count. Each window is a Region selecting every gate in
+// its index range, so the windows are disjoint, cover the whole circuit,
+// and concatenating their (independently optimized) replacements in order
+// reproduces the original unitary up to the summed per-window error.
+// Windows narrower than minGates gates are merged into their predecessor;
+// fewer than two resulting windows yields nil (partitioning is pointless).
+func TimeWindows(c *circuit.Circuit, n, minGates int) []*circuit.Region {
+	total := len(c.Gates)
+	if n < 2 || total < 2*minGates || total < 2 {
+		return nil
+	}
+	per := (total + n - 1) / n
+	if per < minGates {
+		per = minGates
+	}
+	var windows []*circuit.Region
+	for lo := 0; lo < total; lo += per {
+		hi := lo + per - 1
+		if hi >= total {
+			hi = total - 1
+		}
+		// Merge a trailing sliver into the previous window.
+		if hi-lo+1 < minGates && len(windows) > 0 {
+			prev := windows[len(windows)-1]
+			for i := lo; i <= hi; i++ {
+				prev.Indices = append(prev.Indices, i)
+			}
+			prev.Hi = hi
+			continue
+		}
+		r := &circuit.Region{Lo: lo, Hi: hi}
+		for i := lo; i <= hi; i++ {
+			r.Indices = append(r.Indices, i)
+		}
+		windows = append(windows, r)
+	}
+	if len(windows) < 2 {
+		return nil
+	}
+	for _, w := range windows {
+		fillQubits(c, w)
+	}
+	return windows
+}
+
+// fillQubits sets the Region's sorted qubit list to the union of the
+// selected gates' qubits.
+func fillQubits(c *circuit.Circuit, r *circuit.Region) {
+	qs := map[int]bool{}
+	for _, i := range r.Indices {
+		for _, q := range c.Gates[i].Qubits {
+			qs[q] = true
+		}
+	}
+	r.Qubits = r.Qubits[:0]
+	for q := 0; q < c.NumQubits; q++ {
+		if qs[q] {
+			r.Qubits = append(r.Qubits, q)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/verify"
+)
+
+func randomCircuit(seed int64, n, gates int) *circuit.Circuit {
+	return circuit.Random(n, gates, circuit.DefaultTestVocab, rand.New(rand.NewSource(seed)))
+}
+
+func TestTimeWindowsDisjointCover(t *testing.T) {
+	c := randomCircuit(1, 6, 100)
+	windows := TimeWindows(c, 4, 10)
+	if len(windows) < 2 {
+		t.Fatalf("expected ≥2 windows, got %d", len(windows))
+	}
+	seen := map[int]bool{}
+	for _, w := range windows {
+		for _, i := range w.Indices {
+			if seen[i] {
+				t.Fatalf("gate %d selected by two windows", i)
+			}
+			seen[i] = true
+			if i < w.Lo || i > w.Hi {
+				t.Fatalf("index %d outside window [%d,%d]", i, w.Lo, w.Hi)
+			}
+		}
+	}
+	if len(seen) != c.Len() {
+		t.Fatalf("windows cover %d of %d gates", len(seen), c.Len())
+	}
+}
+
+func TestTimeWindowsRoundTrip(t *testing.T) {
+	// Extracting every window and replacing it unchanged must reproduce the
+	// circuit's semantics — the identity case of the stitching step.
+	c := randomCircuit(2, 5, 80)
+	windows := TimeWindows(c, 3, 10)
+	out := c
+	for i := len(windows) - 1; i >= 0; i-- {
+		sub := windows[i].Extract(c)
+		out = windows[i].Replace(out, sub)
+	}
+	if err := verify.MustBeEquivalent(c, out, 1e-9, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeWindowsTooSmall(t *testing.T) {
+	c := randomCircuit(3, 4, 15)
+	if w := TimeWindows(c, 4, 10); w != nil {
+		t.Fatalf("expected nil for a circuit below 2×minGates, got %d windows", len(w))
+	}
+	if w := TimeWindows(c, 1, 2); w != nil {
+		t.Fatal("expected nil for n < 2")
+	}
+}
+
+func TestTimeWindowsMergesSliver(t *testing.T) {
+	// 85 gates over 4 windows of 22: the trailing 19-gate sliver must merge
+	// into the previous window rather than form one below minGates.
+	c := randomCircuit(4, 6, 85)
+	windows := TimeWindows(c, 4, 22)
+	total := 0
+	for _, w := range windows {
+		if len(w.Indices) < 22 {
+			t.Fatalf("window of %d gates below minGates", len(w.Indices))
+		}
+		total += len(w.Indices)
+	}
+	if total != c.Len() {
+		t.Fatalf("windows cover %d of %d gates", total, c.Len())
+	}
+}
+
+func TestBlocksRespectQubitBound(t *testing.T) {
+	c := randomCircuit(5, 8, 120)
+	for _, maxQ := range []int{2, 3} {
+		for _, b := range Blocks(c, maxQ) {
+			if len(b.Qubits) > maxQ {
+				t.Fatalf("block spans %d qubits, bound %d", len(b.Qubits), maxQ)
+			}
+			for _, i := range b.Indices {
+				for _, q := range c.Gates[i].Qubits {
+					found := false
+					for _, bq := range b.Qubits {
+						if bq == q {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("block omits qubit %d of gate %d", q, i)
+					}
+				}
+			}
+		}
+	}
+}
