@@ -4,11 +4,18 @@
 //
 //	guoq -gateset ibm-eagle -budget 2s [-objective 2q|t|fidelity|gates]
 //	     [-epsilon 1e-8] [-seed 1] [-async] [-parallel N] [-partition]
-//	     [-o out.qasm] input.qasm
+//	     [-coordinator addr] [-session id] [-o out.qasm] input.qasm
 //
 // The input is translated into the target gate set first, so any circuit in
 // the supported vocabulary is accepted. Statistics go to stderr, the
 // optimized QASM to -o or stdout.
+//
+// With -coordinator addr the run joins a distributed search through a
+// guoqd daemon: it periodically publishes its best solution (with its
+// accumulated ε bound) and adopts strictly better solutions found by other
+// machines. Runs started on the same input with the same objective and
+// epsilon share a session automatically; pass -session to pin one
+// explicitly.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"time"
 
 	"github.com/guoq-dev/guoq"
+	"github.com/guoq-dev/guoq/internal/dist"
 	"github.com/guoq-dev/guoq/internal/opt"
 )
 
@@ -31,6 +39,8 @@ func main() {
 		async     = flag.Bool("async", false, "apply resynthesis asynchronously")
 		parallel  = flag.Int("parallel", 1, "concurrent search workers (0 = one per CPU, capped at 8)")
 		part      = flag.Bool("partition", false, "with -parallel ≥ 2, optimize disjoint time windows of large circuits concurrently")
+		coord     = flag.String("coordinator", "", "guoqd coordinator address for distributed best-so-far exchange")
+		session   = flag.String("session", "", "exchange session id (default: derived from circuit+objective+epsilon)")
 		outPath   = flag.String("o", "", "output QASM path (default stdout)")
 	)
 	flag.Parse()
@@ -55,16 +65,43 @@ func main() {
 	if workers <= 0 {
 		workers = opt.AutoWorkers()
 	}
-	out, res, err := guoq.Optimize(native, guoq.Options{
+
+	obj := guoq.Objective(*objective)
+	if obj == "" {
+		obj = guoq.DefaultObjective(*gateSet)
+	}
+	var client *dist.Client
+	if *coord != "" {
+		id := *session
+		if id == "" {
+			id = dist.SessionID(native, string(obj), *epsilon)
+		}
+		worker := fmt.Sprintf("pid-%d", os.Getpid())
+		if host, herr := os.Hostname(); herr == nil {
+			worker = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		client, err = dist.Dial(*coord, id, worker)
+		if err != nil {
+			fatal(err)
+		}
+		client.Epsilon = *epsilon
+		fmt.Fprintf(os.Stderr, "coordinator %s, session %s\n", *coord, id)
+	}
+
+	o := guoq.Options{
 		GateSet:           *gateSet,
-		Objective:         guoq.Objective(*objective),
+		Objective:         obj,
 		Epsilon:           *epsilon,
 		Budget:            *budget,
 		Seed:              *seed,
 		Async:             *async,
 		Parallelism:       workers,
 		PartitionParallel: *part,
-	})
+	}
+	if client != nil {
+		o.Exchanger = client
+	}
+	out, res, err := guoq.Optimize(native, o)
 	if err != nil {
 		fatal(err)
 	}
@@ -75,6 +112,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "T gates    %6d -> %6d\n", res.TCountBefore, res.TCountAfter)
 	fmt.Fprintf(os.Stderr, "depth      %6d -> %6d\n", res.DepthBefore, res.DepthAfter)
 	fmt.Fprintf(os.Stderr, "fidelity   %.4f -> %.4f\n", res.FidelityBefore, res.FidelityAfter)
+	if client != nil {
+		st := client.Stats()
+		fmt.Fprintf(os.Stderr, "exchange   %d round trips (%d throttled), %d adoptions, %d migrations into the search, %d errors\n",
+			st.Exchanges, st.Throttled, st.Adoptions, res.Migrations, st.Errors)
+	}
 
 	qasm := out.WriteQASM()
 	if *outPath == "" {

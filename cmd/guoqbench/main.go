@@ -1,15 +1,27 @@
-// Command guoqbench regenerates the paper's tables and figures.
+// Command guoqbench regenerates the paper's tables and figures, and runs
+// sharded benchmark sweeps for the distributed service.
 //
 // Usage:
 //
 //	guoqbench -exp fig1 [-budget 500ms] [-trials 3] [-limit 40] [-seed 1]
+//	          [-shard i/n] [-remote addr] [-json out.json]
 //
 // Experiments: table2, table3, fig1, fig7, fig8, fig9, fig10, fig11,
-// fig12, fig13, fig14, fig15, parallel, all. -limit 0 runs the full
+// fig12, fig13, fig14, fig15, parallel, bench, all. -limit 0 runs the full
 // 247-circuit suite (slow); smaller limits subsample evenly. Output mirrors
 // the rows and series the paper reports ("parallel" compares the portfolio
 // and partition-parallel engines against the single-threaded loop); see
 // EXPERIMENTS.md for the recorded runs.
+//
+// Distributed sweeps: -shard i/n statically runs every n-th circuit
+// starting at i (any experiment), so n machines cover one suite exactly
+// once with no coordination. The "bench" experiment sweeps the suite
+// through GUOQ once per circuit and records per-circuit results; -json
+// writes them as a JSON array (to a file, or stdout with "-"), and
+// -remote addr switches it to dynamic sharding — circuits are leased from
+// a guoqd coordinator's work queue (dead workers' leases expire and their
+// circuits are re-issued) and every result is reported back, so the
+// coordinator accumulates the merged suite (curl /v1/queues/bench).
 package main
 
 import (
@@ -18,16 +30,24 @@ import (
 	"os"
 	"time"
 
+	"github.com/guoq-dev/guoq/internal/dist"
 	"github.com/guoq-dev/guoq/internal/experiments"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "fig1", "experiment id (table2, table3, fig1, fig7..fig15, parallel, all)")
-		budget = flag.Duration("budget", 300*time.Millisecond, "per-tool per-circuit budget")
-		trials = flag.Int("trials", 3, "GUOQ trials per benchmark")
-		limit  = flag.Int("limit", 40, "suite subsample size (0 = full 247)")
-		seed   = flag.Int64("seed", 1, "base random seed")
+		exp     = flag.String("exp", "fig1", "experiment id (table2, table3, fig1, fig7..fig15, parallel, bench, all)")
+		budget  = flag.Duration("budget", 300*time.Millisecond, "per-tool per-circuit budget")
+		trials  = flag.Int("trials", 3, "GUOQ trials per benchmark")
+		limit   = flag.Int("limit", 40, "suite subsample size (0 = full 247)")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		shard   = flag.String("shard", "", "static shard i/n: run every n-th circuit starting at i (e.g. 0/4)")
+		remote  = flag.String("remote", "", "guoqd coordinator address for dynamic sharding (bench only)")
+		jsonOut = flag.String("json", "", "write per-circuit results as JSON (bench only; \"-\" = stdout)")
+		gateSet = flag.String("gateset", "ibmq20", "target gate set for bench")
+		workers = flag.Int("workers", 1, "per-circuit portfolio size for bench")
+		queue   = flag.String("queue", "bench", "work queue name on the coordinator")
+		ttl     = flag.Duration("lease-ttl", 60*time.Second, "job lease duration in remote mode")
 	)
 	flag.Parse()
 
@@ -38,6 +58,44 @@ func main() {
 		Epsilon:    1e-8,
 		Seed:       *seed,
 		Out:        os.Stdout,
+	}
+	if *shard != "" {
+		if _, err := fmt.Sscanf(*shard, "%d/%d", &cfg.Shard, &cfg.Shards); err != nil ||
+			cfg.Shards < 1 || cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
+			fatal(fmt.Errorf("bad -shard %q (want i/n with 0 ≤ i < n)", *shard))
+		}
+	}
+
+	runBench := func() error {
+		bo := experiments.BenchOptions{GateSet: *gateSet, Workers: *workers}
+		if host, err := os.Hostname(); err == nil {
+			bo.Worker = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		if *remote != "" {
+			client, err := dist.Dial(*remote, "", bo.Worker)
+			if err != nil {
+				return err
+			}
+			bo.Source = &dist.JobSource{Client: client, QueueName: *queue, TTL: *ttl}
+		}
+		if *jsonOut != "" {
+			w := os.Stdout
+			if *jsonOut != "-" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+			bo.JSON = w
+		}
+		results, err := experiments.Bench(cfg, bo)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bench: %d circuits optimized\n", len(results))
+		return nil
 	}
 
 	run := func(id string) error {
@@ -72,6 +130,8 @@ func main() {
 			_, err = experiments.Fig15(cfg)
 		case "parallel":
 			sums, err = experiments.Parallel(cfg)
+		case "bench":
+			err = runBench()
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -93,8 +153,12 @@ func main() {
 	}
 	for _, id := range ids {
 		if err := run(id); err != nil {
-			fmt.Fprintln(os.Stderr, "guoqbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "guoqbench:", err)
+	os.Exit(1)
 }

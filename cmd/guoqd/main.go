@@ -1,0 +1,87 @@
+// Command guoqd is the distributed optimization coordinator: it serves
+// best-so-far exchange sessions for guoq workers on other machines and a
+// sharded work queue for guoqbench workers.
+//
+// Usage:
+//
+//	guoqd -listen :7077 [-lease-ttl 60s] [-max-attempts 3]
+//	      [-seed-bench] [-limit 40] [-queue bench] [-quiet]
+//
+// With -seed-bench the daemon seeds its work queue with the benchmark
+// suite (subsampled to -limit circuits, 0 = all 247), so guoqbench
+// workers started with -remote lease disjoint circuits until the suite is
+// drained; without it the queue starts empty and can be filled over
+// POST /v1/jobs/push. Exchange sessions are created on demand by the
+// first worker that connects.
+//
+// Inspect a running daemon with:
+//
+//	curl http://localhost:7077/v1/status
+//	curl http://localhost:7077/v1/queues/bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/benchmarks"
+	"github.com/guoq-dev/guoq/internal/dist"
+	"github.com/guoq-dev/guoq/internal/experiments"
+	"github.com/guoq-dev/guoq/internal/gateset"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":7077", "address to serve on")
+		leaseTTL    = flag.Duration("lease-ttl", 60*time.Second, "default job lease duration (dead workers' jobs requeue after this)")
+		maxAttempts = flag.Int("max-attempts", 3, "lease attempts before a job is marked failed")
+		seedBench   = flag.Bool("seed-bench", false, "seed the work queue with the benchmark suite")
+		gateSet     = flag.String("gateset", "ibmq20", "gate set whose suite seeds the queue (must match the workers' -gateset)")
+		limit       = flag.Int("limit", 40, "suite subsample size for -seed-bench (0 = full suite)")
+		queue       = flag.String("queue", "bench", "work queue name for -seed-bench")
+		quiet       = flag.Bool("quiet", false, "suppress per-request logging")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: guoqd [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "guoqd: ", log.LstdFlags)
+	opts := dist.ServerOptions{LeaseTTL: *leaseTTL, MaxAttempts: *maxAttempts}
+	if !*quiet {
+		opts.Logf = logger.Printf
+	}
+	srv := dist.NewServer(opts)
+
+	if *seedBench {
+		// Seed with the suite of the workers' gate set: the Clifford+T set
+		// has its own suite with different circuit names, and a queue
+		// seeded from the wrong one would drain as "unknown circuit"
+		// reports without any real work.
+		gs, err := gateset.ByName(*gateSet)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		suite, err := benchmarks.SuiteFor(gs)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		suite = experiments.Subsample(suite, *limit)
+		jobs := make([]dist.Job, 0, len(suite))
+		for _, b := range suite {
+			jobs = append(jobs, dist.Job{ID: b.Name})
+		}
+		added := srv.Push(*queue, jobs)
+		logger.Printf("seeded queue %q with %d %s benchmark circuits", *queue, added, gs.Name)
+	}
+
+	logger.Printf("coordinator listening on %s", *listen)
+	if err := srv.ListenAndServe(*listen); err != nil {
+		logger.Fatal(err)
+	}
+}

@@ -92,6 +92,18 @@ func Translate(c *Circuit, gateSet string) (*Circuit, error) {
 // Objective selects the optimization cost function.
 type Objective string
 
+// DefaultObjective returns the objective Optimize uses when Options leaves
+// it empty: MinimizeT for the cliffordt gate set, MinimizeTwoQubit for
+// everything else. Exported so callers that need the resolved objective
+// before optimizing (cmd/guoq derives the distributed session id from it)
+// cannot drift from the library's defaulting.
+func DefaultObjective(gateSet string) Objective {
+	if gateSet == "cliffordt" {
+		return MinimizeT
+	}
+	return MinimizeTwoQubit
+}
+
 // Available objectives.
 const (
 	// MinimizeTwoQubit minimizes two-qubit gate count (NISQ default).
@@ -133,7 +145,21 @@ type Options struct {
 	// Circuits too small to window fall back to the portfolio. Requires
 	// Parallelism ≥ 2.
 	PartitionParallel bool
+	// Exchanger, when set, connects this run to an external best-so-far
+	// store so several processes (or machines) optimize one circuit as a
+	// single search: the run publishes its best solution with its
+	// accumulated error bound and adopts strictly better remote solutions.
+	// Use internal/dist's client via cmd/guoq -coordinator, or implement
+	// the interface to bridge your own transport. The ε guarantee is
+	// preserved across migration — adopted solutions carry their own
+	// bounds, which the search keeps charging against Epsilon.
+	Exchanger Exchanger
 }
+
+// Exchanger is a shared best-so-far store connecting concurrent searches;
+// see Options.Exchanger. Implementations must be safe for concurrent use
+// and must never mutate a circuit after returning it.
+type Exchanger = opt.Exchanger
 
 // Result reports optimization statistics.
 type Result struct {
@@ -148,7 +174,14 @@ type Result struct {
 	DepthAfter     int
 	FidelityBefore float64
 	FidelityAfter  float64
-	Elapsed        time.Duration
+	// Error is the accumulated ε upper bound of the returned circuit
+	// relative to the input (≤ Options.Epsilon; 0 when only exact
+	// transformations were applied).
+	Error float64
+	// Migrations counts how many times the search adopted a better
+	// solution from Options.Exchanger (0 without one).
+	Migrations int
+	Elapsed    time.Duration
 }
 
 // Optimize runs the GUOQ algorithm on a circuit already expressed in the
@@ -164,11 +197,7 @@ func Optimize(c *Circuit, o Options) (*Circuit, *Result, error) {
 		return nil, nil, fmt.Errorf("guoq: input circuit is not native to %s (use Translate first)", o.GateSet)
 	}
 	if o.Objective == "" {
-		if gs.Name == "cliffordt" {
-			o.Objective = MinimizeT
-		} else {
-			o.Objective = MinimizeTwoQubit
-		}
+		o.Objective = DefaultObjective(gs.Name)
 	}
 	if o.Epsilon == 0 {
 		o.Epsilon = 1e-8
@@ -195,8 +224,9 @@ func Optimize(c *Circuit, o Options) (*Circuit, *Result, error) {
 	runner.Async = o.Async
 	runner.Parallelism = o.Parallelism
 	runner.Partition = o.PartitionParallel
+	runner.Exchanger = o.Exchanger
 	start := time.Now()
-	out := runner.Optimize(c, gs, cost, o.Budget, o.Seed)
+	out, stats := runner.OptimizeStats(c, gs, cost, o.Budget, o.Seed)
 	res := &Result{
 		GateSet:        o.GateSet,
 		Objective:      o.Objective,
@@ -210,6 +240,8 @@ func Optimize(c *Circuit, o Options) (*Circuit, *Result, error) {
 		DepthAfter:     out.Depth(),
 		FidelityBefore: model.CircuitFidelity(c),
 		FidelityAfter:  model.CircuitFidelity(out),
+		Error:          stats.BestError,
+		Migrations:     stats.Migrations,
 		Elapsed:        time.Since(start),
 	}
 	return out, res, nil

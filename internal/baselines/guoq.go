@@ -30,6 +30,11 @@ type GUOQ struct {
 	// windows optimized concurrently (ε split across windows, Thm 4.2);
 	// circuits too small to window fall back to the portfolio.
 	Partition bool
+	// Exchanger, when set, connects the run to an external best-so-far
+	// store (a guoqd coordinator via internal/dist): a single-worker run
+	// polls it directly, a portfolio relays through its in-process
+	// coordinator.
+	Exchanger opt.Exchanger
 }
 
 // GUOQMode selects among the paper's search variants.
@@ -87,6 +92,17 @@ func (g *GUOQ) Name() string { return g.Tool }
 
 // Optimize implements Optimizer.
 func (g *GUOQ) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit {
+	out, _ := g.OptimizeStats(c, gs, cost, budget, seed)
+	return out
+}
+
+// OptimizeStats is Optimize plus the search statistics: the returned
+// Result carries the accumulated ε bound, iteration/acceptance counts and
+// exchange migrations for the circuit actually returned (BestError is 0
+// when the never-worse guard falls back to the input). The benchmark
+// recorder (internal/experiments.Bench) and the distributed CLIs consume
+// the statistics; plain comparisons use Optimize.
+func (g *GUOQ) OptimizeStats(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) (*circuit.Circuit, *opt.Result) {
 	synthTime := budget / 4
 	if synthTime > 500*time.Millisecond {
 		synthTime = 500 * time.Millisecond
@@ -101,7 +117,7 @@ func (g *GUOQ) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, 
 		WithPhaseFold: true,
 	})
 	if err != nil {
-		return c
+		return c, &opt.Result{Best: c}
 	}
 	opts := opt.DefaultOptions()
 	opts.Epsilon = g.Epsilon
@@ -110,6 +126,7 @@ func (g *GUOQ) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, 
 	opts.Seed = seed
 	opts.Async = g.Async
 	opts.WarmStart = true
+	opts.Exchanger = g.Exchanger
 	if g.ResynthProb > 0 {
 		opts.ResynthProb = g.ResynthProb
 	}
@@ -136,5 +153,13 @@ func (g *GUOQ) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, 
 			res = opt.GUOQ(c, ts, opts)
 		}
 	}
-	return keepBetter(c, res.Best, cost)
+	out := keepBetter(c, res.Best, cost)
+	if out != res.Best {
+		// The guard rejected the search's best: the caller gets the exact
+		// input back, so its accumulated bound is 0 by definition.
+		guarded := *res
+		guarded.Best, guarded.BestError = out, 0
+		return out, &guarded
+	}
+	return out, res
 }

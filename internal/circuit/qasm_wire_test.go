@@ -1,0 +1,154 @@
+package circuit_test
+
+// Wire-fidelity tests: the distributed coordinator (internal/dist) moves
+// circuits between machines as QASM text, so WriteQASM → ParseQASM must
+// reproduce every gate the optimizer can emit bit-for-bit — gate kinds,
+// qubit bindings, and angle parameters down to the last float64 bit.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/rewrite"
+)
+
+// gatesEqual compares gate lists by value, with params exact to the bit
+// (nil and empty param slices are both "no params").
+func gatesEqual(t *testing.T, want, got []gate.Gate) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("gate count %d -> %d after round trip", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Name != g.Name {
+			t.Fatalf("gate %d: name %q -> %q", i, w.Name, g.Name)
+		}
+		if len(w.Qubits) != len(g.Qubits) {
+			t.Fatalf("gate %d (%s): qubit count %d -> %d", i, w.Name, len(w.Qubits), len(g.Qubits))
+		}
+		for j := range w.Qubits {
+			if w.Qubits[j] != g.Qubits[j] {
+				t.Fatalf("gate %d (%s): qubit %d: %d -> %d", i, w.Name, j, w.Qubits[j], g.Qubits[j])
+			}
+		}
+		if len(w.Params) != len(g.Params) {
+			t.Fatalf("gate %d (%s): param count %d -> %d", i, w.Name, len(w.Params), len(g.Params))
+		}
+		for j := range w.Params {
+			if math.Float64bits(w.Params[j]) != math.Float64bits(g.Params[j]) {
+				t.Fatalf("gate %d (%s): param %d not bit-identical: %.17g -> %.17g",
+					i, w.Name, j, w.Params[j], g.Params[j])
+			}
+		}
+	}
+}
+
+func roundTrip(t *testing.T, c *circuit.Circuit) {
+	t.Helper()
+	q1 := c.WriteQASM()
+	back, err := circuit.ParseQASM(q1)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, q1)
+	}
+	if back.NumQubits != c.NumQubits {
+		t.Fatalf("qubit count %d -> %d", c.NumQubits, back.NumQubits)
+	}
+	gatesEqual(t, c.Gates, back.Gates)
+	if q2 := back.WriteQASM(); q2 != q1 {
+		t.Fatalf("write not stable after one round trip:\n%s\nvs\n%s", q1, q2)
+	}
+}
+
+// Every gate kind in the vocabulary round-trips with adversarial angles:
+// irrationals, negatives, subnormal-adjacent magnitudes, and values whose
+// shortest decimal rendering needs all 17 significant digits.
+func TestQASMRoundTripAllGateKinds(t *testing.T) {
+	angles := []float64{
+		math.Pi / 3, -math.Pi / 7, 2 * math.Pi, 1.0 / 3,
+		6.123233995736766e-17, -2.220446049250313e-16,
+		0.1 + 0.2, // 0.30000000000000004
+		1e300, 5e-324,
+	}
+	for _, n := range gate.Names() {
+		spec, _ := gate.SpecOf(n)
+		for ai, base := range angles {
+			c := circuit.New(spec.Qubits)
+			qs := make([]int, spec.Qubits)
+			for i := range qs {
+				qs[i] = spec.Qubits - 1 - i // non-trivial qubit order
+			}
+			ps := make([]float64, spec.Params)
+			for i := range ps {
+				ps[i] = base * float64(i+1)
+			}
+			c.Append(gate.New(n, qs, ps))
+			if len(ps) == 0 && ai > 0 {
+				break // parameterless gates need one pass only
+			}
+			roundTrip(t, c)
+		}
+	}
+}
+
+// Every gate the rewrite rules can emit (replacement sides) or consume
+// (pattern sides), instantiated at irrational bindings, survives the wire.
+// This is the load-bearing guarantee for distributed exchange: a rewrite
+// step's output published to the coordinator must reach other machines
+// unchanged.
+func TestQASMRoundTripRewriteEmissions(t *testing.T) {
+	for lib, rules := range rewrite.AllLibraries() {
+		for _, r := range rules {
+			binding := make([]float64, r.NumVars)
+			for i := range binding {
+				binding[i] = math.Pi/7 + float64(i)*math.E/3
+			}
+			for _, gates := range [][]gate.Gate{
+				r.ReplacementCircuitAt(binding),
+				r.PatternCircuitAt(binding),
+			} {
+				if len(gates) == 0 {
+					continue
+				}
+				c := circuit.New(r.NumQubits)
+				c.Append(gates...)
+				t.Run(lib+"/"+r.Name, func(t *testing.T) { roundTrip(t, c) })
+			}
+		}
+	}
+}
+
+// Random native circuits in every evaluation gate set round-trip whole.
+func TestQASMRoundTripRandomNative(t *testing.T) {
+	for _, gs := range gateset.All() {
+		rng := rand.New(rand.NewSource(42))
+		for trial := 0; trial < 3; trial++ {
+			c := circuit.Random(5, 80, gs.Gates, rng)
+			roundTrip(t, c)
+		}
+	}
+}
+
+// Envelope carries a circuit and its accumulated error bound through the
+// wire form without loss.
+func TestEnvelopeSealOpen(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := circuit.Random(4, 40, gateset.IBMEagle.Gates, rng)
+	env := circuit.Seal(c, 2.5e-9)
+	back, errBound, err := env.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errBound != 2.5e-9 {
+		t.Fatalf("error bound %g -> %g", 2.5e-9, errBound)
+	}
+	gatesEqual(t, c.Gates, back.Gates)
+
+	if _, _, err := (circuit.Envelope{QASM: "qreg q[2]; notagate q[0];"}).Open(); err == nil {
+		t.Fatal("malformed envelope opened without error")
+	}
+}

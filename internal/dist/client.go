@@ -1,0 +1,279 @@
+package dist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+)
+
+// SessionID derives a stable exchange-session key from what must be equal
+// across all participants of a distributed search: the circuit being
+// optimized, the objective name, and the ε budget. Two guoq processes
+// started on the same input with the same flags land in the same session
+// without any coordination; different inputs can never cross-pollinate.
+func SessionID(c *circuit.Circuit, objective string, epsilon float64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%.17g", c.WriteQASM(), objective, epsilon)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Client talks to a guoqd coordinator. Its Exchange method implements
+// opt.Exchanger, so it plugs into Options.Exchanger (single worker) or
+// becomes a Portfolio coordinator's upstream (multi-worker) unchanged.
+// Exchange degrades gracefully: any transport or decode error makes it
+// report "nothing to adopt" and count the failure, so a worker that loses
+// the coordinator keeps optimizing alone.
+type Client struct {
+	base    string
+	hc      *http.Client
+	Session string
+	Worker  string
+	// Epsilon is the search's ε budget, sent with every exchange; the
+	// first exchange of a session fixes the session's budget server-side.
+	// It is also enforced on adoption: a remote solution whose bound
+	// exceeds this client's budget is never handed to the search, even if
+	// the session (pinned via -session across runs with different
+	// -epsilon) tolerates it.
+	Epsilon float64
+	// MinInterval rate-limits exchange round trips: a call that neither
+	// improves on this client's last published cost nor arrives
+	// MinInterval after the previous round trip is answered locally with
+	// "nothing to adopt" instead of hitting the network — the GUOQ loop
+	// polls every 64 iterations, which is sub-millisecond cadence that no
+	// WAN should see. 0 means the 100 ms default; negative disables
+	// throttling (tests).
+	MinInterval time.Duration
+
+	mu       sync.Mutex
+	stats    ClientStats
+	lastSent time.Time
+	lastCost float64
+	sentAny  bool
+}
+
+// ClientStats counts a client's exchange traffic.
+type ClientStats struct {
+	// Exchanges is the number of attempted exchange round trips.
+	Exchanges int
+	// Adoptions is how many times the coordinator returned a better
+	// solution that decoded cleanly and fit the ε budget.
+	Adoptions int
+	// Throttled counts exchange calls answered locally by the
+	// MinInterval rate limit without a round trip.
+	Throttled int
+	// Errors counts failed round trips (network, HTTP, or decode).
+	Errors int
+}
+
+// Dial builds a client for a coordinator address ("host:port" or a full
+// http:// URL) and verifies the coordinator answers /healthz.
+func Dial(addr, session, worker string) (*Client, error) {
+	c := NewClient(addr, session, worker)
+	if err := c.Healthy(); err != nil {
+		return nil, fmt.Errorf("dist: coordinator %s unreachable: %w", addr, err)
+	}
+	return c, nil
+}
+
+// NewClient builds a client without probing the coordinator (tests, and
+// callers that prefer lazy failure).
+func NewClient(addr, session, worker string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{
+		base:    strings.TrimRight(addr, "/"),
+		hc:      &http.Client{Timeout: 10 * time.Second},
+		Session: session,
+		Worker:  worker,
+	}
+}
+
+// Stats snapshots the exchange counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Healthy probes the coordinator's /healthz endpoint.
+func (c *Client) Healthy() error {
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz returned %s", resp.Status)
+	}
+	return nil
+}
+
+// Exchange implements opt.Exchanger over the wire: publish the best
+// solution with its accumulated ε bound, adopt the session best when the
+// coordinator offers one and its bound fits this client's ε budget.
+func (c *Client) Exchange(best *circuit.Circuit, bestErr, bestCost float64) (*circuit.Circuit, float64, bool) {
+	interval := c.MinInterval
+	if interval == 0 {
+		interval = 100 * time.Millisecond
+	}
+	c.mu.Lock()
+	improved := !c.sentAny || bestCost < c.lastCost
+	if !improved && interval > 0 && time.Since(c.lastSent) < interval {
+		c.stats.Throttled++
+		c.mu.Unlock()
+		return nil, 0, false
+	}
+	c.sentAny, c.lastCost, c.lastSent = true, bestCost, time.Now()
+	c.stats.Exchanges++
+	c.mu.Unlock()
+	req := ExchangeRequest{
+		Session: c.Session,
+		Worker:  c.Worker,
+		Epsilon: c.Epsilon,
+		Best:    Solution{Envelope: circuit.Seal(best, bestErr), Cost: bestCost},
+	}
+	var resp ExchangeResponse
+	if err := c.post("/v1/exchange", req, &resp); err != nil {
+		c.fail()
+		return nil, 0, false
+	}
+	if !resp.Adopt {
+		return nil, 0, false
+	}
+	if resp.Best.Err > c.Epsilon {
+		// The session tolerates a larger budget than this run (possible
+		// when -session is pinned across runs with different -epsilon);
+		// adopting would break this run's BestError ≤ Epsilon contract.
+		return nil, 0, false
+	}
+	adopted, adoptErr, err := resp.Best.Open()
+	if err != nil {
+		c.fail()
+		return nil, 0, false
+	}
+	c.mu.Lock()
+	c.stats.Adoptions++
+	c.mu.Unlock()
+	return adopted, adoptErr, true
+}
+
+func (c *Client) fail() {
+	c.mu.Lock()
+	c.stats.Errors++
+	c.mu.Unlock()
+}
+
+// Push enqueues jobs onto a named queue, returning how many were new.
+func (c *Client) Push(queue string, jobs []Job) (int, error) {
+	var resp PushResponse
+	err := c.post("/v1/jobs/push", PushRequest{Queue: queue, Jobs: jobs}, &resp)
+	return resp.Added, err
+}
+
+// Lease asks for one job. ok=false with drained=true means the queue is
+// finished; ok=false with drained=false means everything pending is
+// currently leased elsewhere — poll again later.
+func (c *Client) Lease(queue string, ttl time.Duration) (job Job, ok, drained bool, err error) {
+	req := LeaseRequest{Queue: queue, Worker: c.Worker, TTLMillis: ttl.Milliseconds()}
+	var resp LeaseResponse
+	if err := c.post("/v1/jobs/lease", req, &resp); err != nil {
+		return Job{}, false, false, err
+	}
+	return resp.Job, resp.OK, resp.Drained, nil
+}
+
+// Complete reports a finished job; result is marshalled to JSON.
+func (c *Client) Complete(queue, id string, result any) error {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return err
+	}
+	var resp CompleteResponse
+	return c.post("/v1/jobs/complete", CompleteRequest{
+		Queue: queue, Worker: c.Worker, ID: id, Result: raw,
+	}, &resp)
+}
+
+// Queue fetches a queue's status including collected results.
+func (c *Client) Queue(queue string) (QueueStatus, error) {
+	var st QueueStatus
+	resp, err := c.hc.Get(c.base + "/v1/queues/" + queue)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("queue status returned %s", resp.Status)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func (c *Client) post(path string, req, into any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error != "" {
+			return fmt.Errorf("dist: %s: %s", path, e.Error)
+		}
+		return fmt.Errorf("dist: %s returned %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// JobSource adapts a Client to a single named queue with a fixed lease
+// TTL, in the shape internal/experiments consumes for sharded benchmark
+// runs: Lease blocks (polling) while other workers still hold leases, and
+// reports ok=false only once the queue is drained.
+type JobSource struct {
+	Client    *Client
+	QueueName string
+	TTL       time.Duration
+	// Poll is the retry period while the queue is busy (default 250 ms).
+	Poll time.Duration
+}
+
+// LeaseNext blocks until a job is available or the queue is drained.
+func (s *JobSource) LeaseNext() (string, bool, error) {
+	poll := s.Poll
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		job, ok, drained, err := s.Client.Lease(s.QueueName, s.TTL)
+		if err != nil {
+			return "", false, err
+		}
+		if ok {
+			return job.ID, true, nil
+		}
+		if drained {
+			return "", false, nil
+		}
+		time.Sleep(poll)
+	}
+}
+
+// CompleteJob reports one finished job with its raw JSON result.
+func (s *JobSource) CompleteJob(id string, result json.RawMessage) error {
+	return s.Client.Complete(s.QueueName, id, result)
+}

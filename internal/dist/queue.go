@@ -1,0 +1,162 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// workQueue shards a set of jobs across workers with lease/retry
+// semantics. A leased job that is not completed before its lease expires
+// returns to the pending list (dead-worker recovery); a job that expires
+// maxAttempts times is marked failed and never handed out again, so one
+// poisonous work item cannot wedge the whole run. All methods are called
+// with the owning Server's lock held.
+type workQueue struct {
+	pending     []*queuedJob
+	leased      map[string]*queuedJob
+	results     map[string]json.RawMessage
+	failed      map[string]bool
+	maxAttempts int
+}
+
+type queuedJob struct {
+	job      Job
+	attempts int
+	worker   string
+	expires  time.Time
+}
+
+func newWorkQueue(maxAttempts int) *workQueue {
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	return &workQueue{
+		leased:      map[string]*queuedJob{},
+		results:     map[string]json.RawMessage{},
+		failed:      map[string]bool{},
+		maxAttempts: maxAttempts,
+	}
+}
+
+// seen reports whether the queue already knows a job id in any state.
+func (q *workQueue) seen(id string) bool {
+	if _, ok := q.leased[id]; ok {
+		return true
+	}
+	if _, ok := q.results[id]; ok {
+		return true
+	}
+	if q.failed[id] {
+		return true
+	}
+	for _, j := range q.pending {
+		if j.job.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// push enqueues jobs, skipping ids the queue has already seen; it returns
+// the number actually added, which makes seeding idempotent.
+func (q *workQueue) push(jobs []Job) int {
+	added := 0
+	for _, j := range jobs {
+		if j.ID == "" || q.seen(j.ID) {
+			continue
+		}
+		q.pending = append(q.pending, &queuedJob{job: j})
+		added++
+	}
+	return added
+}
+
+// reap returns expired leases to the pending list, or marks them failed
+// once their attempts are spent.
+func (q *workQueue) reap(now time.Time) {
+	for id, j := range q.leased {
+		if now.Before(j.expires) {
+			continue
+		}
+		delete(q.leased, id)
+		if j.attempts >= q.maxAttempts {
+			q.failed[id] = true
+			continue
+		}
+		q.pending = append(q.pending, j)
+	}
+}
+
+// lease hands one pending job to a worker. drained is true when nothing is
+// pending and nothing is leased — the queue is finished and workers should
+// stop polling.
+func (q *workQueue) lease(worker string, ttl time.Duration, now time.Time) (job Job, ok, drained bool) {
+	q.reap(now)
+	if len(q.pending) == 0 {
+		return Job{}, false, len(q.leased) == 0
+	}
+	j := q.pending[0]
+	q.pending = q.pending[1:]
+	j.attempts++
+	j.worker = worker
+	j.expires = now.Add(ttl)
+	q.leased[j.job.ID] = j
+	return j.job, true, false
+}
+
+// complete records a job's result. The first completion wins and is
+// idempotent thereafter; a late completion from a worker whose lease
+// already expired (and whose job was re-leased or even failed) is still
+// accepted — the work was done, and discarding it would only waste a
+// retry. Completing an id the queue never issued is an error.
+func (q *workQueue) complete(id string, result json.RawMessage) error {
+	if _, done := q.results[id]; done {
+		return nil
+	}
+	if j, ok := q.leased[id]; ok && j.job.ID == id {
+		delete(q.leased, id)
+	} else if q.failed[id] {
+		delete(q.failed, id)
+	} else {
+		found := false
+		for i, p := range q.pending {
+			if p.job.ID == id {
+				q.pending = append(q.pending[:i], q.pending[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("dist: complete of unknown job %q", id)
+		}
+	}
+	if result == nil {
+		result = json.RawMessage("null")
+	}
+	q.results[id] = result
+	return nil
+}
+
+// status snapshots the queue. Results are copied only when withResults is
+// set (the coordinator-wide status view omits them to stay light).
+func (q *workQueue) status(now time.Time, withResults bool) QueueStatus {
+	q.reap(now)
+	st := QueueStatus{
+		Pending: len(q.pending),
+		Leased:  len(q.leased),
+		Done:    len(q.results),
+	}
+	for id := range q.failed {
+		st.Failed = append(st.Failed, id)
+	}
+	sort.Strings(st.Failed)
+	if withResults {
+		st.Results = make(map[string]json.RawMessage, len(q.results))
+		for id, r := range q.results {
+			st.Results[id] = r
+		}
+	}
+	return st
+}

@@ -1,0 +1,88 @@
+package dist
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestWorkQueueLeaseCompleteFlow(t *testing.T) {
+	q := newWorkQueue(3)
+	now := time.Unix(1000, 0)
+	if added := q.push([]Job{{ID: "a"}, {ID: "b"}, {ID: "a"}, {}}); added != 2 {
+		t.Fatalf("push added %d, want 2 (duplicate and empty ids skipped)", added)
+	}
+
+	j1, ok, drained := q.lease("w1", time.Minute, now)
+	if !ok || drained || j1.ID != "a" {
+		t.Fatalf("first lease = %+v ok=%v drained=%v", j1, ok, drained)
+	}
+	j2, ok, _ := q.lease("w2", time.Minute, now)
+	if !ok || j2.ID != "b" {
+		t.Fatalf("second lease = %+v ok=%v", j2, ok)
+	}
+	// Everything is leased: not drained, nothing to hand out.
+	if _, ok, drained := q.lease("w3", time.Minute, now); ok || drained {
+		t.Fatalf("lease on busy queue: ok=%v drained=%v, want false/false", ok, drained)
+	}
+
+	if err := q.complete("a", json.RawMessage(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.complete("a", json.RawMessage(`{"x":2}`)); err != nil {
+		t.Fatal("second completion must be idempotent:", err)
+	}
+	if string(q.results["a"]) != `{"x":1}` {
+		t.Fatalf("first completion must win, got %s", q.results["a"])
+	}
+	if err := q.complete("nope", nil); err == nil {
+		t.Fatal("completing an unknown job must error")
+	}
+	if err := q.complete("b", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, drained := q.lease("w1", time.Minute, now); ok || !drained {
+		t.Fatalf("finished queue: ok=%v drained=%v, want false/true", ok, drained)
+	}
+}
+
+// A dead worker's lease expires and the job goes to another worker; after
+// maxAttempts expiries the job is failed rather than retried forever.
+func TestWorkQueueLeaseExpiryAndRetryCap(t *testing.T) {
+	q := newWorkQueue(2)
+	q.push([]Job{{ID: "poison"}})
+	now := time.Unix(1000, 0)
+
+	j, ok, _ := q.lease("w1", time.Second, now)
+	if !ok || j.ID != "poison" {
+		t.Fatal("first lease failed")
+	}
+	// Before expiry the job stays leased.
+	if _, ok, drained := q.lease("w2", time.Second, now.Add(500*time.Millisecond)); ok || drained {
+		t.Fatal("job re-leased before its TTL expired")
+	}
+	// After expiry it is re-issued to the next worker (attempt 2 of 2).
+	j, ok, _ = q.lease("w2", time.Second, now.Add(2*time.Second))
+	if !ok || j.ID != "poison" {
+		t.Fatal("expired lease was not re-issued")
+	}
+	// Second expiry exhausts the attempts: the job fails, queue drains.
+	_, ok, drained := q.lease("w3", time.Second, now.Add(10*time.Second))
+	if ok || !drained {
+		t.Fatalf("spent job handed out again: ok=%v drained=%v", ok, drained)
+	}
+	st := q.status(now.Add(10*time.Second), false)
+	if len(st.Failed) != 1 || st.Failed[0] != "poison" {
+		t.Fatalf("failed list = %v, want [poison]", st.Failed)
+	}
+
+	// A late completion from the original worker is still accepted: the
+	// work happened, failure is not final when results arrive.
+	if err := q.complete("poison", json.RawMessage(`"late"`)); err != nil {
+		t.Fatal(err)
+	}
+	st = q.status(now.Add(11*time.Second), true)
+	if st.Done != 1 || len(st.Failed) != 0 {
+		t.Fatalf("late completion not recorded: %+v", st)
+	}
+}

@@ -1,0 +1,309 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// maxBodyBytes bounds a request body: a QASM circuit of ~100k gates is a
+// few MB, so 64 MB leaves ample headroom without letting a client exhaust
+// the coordinator's memory.
+const maxBodyBytes = 64 << 20
+
+// ServerOptions tunes a coordinator server. The zero value is usable.
+type ServerOptions struct {
+	// LeaseTTL is the lease duration applied when a LeaseRequest does not
+	// pick one (default 60 s).
+	LeaseTTL time.Duration
+	// MaxAttempts is how many times a job is handed out before it is
+	// marked failed (default 3).
+	MaxAttempts int
+	// Logf, when set, receives one line per state-changing request.
+	Logf func(format string, args ...any)
+}
+
+// Server is the guoqd coordinator: best-so-far exchange sessions plus
+// sharded work queues. It is safe for concurrent use; expose it over HTTP
+// with Handler.
+type Server struct {
+	opts ServerOptions
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	queues   map[string]*workQueue
+}
+
+// session is one distributed search: every participant optimizes the same
+// circuit under the same objective and ε budget.
+type session struct {
+	mu           sync.Mutex
+	epsilon      float64
+	best         Solution
+	has          bool
+	exchanges    int
+	improvements int
+}
+
+// NewServer builds a coordinator server.
+func NewServer(opts ServerOptions) *Server {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 60 * time.Second
+	}
+	return &Server{
+		opts:     opts,
+		sessions: map[string]*session{},
+		queues:   map[string]*workQueue{},
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+func (s *Server) session(id string, epsilon float64) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ss, ok := s.sessions[id]; ok {
+		return ss
+	}
+	ss := &session{epsilon: epsilon}
+	s.sessions[id] = ss
+	s.logf("session %s created (ε=%g)", id, epsilon)
+	return ss
+}
+
+// queue returns the named queue, creating it on first use. Only the push
+// paths create queues; read/lease/complete use lookupQueue so probing a
+// nonexistent name (a typo'd curl, a port scanner) cannot grow the queue
+// map for the daemon's lifetime.
+func (s *Server) queue(name string) *workQueue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q, ok := s.queues[name]; ok {
+		return q
+	}
+	q := newWorkQueue(s.opts.MaxAttempts)
+	s.queues[name] = q
+	return q
+}
+
+func (s *Server) lookupQueue(name string) *workQueue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queues[name]
+}
+
+// exchange applies the coordinator invariants: store a published solution
+// only when it strictly improves the session best, parses, and fits the
+// session's ε budget; offer the stored best only to callers strictly
+// behind it. The budget check is what preserves BestError ≤ Epsilon across
+// migration — a worker can only ever adopt a solution whose bound another
+// worker already proved admissible.
+func (ss *session) exchange(req ExchangeRequest) ExchangeResponse {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.exchanges++
+	if req.Best.QASM != "" && req.Best.Err <= ss.epsilon && (!ss.has || req.Best.Cost < ss.best.Cost) {
+		if _, _, err := req.Best.Open(); err == nil {
+			ss.best, ss.has = req.Best, true
+			ss.improvements++
+		}
+	}
+	if ss.has && ss.best.Cost < req.Best.Cost {
+		return ExchangeResponse{Adopt: true, Best: ss.best}
+	}
+	return ExchangeResponse{}
+}
+
+func (ss *session) status() SessionStatus {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return SessionStatus{
+		Epsilon:      ss.epsilon,
+		BestCost:     ss.best.Cost,
+		BestErr:      ss.best.Err,
+		Exchanges:    ss.exchanges,
+		Improvements: ss.improvements,
+	}
+}
+
+// Push seeds a queue directly (the in-process path used by guoqd at
+// startup); the HTTP POST /v1/jobs/push endpoint is the remote path.
+func (s *Server) Push(queue string, jobs []Job) int {
+	q := s.queue(queue)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return q.push(jobs)
+}
+
+// Handler returns the coordinator's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/exchange", s.handleExchange)
+	mux.HandleFunc("POST /v1/jobs/push", s.handlePush)
+	mux.HandleFunc("POST /v1/jobs/lease", s.handleLease)
+	mux.HandleFunc("POST /v1/jobs/complete", s.handleComplete)
+	mux.HandleFunc("GET /v1/queues/{name}", s.handleQueue)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// ListenAndServe runs the coordinator on addr until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve runs the coordinator on an existing listener.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	return srv.Serve(l)
+}
+
+func (s *Server) handleExchange(w http.ResponseWriter, r *http.Request) {
+	var req ExchangeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Session == "" {
+		httpError(w, http.StatusBadRequest, "missing session")
+		return
+	}
+	ss := s.session(req.Session, req.Epsilon)
+	resp := ss.exchange(req)
+	writeJSON(w, resp)
+}
+
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	var req PushRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Queue == "" {
+		httpError(w, http.StatusBadRequest, "missing queue")
+		return
+	}
+	q := s.queue(req.Queue)
+	s.mu.Lock()
+	added := q.push(req.Jobs)
+	s.mu.Unlock()
+	s.logf("queue %s: pushed %d/%d jobs", req.Queue, added, len(req.Jobs))
+	writeJSON(w, PushResponse{Added: added})
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Queue == "" {
+		httpError(w, http.StatusBadRequest, "missing queue")
+		return
+	}
+	ttl := s.opts.LeaseTTL
+	if req.TTLMillis > 0 {
+		ttl = time.Duration(req.TTLMillis) * time.Millisecond
+	}
+	q := s.lookupQueue(req.Queue)
+	if q == nil {
+		// The queue has not been seeded yet (a worker can start before
+		// the pusher): nothing to hand out, but not drained either — the
+		// worker should poll again.
+		writeJSON(w, LeaseResponse{})
+		return
+	}
+	s.mu.Lock()
+	job, ok, drained := q.lease(req.Worker, ttl, time.Now())
+	s.mu.Unlock()
+	if ok {
+		s.logf("queue %s: leased %q to %s (ttl %v)", req.Queue, job.ID, req.Worker, ttl)
+	}
+	writeJSON(w, LeaseResponse{OK: ok, Job: job, Drained: drained})
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Queue == "" || req.ID == "" {
+		httpError(w, http.StatusBadRequest, "missing queue or id")
+		return
+	}
+	q := s.lookupQueue(req.Queue)
+	if q == nil {
+		httpError(w, http.StatusNotFound, "unknown queue "+req.Queue)
+		return
+	}
+	s.mu.Lock()
+	err := q.complete(req.ID, req.Result)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	s.logf("queue %s: %s completed %q", req.Queue, req.Worker, req.ID)
+	writeJSON(w, CompleteResponse{OK: true})
+}
+
+func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
+	q := s.lookupQueue(r.PathValue("name"))
+	if q == nil {
+		httpError(w, http.StatusNotFound, "unknown queue "+r.PathValue("name"))
+		return
+	}
+	s.mu.Lock()
+	st := q.status(time.Now(), true)
+	s.mu.Unlock()
+	writeJSON(w, st)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	st := Status{Sessions: map[string]SessionStatus{}, Queues: map[string]QueueStatus{}}
+	s.mu.Lock()
+	sessions := make(map[string]*session, len(s.sessions))
+	for id, ss := range s.sessions {
+		sessions[id] = ss
+	}
+	now := time.Now()
+	for name, q := range s.queues {
+		st.Queues[name] = q.status(now, false)
+	}
+	s.mu.Unlock()
+	for id, ss := range sessions {
+		st.Sessions[id] = ss.status()
+	}
+	writeJSON(w, st)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(into); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

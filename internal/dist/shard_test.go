@@ -1,0 +1,168 @@
+package dist_test
+
+// Loopback smoke test for sharded benchmarking: a coordinator seeded with
+// suite circuits, drained by concurrent guoqbench-style workers leasing
+// jobs over HTTP — the in-process version of the CI smoke walkthrough.
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/benchmarks"
+	"github.com/guoq-dev/guoq/internal/dist"
+	"github.com/guoq-dev/guoq/internal/experiments"
+)
+
+func TestShardedBenchLoopback(t *testing.T) {
+	srv, hs := newLoopback(t, dist.ServerOptions{LeaseTTL: 30 * time.Second})
+
+	suite := experiments.Subsample(benchmarks.Suite(), 4)
+	jobs := make([]dist.Job, 0, len(suite))
+	want := map[string]bool{}
+	for _, b := range suite {
+		jobs = append(jobs, dist.Job{ID: b.Name})
+		want[b.Name] = true
+	}
+	if added := srv.Push("bench", jobs); added != len(jobs) {
+		t.Fatalf("seeded %d jobs, want %d", added, len(jobs))
+	}
+
+	cfg := experiments.Config{
+		Budget:  20 * time.Millisecond,
+		Epsilon: 1e-8,
+		Seed:    1,
+		Out:     io.Discard,
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		byName  = map[string]int{}
+		results []experiments.CircuitResult
+	)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			worker := []string{"alpha", "beta"}[i]
+			c, err := dist.Dial(hs.URL, "", worker)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rs, err := experiments.Bench(cfg, experiments.BenchOptions{
+				Source: &dist.JobSource{Client: c, QueueName: "bench", TTL: 10 * time.Second, Poll: 20 * time.Millisecond},
+				Worker: worker,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			for _, r := range rs {
+				byName[r.Name]++
+			}
+			results = append(results, rs...)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Every circuit ran exactly once across the two workers.
+	if len(results) != len(suite) {
+		t.Fatalf("workers produced %d results for %d jobs", len(results), len(suite))
+	}
+	for name := range want {
+		if byName[name] != 1 {
+			t.Fatalf("circuit %s ran %d times, want exactly 1 (counts: %v)", name, byName[name], byName)
+		}
+	}
+	for _, r := range results {
+		if r.Err > cfg.Epsilon {
+			t.Fatalf("%s: ε bound %g exceeds budget %g", r.Name, r.Err, cfg.Epsilon)
+		}
+		if r.TwoQubitAfter > r.TwoQubitBefore {
+			t.Fatalf("%s: two-qubit count regressed %d -> %d", r.Name, r.TwoQubitBefore, r.TwoQubitAfter)
+		}
+	}
+
+	// The coordinator holds the merged per-circuit records.
+	probe, err := dist.Dial(hs.URL, "", "probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := probe.Queue("bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != len(suite) || st.Pending != 0 || st.Leased != 0 {
+		t.Fatalf("queue status = %+v, want all %d done", st, len(suite))
+	}
+	for name := range want {
+		var r experiments.CircuitResult
+		if err := json.Unmarshal(st.Results[name], &r); err != nil {
+			t.Fatalf("result for %s not decodable: %v", name, err)
+		}
+		if r.Name != name || r.Worker == "" {
+			t.Fatalf("result for %s malformed: %+v", name, r)
+		}
+	}
+}
+
+// Lease/retry over the wire: a worker that leases and dies has its job
+// re-issued to another worker after the TTL.
+func TestHTTPLeaseRetryAfterDeadWorker(t *testing.T) {
+	srv, hs := newLoopback(t, dist.ServerOptions{})
+	srv.Push("q", []dist.Job{{ID: "only"}})
+
+	dead, err := dist.Dial(hs.URL, "", "dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, ok, _, err := dead.Lease("q", 50*time.Millisecond)
+	if err != nil || !ok || job.ID != "only" {
+		t.Fatalf("first lease: job=%+v ok=%v err=%v", job, ok, err)
+	}
+	// The worker dies without completing. Before expiry nobody else gets
+	// the job; after expiry the next worker does.
+	alive, err := dist.Dial(hs.URL, "", "alive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, drained, _ := alive.Lease("q", time.Minute); ok || drained {
+		t.Fatal("job re-leased before the dead worker's TTL expired")
+	}
+	time.Sleep(80 * time.Millisecond)
+	job, ok, _, err = alive.Lease("q", time.Minute)
+	if err != nil || !ok || job.ID != "only" {
+		t.Fatalf("re-lease after expiry: job=%+v ok=%v err=%v", job, ok, err)
+	}
+	if err := alive.Complete("q", "only", map[string]string{"by": "alive"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := alive.Queue("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 1 || st.Pending != 0 || st.Leased != 0 {
+		t.Fatalf("queue status after recovery = %+v", st)
+	}
+
+	// Probing a queue nobody seeded must not create it: status is a 404
+	// and a lease reports "try later" (not drained), so a worker that
+	// starts before the seeder just keeps polling.
+	if _, err := alive.Queue("never-seeded"); err == nil {
+		t.Fatal("status probe of an unknown queue succeeded (and would have created it)")
+	}
+	if _, ok, drained, err := alive.Lease("never-seeded", time.Minute); err != nil || ok || drained {
+		t.Fatalf("lease on unseeded queue: ok=%v drained=%v err=%v, want false/false/nil", ok, drained, err)
+	}
+	if _, err := alive.Queue("never-seeded"); err == nil {
+		t.Fatal("leasing created the unknown queue")
+	}
+}

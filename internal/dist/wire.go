@@ -1,0 +1,130 @@
+package dist
+
+import (
+	"encoding/json"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+)
+
+// The HTTP surface of a guoqd coordinator. All request bodies and
+// responses are JSON.
+//
+//	POST /v1/exchange       ExchangeRequest  -> ExchangeResponse
+//	POST /v1/jobs/push      PushRequest      -> PushResponse
+//	POST /v1/jobs/lease     LeaseRequest     -> LeaseResponse
+//	POST /v1/jobs/complete  CompleteRequest  -> CompleteResponse
+//	GET  /v1/queues/{name}                   -> QueueStatus
+//	GET  /v1/status                          -> Status
+//	GET  /healthz                            -> "ok"
+
+// Solution is a candidate circuit on the wire: QASM text, the accumulated
+// ε bound relative to the session's original circuit, and its value under
+// the session's cost function. Costs are computed by workers (the server
+// never needs the cost function itself — it only compares numbers), which
+// requires every session participant to run the same objective.
+type Solution struct {
+	circuit.Envelope
+	Cost float64 `json:"cost"`
+}
+
+// ExchangeRequest publishes a worker's best solution to a session and asks
+// for the session's best in return.
+type ExchangeRequest struct {
+	// Session identifies the search this worker participates in. All
+	// participants must optimize the same circuit under the same objective
+	// and ε budget; SessionID derives a suitable key.
+	Session string `json:"session"`
+	// Worker is a free-form identity used in logs and lease bookkeeping.
+	Worker string `json:"worker,omitempty"`
+	// Epsilon is the global error budget ε_f of the search. The first
+	// exchange of a session fixes the session's budget; the server rejects
+	// published solutions whose Err exceeds it.
+	Epsilon float64  `json:"epsilon"`
+	Best    Solution `json:"best"`
+}
+
+// ExchangeResponse carries the session's best back when it strictly beats
+// the caller's published solution.
+type ExchangeResponse struct {
+	Adopt bool     `json:"adopt"`
+	Best  Solution `json:"best,omitempty"`
+}
+
+// Job is one unit of shardable work — for benchmark sharding, ID is the
+// suite circuit's name and Payload is unused; pushers with custom work can
+// carry anything textual in Payload.
+type Job struct {
+	ID      string `json:"id"`
+	Payload string `json:"payload,omitempty"`
+}
+
+// PushRequest enqueues jobs onto a named queue. Jobs whose ID the queue
+// has already seen (pending, leased, done, or failed) are skipped, so
+// seeding is idempotent.
+type PushRequest struct {
+	Queue string `json:"queue"`
+	Jobs  []Job  `json:"jobs"`
+}
+
+// PushResponse reports how many jobs were actually enqueued.
+type PushResponse struct {
+	Added int `json:"added"`
+}
+
+// LeaseRequest asks for one job from a queue. The lease expires after TTL
+// (server default when zero); a job whose lease expires before completion
+// returns to the queue for another worker.
+type LeaseRequest struct {
+	Queue     string `json:"queue"`
+	Worker    string `json:"worker"`
+	TTLMillis int64  `json:"ttl_ms,omitempty"`
+}
+
+// LeaseResponse returns a job when one is available. Drained means the
+// queue has nothing pending and nothing leased — workers should stop
+// polling. OK=false with Drained=false means "try again later" (everything
+// pending is currently leased to other workers).
+type LeaseResponse struct {
+	OK      bool `json:"ok"`
+	Job     Job  `json:"job,omitempty"`
+	Drained bool `json:"drained"`
+}
+
+// CompleteRequest reports a finished job with an opaque JSON result.
+type CompleteRequest struct {
+	Queue  string          `json:"queue"`
+	Worker string          `json:"worker"`
+	ID     string          `json:"id"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// CompleteResponse acknowledges completion.
+type CompleteResponse struct {
+	OK bool `json:"ok"`
+}
+
+// QueueStatus summarizes a queue and carries the collected results, so any
+// participant (or the driver that seeded the queue) can fetch the merged
+// outcome of a sharded run.
+type QueueStatus struct {
+	Pending int                        `json:"pending"`
+	Leased  int                        `json:"leased"`
+	Done    int                        `json:"done"`
+	Failed  []string                   `json:"failed,omitempty"`
+	Results map[string]json.RawMessage `json:"results,omitempty"`
+}
+
+// SessionStatus summarizes one exchange session.
+type SessionStatus struct {
+	Epsilon      float64 `json:"epsilon"`
+	BestCost     float64 `json:"best_cost"`
+	BestErr      float64 `json:"best_err"`
+	Exchanges    int     `json:"exchanges"`
+	Improvements int     `json:"improvements"`
+}
+
+// Status is the coordinator-wide view returned by GET /v1/status.
+type Status struct {
+	Sessions map[string]SessionStatus `json:"sessions"`
+	Queues   map[string]QueueStatus   `json:"queues"`
+}

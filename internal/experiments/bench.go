@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/baselines"
+	"github.com/guoq-dev/guoq/internal/benchmarks"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/opt"
+)
+
+// CircuitResult is the machine-readable outcome of optimizing one
+// benchmark circuit — the per-circuit record behind guoqbench -json, and
+// the payload a sharded worker reports back to the guoqd work queue.
+type CircuitResult struct {
+	Name    string `json:"name"`
+	Family  string `json:"family"`
+	GateSet string `json:"gateset"`
+	Qubits  int    `json:"qubits"`
+
+	GatesBefore    int `json:"gates_before"`
+	GatesAfter     int `json:"gates_after"`
+	TwoQubitBefore int `json:"twoq_before"`
+	TwoQubitAfter  int `json:"twoq_after"`
+	TBefore        int `json:"t_before"`
+	TAfter         int `json:"t_after"`
+
+	// Err is the accumulated ε upper bound of the returned circuit.
+	Err float64 `json:"err"`
+	// WallMillis is the measured optimization wall time.
+	WallMillis float64 `json:"wall_ms"`
+	Iters      int     `json:"iters"`
+	Migrations int     `json:"migrations,omitempty"`
+	Worker     string  `json:"worker,omitempty"`
+}
+
+// JobSource leases benchmark names from a remote work queue (a guoqd
+// coordinator). LeaseNext blocks while other workers hold leases and
+// returns ok=false once the queue is drained; CompleteJob reports one
+// finished circuit's JSON record. internal/dist.JobSource implements it.
+type JobSource interface {
+	LeaseNext() (id string, ok bool, err error)
+	CompleteJob(id string, result json.RawMessage) error
+}
+
+// BenchOptions configures a Bench sweep.
+type BenchOptions struct {
+	// GateSet is the target gate set (default "ibmq20"). The objective is
+	// the gate set's natural one: T-count for cliffordt, two-qubit count
+	// otherwise.
+	GateSet string
+	// Workers is the per-circuit portfolio size (≤ 1 = single worker).
+	Workers int
+	// Source, when set, switches from the static Config.Shard split to
+	// dynamic lease-based sharding: circuits are pulled from the remote
+	// queue until it drains, and every result is reported back.
+	Source JobSource
+	// Worker names this process in reported results.
+	Worker string
+	// JSON, when set, receives the per-circuit results as an indented
+	// JSON array once the sweep finishes.
+	JSON io.Writer
+}
+
+// Bench sweeps benchmark circuits through GUOQ once each and records
+// per-circuit results: gate counts before/after, the accumulated ε bound,
+// and wall time. In static mode the sweep covers the Config's suite
+// selection (subsample, then shard); with a JobSource it instead leases
+// circuit names from a guoqd queue until the queue drains, so N workers
+// dynamically shard one suite with dead-worker retry handled server-side.
+func Bench(cfg Config, bo BenchOptions) ([]CircuitResult, error) {
+	cfg.normalize()
+	if bo.GateSet == "" {
+		bo.GateSet = "ibmq20"
+	}
+	gs, err := gateset.ByName(bo.GateSet)
+	if err != nil {
+		return nil, err
+	}
+	suite, err := benchmarks.SuiteFor(gs)
+	if err != nil {
+		return nil, err
+	}
+	cost := opt.TwoQubitCost()
+	if gs.Name == "cliffordt" {
+		cost = opt.TCost()
+	}
+	var runner *baselines.GUOQ
+	if bo.Workers > 1 {
+		runner = baselines.NewPortfolio(cfg.Epsilon, bo.Workers)
+	} else {
+		runner = baselines.NewGUOQ(cfg.Epsilon)
+	}
+
+	runOne := func(b benchmarks.Named) CircuitResult {
+		start := time.Now()
+		out, stats := runner.OptimizeStats(b.Circuit, gs, cost, cfg.Budget, cfg.Seed)
+		wall := time.Since(start)
+		r := CircuitResult{
+			Name:           b.Name,
+			Family:         b.Family,
+			GateSet:        gs.Name,
+			Qubits:         b.Circuit.NumQubits,
+			GatesBefore:    b.Circuit.Len(),
+			GatesAfter:     out.Len(),
+			TwoQubitBefore: b.Circuit.TwoQubitCount(),
+			TwoQubitAfter:  out.TwoQubitCount(),
+			TBefore:        b.Circuit.TCount(),
+			TAfter:         out.TCount(),
+			Err:            stats.BestError,
+			WallMillis:     float64(wall.Microseconds()) / 1e3,
+			Iters:          stats.Iters,
+			Migrations:     stats.Migrations,
+			Worker:         bo.Worker,
+		}
+		fmt.Fprintf(cfg.Out, "%-24s gates %5d -> %5d  2q %5d -> %5d  ε=%.3g  %7.1fms\n",
+			r.Name, r.GatesBefore, r.GatesAfter, r.TwoQubitBefore, r.TwoQubitAfter, r.Err, r.WallMillis)
+		return r
+	}
+
+	var results []CircuitResult
+	if bo.Source == nil {
+		for _, b := range cfg.selectSuite(suite) {
+			results = append(results, runOne(b))
+		}
+	} else {
+		byName := make(map[string]benchmarks.Named, len(suite))
+		for _, b := range suite {
+			byName[b.Name] = b
+		}
+		for {
+			id, ok, err := bo.Source.LeaseNext()
+			if err != nil {
+				return results, fmt.Errorf("experiments: lease: %w", err)
+			}
+			if !ok {
+				break
+			}
+			b, known := byName[id]
+			if !known {
+				// A job this build does not know (version skew between the
+				// seeder and the worker): report it so the queue does not
+				// retry it forever on a worker that can never run it.
+				msg, _ := json.Marshal(map[string]string{"error": "unknown circuit " + id})
+				if err := bo.Source.CompleteJob(id, msg); err != nil {
+					return results, fmt.Errorf("experiments: complete %s: %w", id, err)
+				}
+				continue
+			}
+			r := runOne(b)
+			raw, err := json.Marshal(r)
+			if err != nil {
+				return results, err
+			}
+			if err := bo.Source.CompleteJob(id, raw); err != nil {
+				return results, fmt.Errorf("experiments: complete %s: %w", id, err)
+			}
+			results = append(results, r)
+		}
+	}
+
+	if bo.JSON != nil {
+		enc := json.NewEncoder(bo.JSON)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

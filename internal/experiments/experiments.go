@@ -32,6 +32,13 @@ type Config struct {
 	// SuiteLimit truncates the 247-circuit suite by even subsampling
 	// (0 = full suite).
 	SuiteLimit int
+	// Shard and Shards statically split the (subsampled) suite across
+	// cooperating guoqbench processes: a run with Shard=i, Shards=n works
+	// on every n-th circuit starting at i, so n machines sweeping the same
+	// configuration cover the suite exactly once with no coordinator.
+	// Shards ≤ 1 disables sharding. For dynamic (lease-based) distribution
+	// see Bench with a JobSource.
+	Shard, Shards int
 	// Epsilon is the approximation budget for approximate tools (10⁻⁸).
 	Epsilon float64
 	// Seed is the base random seed.
@@ -66,14 +73,36 @@ func (cfg *Config) normalize() {
 	}
 }
 
-// subsample picks cfg.SuiteLimit evenly spaced circuits.
-func subsample(suite []benchmarks.Named, limit int) []benchmarks.Named {
+// Subsample picks limit evenly spaced circuits (0 = all). Exported so the
+// guoqd daemon seeds its work queue with exactly the circuits a local
+// guoqbench run at the same -limit would sweep.
+func Subsample(suite []benchmarks.Named, limit int) []benchmarks.Named {
 	if limit <= 0 || limit >= len(suite) {
 		return suite
 	}
 	out := make([]benchmarks.Named, 0, limit)
 	for i := 0; i < limit; i++ {
 		out = append(out, suite[i*len(suite)/limit])
+	}
+	return out
+}
+
+// selectSuite applies the Config's suite selection: even subsampling to
+// SuiteLimit, then the static Shard/Shards split. Sharding happens after
+// subsampling so shards of the same configuration partition the same
+// subsampled suite.
+func (cfg Config) selectSuite(suite []benchmarks.Named) []benchmarks.Named {
+	suite = Subsample(suite, cfg.SuiteLimit)
+	if cfg.Shards <= 1 {
+		return suite
+	}
+	shard := cfg.Shard % cfg.Shards
+	if shard < 0 {
+		shard += cfg.Shards
+	}
+	var out []benchmarks.Named
+	for i := shard; i < len(suite); i += cfg.Shards {
+		out = append(out, suite[i])
 	}
 	return out
 }

@@ -47,7 +47,7 @@ func compareMany(cfg Config, gs *gateset.GateSet, toolNames []string,
 	if err != nil {
 		return nil, err
 	}
-	suite = subsample(suite, cfg.SuiteLimit)
+	suite = cfg.selectSuite(suite)
 	guoq := baselines.NewGUOQ(cfg.Epsilon)
 	var out []Summary
 	for _, tn := range toolNames {
@@ -200,7 +200,7 @@ func Fig14(cfg Config) ([]Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	suite = subsample(suite, cfg.SuiteLimit)
+	suite = cfg.selectSuite(suite)
 	pyzx, _ := baselines.ByName("pyzx", cfg.Epsilon)
 	guoq := baselines.NewGUOQ(cfg.Epsilon)
 	// Strict FTQC cost: never trade a T gate for CX gates.

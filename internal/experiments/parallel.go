@@ -23,7 +23,7 @@ func Parallel(cfg Config) ([]Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	suite = subsample(suite, cfg.SuiteLimit)
+	suite = cfg.selectSuite(suite)
 	single := baselines.NewGUOQ(cfg.Epsilon)
 	m := TwoQubitReduction()
 	var out []Summary

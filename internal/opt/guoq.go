@@ -42,14 +42,15 @@ type Options struct {
 	// OnImprove, when set, is invoked every time the best solution
 	// improves — the hook behind the Fig. 7 time series.
 	OnImprove func(elapsed time.Duration, best *circuit.Circuit)
-	// Exchange, when set, is polled every ExchangeEvery iterations with the
+	// Exchanger, when set, is polled every ExchangeEvery iterations with the
 	// worker's best solution and its accumulated error bound. It may return
 	// a replacement solution (with its own error bound) to adopt as the
-	// current search point — the portfolio coordinator's migration channel.
+	// current search point — the migration channel of the portfolio
+	// coordinator, or of a remote guoqd coordinator (internal/dist).
 	// Adoption is only performed when the replacement's cost beats the
 	// worker's current cost, so a stale coordinator can never regress a
 	// worker. The replacement must never be mutated by the callee afterwards.
-	Exchange func(best *circuit.Circuit, bestErr, bestCost float64) (adopt *circuit.Circuit, adoptErr float64, ok bool)
+	Exchanger Exchanger
 	// ExchangeEvery is the polling period in iterations (default 64). A
 	// negative value disables migration entirely: Portfolio workers then
 	// search fully independently, which makes an iteration-bounded
@@ -69,13 +70,28 @@ func DefaultOptions() Options {
 	}
 }
 
+// Exchanger is a best-so-far store shared between concurrent searches. A
+// worker publishes its best solution together with the solution's
+// accumulated error bound and cost; the exchanger may return a strictly
+// better solution (with its own error bound) for the worker to adopt.
+// Implementations must be safe for concurrent use and must never mutate a
+// circuit after handing it out. The in-process portfolio coordinator and
+// the networked client of internal/dist both implement this interface.
+type Exchanger interface {
+	Exchange(best *circuit.Circuit, bestErr, bestCost float64) (adopt *circuit.Circuit, adoptErr float64, ok bool)
+}
+
 // Result reports a finished run.
 type Result struct {
 	Best      *circuit.Circuit
 	BestError float64 // accumulated ε upper bound for Best (Thm 4.2)
 	Iters     int
 	Accepted  int
-	Elapsed   time.Duration
+	// Migrations counts exchange adoptions: how many times the search
+	// replaced its current point with a better solution received from the
+	// Exchanger (0 without one).
+	Migrations int
+	Elapsed    time.Duration
 }
 
 // GUOQ runs Alg. 1: repeatedly sample a transformation and a random
@@ -184,10 +200,11 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		// best-so-far when it strictly beats our current search point. The
 		// adopted circuit carries its own accumulated ε bound, so subsequent
 		// budget admission (line 6) stays sound under Thm 4.2.
-		if opts.Exchange != nil && it%exchangeEvery == 0 {
-			if adopt, adoptErr, ok := opts.Exchange(best, bestErr, bestCost); ok {
+		if opts.Exchanger != nil && it%exchangeEvery == 0 {
+			if adopt, adoptErr, ok := opts.Exchanger.Exchange(best, bestErr, bestCost); ok {
 				if candCost := opts.Cost(adopt); candCost < currCost {
 					curr, currErr, currCost = adopt, adoptErr, candCost
+					res.Migrations++
 					improve()
 				}
 			}

@@ -27,11 +27,24 @@ func AutoWorkers() int {
 // accept more uphill moves).
 var tempLadder = []float64{1, 0.5, 2, 0.25, 4, 0.125, 8, 1}
 
+// upstreamSyncEvery bounds how often an idle coordinator polls its upstream
+// exchanger: local improvements are pushed immediately, but a coordinator
+// whose workers are stuck still checks for remote progress at this period
+// instead of on every worker exchange (which would hammer a networked
+// upstream with no-op requests).
+const upstreamSyncEvery = 100 * time.Millisecond
+
 // coordinator is the portfolio's shared best-so-far store. Workers publish
 // their best solution at exchange points and adopt the global best when it
 // beats their current search point. Circuits handed to the coordinator are
 // never mutated afterwards (the search loop is persistent: transformations
 // return fresh circuits), so sharing pointers across workers is safe.
+//
+// When an upstream Exchanger is set (the networked guoqd coordinator of
+// internal/dist), the coordinator forms a two-level hierarchy: workers
+// exchange with the in-process coordinator at memory speed, and the
+// coordinator relays to the upstream — pushing local improvements
+// immediately and otherwise polling at most every upstreamSyncEvery.
 type coordinator struct {
 	mu      sync.Mutex
 	cost    Cost
@@ -39,36 +52,78 @@ type coordinator struct {
 	bestErr float64
 	bestVal float64
 
+	upstream Exchanger
+	lastSync time.Time
+
 	start     time.Time
 	onImprove func(elapsed time.Duration, best *circuit.Circuit)
+	// cbMu serializes onImprove callbacks. The callback runs outside mu so
+	// a slow consumer (a terminal write, a network relay) never stalls the
+	// workers' exchange path; consecutive improvements may therefore be
+	// observed slightly out of order under heavy contention.
+	cbMu sync.Mutex
 }
 
-func newCoordinator(c *circuit.Circuit, cost Cost, onImprove func(time.Duration, *circuit.Circuit)) *coordinator {
+func newCoordinator(c *circuit.Circuit, cost Cost, onImprove func(time.Duration, *circuit.Circuit), upstream Exchanger) *coordinator {
 	return &coordinator{
 		cost:      cost,
 		best:      c,
 		bestErr:   0,
 		bestVal:   cost(c),
+		upstream:  upstream,
 		start:     time.Now(),
 		onImprove: onImprove,
 	}
 }
 
-// exchange implements Options.Exchange: record the worker's best, return
-// the global best when it is strictly better than what the worker has.
-func (co *coordinator) exchange(best *circuit.Circuit, bestErr, bestCost float64) (*circuit.Circuit, float64, bool) {
+// Exchange implements Exchanger: record the worker's best, relay to the
+// upstream coordinator when one is configured, and return the global best
+// when it is strictly better than what the worker has.
+func (co *coordinator) Exchange(best *circuit.Circuit, bestErr, bestCost float64) (*circuit.Circuit, float64, bool) {
 	co.mu.Lock()
-	defer co.mu.Unlock()
+	improved := false
 	if bestCost < co.bestVal {
 		co.best, co.bestErr, co.bestVal = best, bestErr, bestCost
-		if co.onImprove != nil {
-			co.onImprove(time.Since(co.start), co.best)
+		improved = true
+	}
+	sync := co.upstream != nil && (improved || time.Since(co.lastSync) >= upstreamSyncEvery)
+	if sync {
+		co.lastSync = time.Now()
+	}
+	locBest, locErr, locVal := co.best, co.bestErr, co.bestVal
+	co.mu.Unlock()
+
+	if improved {
+		co.notify(locBest)
+	}
+	if sync {
+		if up, upErr, ok := co.upstream.Exchange(locBest, locErr, locVal); ok {
+			if upVal := co.cost(up); upVal < locVal {
+				co.mu.Lock()
+				if upVal < co.bestVal {
+					co.best, co.bestErr, co.bestVal = up, upErr, upVal
+				}
+				locBest, locErr, locVal = co.best, co.bestErr, co.bestVal
+				co.mu.Unlock()
+				co.notify(locBest)
+			}
 		}
 	}
-	if co.bestVal < bestCost {
-		return co.best, co.bestErr, true
+
+	if locVal < bestCost {
+		return locBest, locErr, true
 	}
 	return nil, 0, false
+}
+
+// notify delivers an onImprove callback outside the exchange lock.
+func (co *coordinator) notify(best *circuit.Circuit) {
+	if co.onImprove == nil {
+		return
+	}
+	co.cbMu.Lock()
+	defer co.cbMu.Unlock()
+	co.onImprove(time.Since(co.start), best)
 }
 
 // Portfolio runs `workers` concurrent GUOQ searches over the same circuit
@@ -78,6 +133,11 @@ func (co *coordinator) exchange(best *circuit.Circuit, bestErr, bestCost float64
 // migration transfers the solution together with its accumulated error
 // bound, so the returned BestError ≤ opts.Epsilon holds exactly as in the
 // single-worker case. workers ≤ 1 degrades to the classic loop.
+//
+// When opts.Exchanger is set it becomes the coordinator's upstream: the
+// portfolio joins a multi-machine search (internal/dist), relaying its
+// local best outward and adopting remote improvements, while workers keep
+// exchanging in-process.
 //
 // The portfolio is not deterministic across runs (exchange points depend
 // on wall-clock interleaving); use the synchronous single-worker mode when
@@ -90,7 +150,7 @@ func Portfolio(c *circuit.Circuit, ts []Transformation, opts Options, workers in
 		opts.Cost = TwoQubitCost()
 	}
 	start := time.Now()
-	co := newCoordinator(c, opts.Cost, opts.OnImprove)
+	co := newCoordinator(c, opts.Cost, opts.OnImprove, opts.Exchanger)
 
 	results := make([]*Result, workers)
 	var wg sync.WaitGroup
@@ -98,8 +158,9 @@ func Portfolio(c *circuit.Circuit, ts []Transformation, opts Options, workers in
 		wOpts := opts
 		wOpts.Seed = opts.Seed + int64(w)*0x9E3779B9
 		wOpts.Temperature *= tempLadder[w%len(tempLadder)]
+		wOpts.Exchanger = nil
 		if opts.ExchangeEvery >= 0 {
-			wOpts.Exchange = co.exchange
+			wOpts.Exchanger = co
 		}
 		wOpts.OnImprove = nil // routed through the coordinator
 		wg.Add(1)
@@ -115,15 +176,25 @@ func Portfolio(c *circuit.Circuit, ts []Transformation, opts Options, workers in
 	for _, r := range results {
 		merged.Iters += r.Iters
 		merged.Accepted += r.Accepted
+		merged.Migrations += r.Migrations
 		cost := opts.Cost(r.Best)
 		if cost < bestCost || (cost == bestCost && r.BestError < merged.BestError) {
 			merged.Best, merged.BestError, bestCost = r.Best, r.BestError, cost
 		}
 	}
 	// Workers only publish at exchange points, so improvements found after
-	// a worker's last poll reach the merged result but not the coordinator;
-	// publish the final best so the OnImprove series ends at Result.Best.
-	co.exchange(merged.Best, merged.BestError, bestCost)
+	// a worker's last poll reach the merged result but not the coordinator
+	// (or its upstream); publish the final best so the OnImprove series and
+	// the remote session both end at Result.Best.
+	if adopt, adoptErr, ok := co.Exchange(merged.Best, merged.BestError, bestCost); ok {
+		// A remote peer may still be ahead of everything this portfolio
+		// found; returning its solution keeps the multi-machine contract
+		// "every participant ends at the global best".
+		if cost := opts.Cost(adopt); cost < bestCost {
+			merged.Best, merged.BestError = adopt, adoptErr
+			merged.Migrations++
+		}
+	}
 	merged.Elapsed = time.Since(start)
 	return merged
 }
@@ -165,7 +236,7 @@ func PartitionParallel(c *circuit.Circuit, ts []Transformation, opts Options, wo
 		wOpts := opts
 		wOpts.Epsilon = epsPer
 		wOpts.Seed = opts.Seed + int64(i)*0x9E3779B9
-		wOpts.Exchange = nil
+		wOpts.Exchanger = nil
 		wOpts.OnImprove = nil // per-window improvements are not global ones
 		wg.Add(1)
 		go func(i int, sub *circuit.Circuit, o Options) {
@@ -189,12 +260,27 @@ func PartitionParallel(c *circuit.Circuit, ts []Transformation, opts Options, wo
 		res.BestError += wr.res.BestError
 	}
 	res.Best = stitched
-	res.Elapsed = time.Since(start)
 	if opts.Cost(stitched) > opts.Cost(c) {
 		// The per-window costs are additive for every objective we ship, so
 		// this should not trigger; the guard keeps the "never worse"
 		// contract under exotic caller-supplied costs.
 		res.Best, res.BestError = c, 0
 	}
+	// Window workers search their shards independently, but the stitched
+	// whole-circuit result (summed bound ≤ opts.Epsilon) is a valid
+	// session solution: publish it to a distributed coordinator and adopt
+	// a remote solution that is strictly ahead, so -partition runs
+	// participate in a multi-machine search instead of silently dropping
+	// the Exchanger.
+	if opts.Exchanger != nil {
+		bestCost := opts.Cost(res.Best)
+		if adopt, adoptErr, ok := opts.Exchanger.Exchange(res.Best, res.BestError, bestCost); ok {
+			if opts.Cost(adopt) < bestCost {
+				res.Best, res.BestError = adopt, adoptErr
+				res.Migrations++
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
 	return res
 }

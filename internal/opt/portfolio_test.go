@@ -67,20 +67,20 @@ func TestCoordinatorExchange(t *testing.T) {
 	cost := TwoQubitCost()
 	base := circuit.Random(4, 30, gateset.IBMEagle.Gates, rand.New(rand.NewSource(8)))
 	better := circuit.New(4) // empty circuit: cost 0, unbeatable
-	co := newCoordinator(base, cost, nil)
+	co := newCoordinator(base, cost, nil, nil)
 
-	if _, _, ok := co.exchange(base, 0, cost(base)); ok {
+	if _, _, ok := co.Exchange(base, 0, cost(base)); ok {
 		t.Fatal("exchange offered a solution no better than the caller's")
 	}
-	if _, _, ok := co.exchange(better, 1e-9, cost(better)); ok {
+	if _, _, ok := co.Exchange(better, 1e-9, cost(better)); ok {
 		t.Fatal("exchange offered the publisher its own solution back")
 	}
-	adopt, adoptErr, ok := co.exchange(base, 0, cost(base))
+	adopt, adoptErr, ok := co.Exchange(base, 0, cost(base))
 	if !ok || adopt != better || adoptErr != 1e-9 {
 		t.Fatalf("exchange did not return the published best: ok=%v adopt=%p err=%g", ok, adopt, adoptErr)
 	}
 	// A stale worse report must not displace the stored best.
-	if _, _, ok := co.exchange(base, 0, cost(base)); !ok {
+	if _, _, ok := co.Exchange(base, 0, cost(base)); !ok {
 		t.Fatal("best was lost after a worse report")
 	}
 }
@@ -183,6 +183,85 @@ func TestAsyncWorkerCarriesErrorBase(t *testing.T) {
 			t.Fatal("async result never arrived")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// fakeUpstream is a canned remote coordinator: it always offers the same
+// solution and records what was published to it.
+type fakeUpstream struct {
+	mu        sync.Mutex
+	offer     *circuit.Circuit
+	offerErr  float64
+	offerCost float64
+	published int
+	bestSeen  float64
+}
+
+func (f *fakeUpstream) Exchange(best *circuit.Circuit, bestErr, bestCost float64) (*circuit.Circuit, float64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.published++
+	if f.published == 1 || bestCost < f.bestSeen {
+		f.bestSeen = bestCost
+	}
+	if f.offer != nil && f.offerCost < bestCost {
+		return f.offer, f.offerErr, true
+	}
+	return nil, 0, false
+}
+
+// A portfolio with Options.Exchanger set relays through it: remote
+// solutions flow into the workers (counted as migrations) and the
+// portfolio's own best is published outward.
+func TestPortfolioUpstreamExchanger(t *testing.T) {
+	c, ts := eagleSetup(t, 7, 40)
+	up := &fakeUpstream{offer: circuit.New(5), offerErr: 3e-9, offerCost: 0}
+	opts := DefaultOptions()
+	opts.Cost = TwoQubitCost()
+	opts.Seed = 21
+	opts.TimeBudget = 0
+	opts.MaxIters = 200
+	opts.Async = false
+	opts.Exchanger = up
+	res := Portfolio(c, ts, opts, 2)
+
+	if got := opts.Cost(res.Best); got != 0 {
+		t.Fatalf("portfolio did not adopt the upstream offer: cost %g, want 0", got)
+	}
+	if res.BestError != 3e-9 {
+		t.Fatalf("adopted solution lost its error bound: %g, want 3e-9", res.BestError)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("no migrations recorded despite upstream adoption")
+	}
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	if up.published == 0 {
+		t.Fatal("portfolio never published to the upstream coordinator")
+	}
+}
+
+// Partition-parallel publishes its stitched result to an upstream
+// exchanger (and adopts a strictly better remote solution), so -partition
+// runs participate in a distributed session rather than dropping it.
+func TestPartitionParallelUpstreamExchanger(t *testing.T) {
+	c, ts := eagleSetup(t, 14, 96) // large enough to window
+	up := &fakeUpstream{}
+	opts := DefaultOptions()
+	opts.Cost = TwoQubitCost()
+	opts.Seed = 5
+	opts.TimeBudget = 80 * time.Millisecond
+	opts.Exchanger = up
+	res := PartitionParallel(c, ts, opts, 4)
+
+	up.mu.Lock()
+	published, bestSeen := up.published, up.bestSeen
+	up.mu.Unlock()
+	if published == 0 {
+		t.Fatal("partition-parallel never published to the upstream coordinator")
+	}
+	if got := opts.Cost(res.Best); bestSeen != got {
+		t.Fatalf("published cost %g does not match the returned result's %g", bestSeen, got)
 	}
 }
 
