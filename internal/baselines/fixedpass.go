@@ -14,6 +14,11 @@ import (
 // (Qiskit, tket, VOQC): deterministic, fast, local, no search. The three
 // profiles differ in pass inventory, mirroring the tools' relative strength
 // on two-qubit reduction.
+//
+// The pipeline runs against one persistent rewrite.Engine: rule passes
+// reuse its incremental DAG and match caches across rounds, and the
+// whole-circuit passes report changed counts instead of being compared
+// deep-Equal against their input.
 type FixedPass struct {
 	Tool   string
 	Passes []Pass
@@ -21,59 +26,72 @@ type FixedPass struct {
 	Rounds int
 }
 
-// Pass is one deterministic rewrite pass.
-type Pass func(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit
+// Pass is one deterministic rewrite pass over the pipeline's engine. It
+// returns how many sites it changed (zero for a no-op).
+type Pass func(e *rewrite.Engine, gs *gateset.GateSet) int
 
 // CleanupPass cancels inverse pairs and merges adjacent rotations.
-func CleanupPass(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit {
-	return rewrite.Cleanup(c, gs.Name)
+func CleanupPass(e *rewrite.Engine, gs *gateset.GateSet) int {
+	out, changed := rewrite.CleanupChanged(e.Circuit(), gs.Name)
+	if changed > 0 {
+		e.SetCircuit(out)
+	}
+	return changed
 }
 
 // FusePass fuses single-qubit runs (continuous sets only).
-func FusePass(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit {
+func FusePass(e *rewrite.Engine, gs *gateset.GateSet) int {
 	if !gs.Continuous() {
-		return c
+		return 0
 	}
-	return rewrite.Fuse1Q(c, gs)
+	out, changed := rewrite.Fuse1QChanged(e.Circuit(), gs)
+	if changed > 0 {
+		e.SetCircuit(out)
+	}
+	return changed
 }
 
 // FoldPass runs global phase folding (rotation merging).
-func FoldPass(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit {
-	return phasepoly.Fold(c, gs.Name)
+func FoldPass(e *rewrite.Engine, gs *gateset.GateSet) int {
+	out, changed := phasepoly.FoldChanged(e.Circuit(), gs.Name)
+	if changed > 0 {
+		e.SetCircuit(out)
+	}
+	return changed
 }
 
 // RulesPass applies every library rule once, full-pass, in a fixed order
 // (commutation-aware cancellation).
-func RulesPass(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit {
+func RulesPass(e *rewrite.Engine, gs *gateset.GateSet) int {
 	rules, err := rewrite.RulesFor(gs.Name)
 	if err != nil {
-		return c
+		return 0
 	}
-	out := c
+	sites := 0
 	for _, r := range rules {
 		if r.Delta() >= 0 {
 			continue // fixed-pass pipelines only run reducing rules
 		}
-		out, _ = rewrite.FullPass(out, r, 0)
+		sites += e.FullPass(r, 0)
 	}
-	return out
+	return sites
 }
 
 // CommutationPass applies the size-neutral commutation rules once each,
 // then the reducing rules — the "commutative cancellation" trick of
 // Qiskit/tket pipelines.
-func CommutationPass(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit {
+func CommutationPass(e *rewrite.Engine, gs *gateset.GateSet) int {
 	rules, err := rewrite.RulesFor(gs.Name)
 	if err != nil {
-		return c
+		return 0
 	}
-	out := c
+	sites := 0
 	for _, r := range rules {
 		if r.Delta() == 0 {
-			out, _ = rewrite.FullPass(out, r, 0)
+			sites += e.FullPass(r, 0)
 		}
 	}
-	return RulesPass(out, gs)
+	return sites + RulesPass(e, gs)
 }
 
 // The three fixed-pass profiles. Relative strength (tket > qiskit ≳ voqc on
@@ -115,19 +133,20 @@ func (f *FixedPass) Name() string { return f.Tool }
 // Optimize implements Optimizer. Fixed-pass tools ignore the budget and the
 // seed: they are deterministic and fast.
 func (f *FixedPass) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, _ time.Duration, _ int64) *circuit.Circuit {
-	out := c
+	eng := rewrite.NewEngine(c)
 	rounds := f.Rounds
 	if rounds <= 0 {
 		rounds = 1
 	}
 	for r := 0; r < rounds; r++ {
-		before := out.Len()
+		before := eng.Circuit().Len()
 		for _, p := range f.Passes {
-			out = p(out, gs)
+			p(eng, gs)
 		}
-		if out.Len() == before {
+		eng.Commit()
+		if eng.Circuit().Len() == before {
 			break
 		}
 	}
-	return keepBetter(c, out, cost)
+	return keepBetter(c, eng.Circuit(), cost)
 }

@@ -59,7 +59,11 @@ func NewQuarl() *Lookahead { return &Lookahead{Tool: "quarl", Depth: 2} }
 // Name implements Optimizer.
 func (l *Lookahead) Name() string { return l.Tool }
 
-// Optimize implements Optimizer.
+// Optimize implements Optimizer. Branch evaluation runs on one persistent
+// rewrite.Engine: every candidate step is applied in place, scored, and
+// rolled back via the engine's transaction marks, so the per-branch circuit
+// copies (and DAG rebuilds) of the pure FullPass pipeline disappear; the
+// chosen step is then re-applied (deterministic) and committed.
 func (l *Lookahead) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit {
 	rules, err := rewrite.RulesFor(gs.Name)
 	if err != nil {
@@ -67,65 +71,77 @@ func (l *Lookahead) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.C
 	}
 	rng := rand.New(rand.NewSource(seed))
 	deadline := time.Now().Add(budget)
-	cur := rewrite.Cleanup(c, gs.Name)
-	best := cur
+	eng := rewrite.NewEngine(c)
 
-	apply := func(x *circuit.Circuit, r *rewrite.Rule) (*circuit.Circuit, bool) {
-		out, n := rewrite.FullPass(x, r, 0)
-		if n == 0 {
-			return x, false
+	// apply runs rule r full-pass plus cleanup on the engine, reporting
+	// whether the rule matched anywhere.
+	apply := func(r *rewrite.Rule) bool {
+		if eng.FullPass(r, 0) == 0 {
+			return false
 		}
-		return rewrite.Cleanup(out, gs.Name), true
+		if out, changed := rewrite.CleanupChanged(eng.Circuit(), gs.Name); changed > 0 {
+			eng.SetCircuit(out)
+		}
+		return true
 	}
 
+	if out, changed := rewrite.CleanupChanged(eng.Circuit(), gs.Name); changed > 0 {
+		eng.SetCircuit(out)
+	}
+	eng.Commit()
+	best := eng.Snapshot()
+	bestCost := cost(best)
+
 	for time.Now().Before(deadline) {
-		type step struct {
-			c     *circuit.Circuit
-			score float64
-		}
-		bestStep := step{c: nil, score: cost(cur)}
+		curCost := cost(eng.Circuit())
+		bestRule := -1
+		bestScore := curCost
 		improved := false
-		for _, r1 := range rules {
-			c1, ok := apply(cur, r1)
-			if !ok {
+		for ri, r1 := range rules {
+			m1 := eng.Mark()
+			if !apply(r1) {
 				continue
 			}
-			// Depth-2 rollout: the value of c1 is the best reachable cost.
-			v := cost(c1)
+			// Depth-2 rollout: the value of the step is the best reachable
+			// cost.
+			v := cost(eng.Circuit())
 			if l.Depth >= 2 {
 				for _, r2 := range rules {
-					c2, ok2 := apply(c1, r2)
-					if ok2 {
-						if cv := cost(c2); cv < v {
+					m2 := eng.Mark()
+					if apply(r2) {
+						if cv := cost(eng.Circuit()); cv < v {
 							v = cv
 						}
 					}
+					eng.Rollback(m2)
 					if time.Now().After(deadline) {
 						break
 					}
 				}
 			}
-			if v < bestStep.score || (v == bestStep.score && bestStep.c == nil && !circuit.Equal(c1, cur)) {
-				bestStep = step{c: c1, score: v}
-				improved = v < cost(cur)
+			if v < bestScore || (v == bestScore && bestRule < 0) {
+				bestScore, bestRule = v, ri
+				improved = v < curCost
 			}
+			eng.Rollback(m1)
 			if time.Now().After(deadline) {
 				break
 			}
 		}
-		if bestStep.c == nil {
+		if bestRule < 0 {
 			break
 		}
-		cur = bestStep.c
-		if cost(cur) < cost(best) {
-			best = cur
+		apply(rules[bestRule])
+		eng.Commit()
+		if cv := cost(eng.Circuit()); cv < bestCost {
+			best, bestCost = eng.Snapshot(), cv
 		}
 		if !improved {
 			// Plateau: take a random neutral move to diversify, like the
 			// policy's exploration, then continue.
 			r := rules[rng.Intn(len(rules))]
-			if nc, ok := apply(cur, r); ok {
-				cur = nc
+			if apply(r) {
+				eng.Commit()
 			} else {
 				break
 			}
@@ -157,18 +173,25 @@ func (p *PyZX) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, 
 			oneQ = append(oneQ, r)
 		}
 	}
-	out := c
+	eng := rewrite.NewEngine(c)
 	for round := 0; round < 8; round++ {
-		before := out.Len()
-		out = phasepoly.Fold(out, gs.Name)
-		out = cancel1q(out)
-		for _, r := range oneQ {
-			out, _ = rewrite.FullPass(out, r, 0)
+		before := eng.Circuit().Len()
+		if folded, changed := phasepoly.FoldChanged(eng.Circuit(), gs.Name); changed > 0 {
+			eng.SetCircuit(folded)
 		}
-		if out.Len() == before {
+		// cancel1q only ever removes gates, so equal length means no-op.
+		if c1 := cancel1q(eng.Circuit()); c1.Len() != eng.Circuit().Len() {
+			eng.SetCircuit(c1)
+		}
+		for _, r := range oneQ {
+			eng.FullPass(r, 0)
+		}
+		eng.Commit()
+		if eng.Circuit().Len() == before {
 			break
 		}
 	}
+	out := eng.Circuit()
 	// PyZX optimizes T count regardless of the caller's cost; it may not
 	// improve other metrics, and by construction never touches CX count.
 	if out.TCount() > c.TCount() {

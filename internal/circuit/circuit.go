@@ -144,19 +144,8 @@ func Equal(a, b *Circuit) bool {
 		return false
 	}
 	for i := range a.Gates {
-		ga, gb := a.Gates[i], b.Gates[i]
-		if ga.Name != gb.Name || len(ga.Qubits) != len(gb.Qubits) || len(ga.Params) != len(gb.Params) {
+		if !a.Gates[i].Equal(b.Gates[i]) {
 			return false
-		}
-		for j := range ga.Qubits {
-			if ga.Qubits[j] != gb.Qubits[j] {
-				return false
-			}
-		}
-		for j := range ga.Params {
-			if ga.Params[j] != gb.Params[j] {
-				return false
-			}
 		}
 	}
 	return true

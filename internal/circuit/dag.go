@@ -1,9 +1,23 @@
 package circuit
 
+import (
+	"fmt"
+
+	"github.com/guoq-dev/guoq/internal/gate"
+)
+
 // DAG view of a circuit (§3): nodes are gate indices, and for each qubit the
 // gates touching it form a totally ordered wire. An edge runs from each gate
-// to the next gate on each of its wires. The DAG is rebuilt on demand; it is
-// a cheap O(gates · arity) pass.
+// to the next gate on each of its wires.
+//
+// The DAG supports two maintenance modes. BuildDAG constructs a fresh view
+// in one O(gates · arity) pass — the throwaway mode used by the pure
+// FindMatches/FullPass API, which allocates link rows per gate. A
+// long-lived DAG (the rewrite.Engine's) is instead kept current across
+// mutations with Splice/MultiSplice, which replace gate windows in place:
+// the gate list is spliced, and the wire lists and link rows are recomputed
+// into the existing storage (freed rows are pooled), so steady-state
+// maintenance allocates nothing no matter how many windows a pass rewrites.
 type DAG struct {
 	c *Circuit
 	// wires[q] lists the gate indices acting on qubit q, in circuit order.
@@ -12,39 +26,154 @@ type DAG struct {
 	// preceding gate index on that wire, or -1.
 	next [][]int
 	prev [][]int
+
+	// pool recycles freed link rows by capacity class (arity 1..3). Rows
+	// with larger capacity are rare and simply dropped.
+	pool [4][][]int
+	// last is the per-qubit rebuild scratch; gateScratch assembles spliced
+	// gate lists, ping-ponging with the circuit's own slice.
+	last        []int
+	gateScratch []gate.Gate
+}
+
+// SpliceWindow is one window replacement of a MultiSplice: gates [Lo, Hi]
+// are replaced by Repl. Hi == Lo-1 denotes a pure insertion before Lo.
+type SpliceWindow struct {
+	Lo, Hi int
+	Repl   []gate.Gate
 }
 
 // BuildDAG constructs the DAG view for c.
 func BuildDAG(c *Circuit) *DAG {
-	d := &DAG{
-		c:     c,
-		wires: make([][]int, c.NumQubits),
-		next:  make([][]int, len(c.Gates)),
-		prev:  make([][]int, len(c.Gates)),
+	d := &DAG{c: c}
+	d.Rebuild()
+	return d
+}
+
+// Rebuild reconstructs the full DAG from the underlying circuit in place,
+// reusing wire storage and pooled link rows from the previous state: the
+// single O(gates · arity) pass of BuildDAG, minus its allocations.
+func (d *DAG) Rebuild() {
+	c := d.c
+	n := len(c.Gates)
+	if cap(d.wires) < c.NumQubits {
+		d.wires = make([][]int, c.NumQubits)
 	}
-	last := make([]int, c.NumQubits)
+	d.wires = d.wires[:c.NumQubits]
+	for q := range d.wires {
+		d.wires[q] = d.wires[q][:0]
+	}
+	// Free surplus link rows before shrinking, and nil the entries so a
+	// later grow cannot resurrect a pooled row.
+	for i := n; i < len(d.next); i++ {
+		d.freeRow(d.next[i])
+		d.freeRow(d.prev[i])
+		d.next[i], d.prev[i] = nil, nil
+	}
+	d.next = growRows(d.next, n)
+	d.prev = growRows(d.prev, n)
+	if cap(d.last) < c.NumQubits {
+		d.last = make([]int, c.NumQubits)
+	}
+	last := d.last[:c.NumQubits]
 	for q := range last {
 		last[q] = -1
 	}
 	for i, g := range c.Gates {
-		d.next[i] = make([]int, len(g.Qubits))
-		d.prev[i] = make([]int, len(g.Qubits))
+		k := len(g.Qubits)
+		nr := d.row(d.next[i], k)
+		pr := d.row(d.prev[i], k)
+		d.next[i], d.prev[i] = nr, pr
 		for k, q := range g.Qubits {
 			d.wires[q] = append(d.wires[q], i)
-			d.prev[i][k] = last[q]
-			d.next[i][k] = -1
-			if last[q] >= 0 {
-				pg := c.Gates[last[q]]
+			pr[k] = last[q]
+			nr[k] = -1
+			if p := last[q]; p >= 0 {
+				pg := c.Gates[p]
 				for pk, pq := range pg.Qubits {
 					if pq == q {
-						d.next[last[q]][pk] = i
+						d.next[p][pk] = i
 					}
 				}
 			}
 			last[q] = i
 		}
 	}
-	return d
+}
+
+// growRows resizes a row table to n entries, preserving existing rows.
+func growRows(rows [][]int, n int) [][]int {
+	if cap(rows) < n {
+		nr := make([][]int, n, n+n/2+8)
+		copy(nr, rows)
+		return nr
+	}
+	return rows[:n]
+}
+
+// row returns a link row of length k, reusing old's storage or a pooled row.
+func (d *DAG) row(old []int, k int) []int {
+	if cap(old) >= k {
+		return old[:k]
+	}
+	d.freeRow(old)
+	return d.newRow(k)
+}
+
+func (d *DAG) newRow(k int) []int {
+	if k < len(d.pool) {
+		if p := d.pool[k]; len(p) > 0 {
+			r := p[len(p)-1]
+			d.pool[k] = p[:len(p)-1]
+			return r[:k]
+		}
+	}
+	return make([]int, k)
+}
+
+func (d *DAG) freeRow(r []int) {
+	if c := cap(r); c > 0 && c < len(d.pool) {
+		d.pool[c] = append(d.pool[c], r[:c])
+	}
+}
+
+// MultiSplice replaces every window of ws — ascending, non-overlapping —
+// with its replacement, in one pass: the new gate list is assembled into a
+// reused scratch buffer (swapped with the circuit's slice) and the link
+// structure rebuilt in place. This is how an engine applies a full pass's
+// disjoint matches: one O(gates) sweep regardless of how many windows the
+// pass rewrote, with no allocation in steady state.
+func (d *DAG) MultiSplice(ws []SpliceWindow) {
+	c := d.c
+	prevHi := -1
+	for _, w := range ws {
+		if w.Lo <= prevHi || w.Hi >= len(c.Gates) || w.Hi < w.Lo-1 {
+			panic(fmt.Sprintf("circuit: MultiSplice window [%d,%d] invalid (%d gates, previous hi %d)",
+				w.Lo, w.Hi, len(c.Gates), prevHi))
+		}
+		prevHi = w.Hi
+		if w.Lo > w.Hi {
+			prevHi = w.Lo - 1
+		}
+	}
+	out := d.gateScratch[:0]
+	i := 0
+	for _, w := range ws {
+		out = append(out, c.Gates[i:w.Lo]...)
+		out = append(out, w.Repl...)
+		i = w.Hi + 1
+	}
+	out = append(out, c.Gates[i:]...)
+	// Ping-pong the buffers: the old gate slice becomes the next scratch.
+	d.gateScratch = c.Gates[:0]
+	c.Gates = out
+	d.Rebuild()
+}
+
+// Splice replaces the single gate window [lo, hi] with repl; see
+// MultiSplice.
+func (d *DAG) Splice(lo, hi int, repl []gate.Gate) {
+	d.MultiSplice([]SpliceWindow{{Lo: lo, Hi: hi, Repl: repl}})
 }
 
 // Circuit returns the underlying circuit.
@@ -52,6 +181,11 @@ func (d *DAG) Circuit() *Circuit { return d.c }
 
 // Wire returns the ordered gate indices on qubit q.
 func (d *DAG) Wire(q int) []int { return d.wires[q] }
+
+// Links returns the raw per-qubit-position next and prev gate links of gate
+// i. The slices alias the DAG's internal state and must not be modified;
+// they are positionally aligned with the gate's Qubits.
+func (d *DAG) Links(i int) (next, prev []int) { return d.next[i], d.prev[i] }
 
 // NextOnWire returns the gate index following gate i on qubit q, or -1.
 // Gate i must act on q.

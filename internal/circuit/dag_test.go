@@ -1,0 +1,102 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/gate"
+)
+
+// equalDAG asserts that two DAG views over equal circuits agree on every
+// wire list and every per-wire link.
+func equalDAG(t *testing.T, got, want *DAG) {
+	t.Helper()
+	if !Equal(got.Circuit(), want.Circuit()) {
+		t.Fatalf("underlying circuits differ:\n%s\nvs\n%s", got.Circuit(), want.Circuit())
+	}
+	c := want.Circuit()
+	for q := 0; q < c.NumQubits; q++ {
+		gw, ww := got.Wire(q), want.Wire(q)
+		if len(gw) != len(ww) {
+			t.Fatalf("wire %d length %d, want %d", q, len(gw), len(ww))
+		}
+		for i := range gw {
+			if gw[i] != ww[i] {
+				t.Fatalf("wire %d entry %d = %d, want %d", q, i, gw[i], ww[i])
+			}
+		}
+	}
+	for i, g := range c.Gates {
+		for _, q := range g.Qubits {
+			if gn, wn := got.NextOnWire(i, q), want.NextOnWire(i, q); gn != wn {
+				t.Fatalf("gate %d next on wire %d = %d, want %d", i, q, gn, wn)
+			}
+			if gp, wp := got.PrevOnWire(i, q), want.PrevOnWire(i, q); gp != wp {
+				t.Fatalf("gate %d prev on wire %d = %d, want %d", i, q, gp, wp)
+			}
+		}
+	}
+}
+
+// randomGates draws k random gates over n qubits from the default vocab.
+func randomGates(n, k int, rng *rand.Rand) []gate.Gate {
+	c := Random(n, k, DefaultTestVocab, rng)
+	return c.Gates
+}
+
+// TestDAGSpliceMatchesRebuild drives a long chain of random window splices
+// (shrinking, growing, pure insertion, pure deletion) through one persistent
+// DAG and checks after every step that it is indistinguishable from a
+// from-scratch BuildDAG of the same circuit.
+func TestDAGSpliceMatchesRebuild(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		c := Random(6, 40, DefaultTestVocab, rng)
+		d := BuildDAG(c)
+		for step := 0; step < 200; step++ {
+			n := len(c.Gates)
+			var lo, hi int
+			if n == 0 || rng.Intn(8) == 0 {
+				// Pure insertion.
+				lo = 0
+				if n > 0 {
+					lo = rng.Intn(n + 1)
+				}
+				hi = lo - 1
+			} else {
+				lo = rng.Intn(n)
+				hi = lo + rng.Intn(min(n-lo, 6))
+			}
+			var repl []gate.Gate
+			if k := rng.Intn(5); k > 0 && rng.Intn(6) != 0 {
+				repl = randomGates(c.NumQubits, k, rng)
+			}
+			d.Splice(lo, hi, repl)
+			ref := BuildDAG(d.Circuit())
+			equalDAG(t, d, ref)
+		}
+	}
+}
+
+// TestDAGRebuildReuse exercises Rebuild after swapping the gate list
+// wholesale, including a qubit-count change.
+func TestDAGRebuildReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := Random(5, 30, DefaultTestVocab, rng)
+	d := BuildDAG(c)
+	for step := 0; step < 20; step++ {
+		nq := 2 + rng.Intn(6)
+		nc := Random(nq, rng.Intn(50), DefaultTestVocab, rng)
+		c.NumQubits = nc.NumQubits
+		c.Gates = nc.Gates
+		d.Rebuild()
+		equalDAG(t, d, BuildDAG(c))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

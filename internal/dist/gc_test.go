@@ -1,0 +1,91 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for session-GC tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) Now() time.Time                { return f.t }
+func (f *fakeClock) Advance(d time.Duration)       { f.t = f.t.Add(d) }
+func newFakeClock() *fakeClock                     { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func (s *Server) sessionCount() int                { s.mu.Lock(); defer s.mu.Unlock(); return len(s.sessions) }
+func (s *Server) hasSession(id string) bool        { s.mu.Lock(); defer s.mu.Unlock(); _, ok := s.sessions[id]; return ok }
+
+// TestSessionGCExpiresIdleSessions pins the TTL contract: sessions idle
+// past SessionTTL are collected on the next access, active sessions are
+// kept, and an expired id is transparently recreated empty.
+func TestSessionGCExpiresIdleSessions(t *testing.T) {
+	clock := newFakeClock()
+	s := NewServer(ServerOptions{SessionTTL: time.Minute})
+	s.now = clock.Now
+
+	s.session("a", 1e-8)
+	s.session("b", 1e-8)
+	if got := s.sessionCount(); got != 2 {
+		t.Fatalf("expected 2 sessions, got %d", got)
+	}
+
+	// Touch a just before b's expiry; b stays idle.
+	clock.Advance(59 * time.Second)
+	s.session("a", 1e-8)
+
+	// Cross b's TTL (idle 1m2s) while a is only 3s idle.
+	clock.Advance(3 * time.Second)
+	s.session("c", 1e-8) // any exchange-path access triggers the sweep
+	if s.hasSession("b") {
+		t.Error("idle session b survived past its TTL")
+	}
+	if !s.hasSession("a") || !s.hasSession("c") {
+		t.Error("active sessions were collected")
+	}
+
+	// A worker outliving the TTL recreates its session, losing the stored
+	// best — which it republishes at the next exchange.
+	sa := s.session("a", 1e-8)
+	sa.exchange(ExchangeRequest{Session: "a", Epsilon: 1e-8})
+	clock.Advance(2 * time.Minute)
+	s.session("x", 1e-8)
+	if s.hasSession("a") {
+		t.Fatal("session a should have expired")
+	}
+	if got := s.session("a", 1e-8); got.has {
+		t.Error("recreated session kept stale state")
+	}
+}
+
+// TestSessionGCStatusSweepsButDoesNotTouch ensures a status poll collects
+// expired sessions without counting as activity on the survivors.
+func TestSessionGCStatusSweepsButDoesNotTouch(t *testing.T) {
+	clock := newFakeClock()
+	s := NewServer(ServerOptions{SessionTTL: time.Minute})
+	s.now = clock.Now
+
+	s.session("a", 1e-8)
+	for i := 0; i < 5; i++ {
+		clock.Advance(30 * time.Second)
+		// Poll status every 30 s: must not keep a alive.
+		s.mu.Lock()
+		s.sweepSessionsLocked(clock.Now())
+		s.mu.Unlock()
+	}
+	if s.hasSession("a") {
+		t.Error("status polling kept an idle session alive")
+	}
+}
+
+// TestSessionGCDisabled pins that a negative TTL disables collection.
+func TestSessionGCDisabled(t *testing.T) {
+	clock := newFakeClock()
+	s := NewServer(ServerOptions{SessionTTL: -1})
+	s.now = clock.Now
+
+	s.session("a", 1e-8)
+	clock.Advance(1000 * time.Hour)
+	s.session("b", 1e-8)
+	if !s.hasSession("a") {
+		t.Error("session collected despite GC being disabled")
+	}
+}

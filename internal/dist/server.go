@@ -19,6 +19,14 @@ type ServerOptions struct {
 	// LeaseTTL is the lease duration applied when a LeaseRequest does not
 	// pick one (default 60 s).
 	LeaseTTL time.Duration
+	// SessionTTL bounds how long an idle exchange session is retained: a
+	// session with no exchange traffic for the TTL is garbage collected, so
+	// a long-lived guoqd does not grow without bound as searches come and
+	// go. Status polling does not count as activity. A worker that outlives
+	// its session's TTL transparently recreates it (losing only the stored
+	// best, which the worker republishes at its next exchange). Zero
+	// selects the default of 30 min; negative disables GC.
+	SessionTTL time.Duration
 	// MaxAttempts is how many times a job is handed out before it is
 	// marked failed (default 3).
 	MaxAttempts int
@@ -31,6 +39,7 @@ type ServerOptions struct {
 // with Handler.
 type Server struct {
 	opts ServerOptions
+	now  func() time.Time // injectable clock for tests
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -46,6 +55,10 @@ type session struct {
 	has          bool
 	exchanges    int
 	improvements int
+
+	// lastUsed is the time of the last exchange touch, guarded by the
+	// owning Server's mu (not the session's own).
+	lastUsed time.Time
 }
 
 // NewServer builds a coordinator server.
@@ -53,8 +66,12 @@ func NewServer(opts ServerOptions) *Server {
 	if opts.LeaseTTL <= 0 {
 		opts.LeaseTTL = 60 * time.Second
 	}
+	if opts.SessionTTL == 0 {
+		opts.SessionTTL = 30 * time.Minute
+	}
 	return &Server{
 		opts:     opts,
+		now:      time.Now,
 		sessions: map[string]*session{},
 		queues:   map[string]*workQueue{},
 	}
@@ -67,15 +84,34 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 func (s *Server) session(id string, epsilon float64) *session {
+	now := s.now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepSessionsLocked(now)
 	if ss, ok := s.sessions[id]; ok {
+		ss.lastUsed = now
 		return ss
 	}
-	ss := &session{epsilon: epsilon}
+	ss := &session{epsilon: epsilon, lastUsed: now}
 	s.sessions[id] = ss
 	s.logf("session %s created (ε=%g)", id, epsilon)
 	return ss
+}
+
+// sweepSessionsLocked garbage-collects exchange sessions idle for longer
+// than SessionTTL. Called with s.mu held on the exchange and status paths;
+// the map is small (one entry per concurrent distributed search), so a
+// full sweep per access is cheap.
+func (s *Server) sweepSessionsLocked(now time.Time) {
+	if s.opts.SessionTTL < 0 {
+		return
+	}
+	for id, ss := range s.sessions {
+		if idle := now.Sub(ss.lastUsed); idle > s.opts.SessionTTL {
+			delete(s.sessions, id)
+			s.logf("session %s expired (idle %v)", id, idle)
+		}
+	}
 }
 
 // queue returns the named queue, creating it on first use. Only the push
@@ -272,12 +308,15 @@ func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	st := Status{Sessions: map[string]SessionStatus{}, Queues: map[string]QueueStatus{}}
+	now := s.now()
 	s.mu.Lock()
+	// Status polling sweeps but does not refresh lastUsed: a dashboard
+	// watching an abandoned session must not keep it alive forever.
+	s.sweepSessionsLocked(now)
 	sessions := make(map[string]*session, len(s.sessions))
 	for id, ss := range s.sessions {
 		sessions[id] = ss
 	}
-	now := time.Now()
 	for name, q := range s.queues {
 		st.Queues[name] = q.status(now, false)
 	}

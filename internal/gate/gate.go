@@ -119,6 +119,26 @@ func New(n Name, qubits []int, params []float64) Gate {
 // Arity returns the number of qubits the gate acts on.
 func (g Gate) Arity() int { return len(g.Qubits) }
 
+// Equal reports structural equality with h: same name, qubits, and
+// float-equal parameters. This is the per-gate comparison circuit.Equal
+// applies, and the one the changed-count passes use to certify no-ops.
+func (g Gate) Equal(h Gate) bool {
+	if g.Name != h.Name || len(g.Qubits) != len(h.Qubits) || len(g.Params) != len(h.Params) {
+		return false
+	}
+	for i := range g.Qubits {
+		if g.Qubits[i] != h.Qubits[i] {
+			return false
+		}
+	}
+	for i := range g.Params {
+		if g.Params[i] != h.Params[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone returns a deep copy of g.
 func (g Gate) Clone() Gate {
 	q := make([]int, len(g.Qubits))

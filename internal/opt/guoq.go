@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/rewrite"
 )
 
 // Options configures a GUOQ run (Alg. 1 plus the implementation details of
@@ -97,6 +98,14 @@ type Result struct {
 // GUOQ runs Alg. 1: repeatedly sample a transformation and a random
 // subcircuit, apply, and accept probabilistically based on cost, tracking
 // the accumulated error against the ε_f budget.
+//
+// The loop threads one rewrite.Engine through its iterations: the current
+// search point lives inside the engine, transformations that implement
+// EngineApplier mutate it in place (reusing the engine's incremental DAG
+// and per-rule match caches), and the acceptance decision becomes a commit
+// or rollback of the engine's transaction log. Published circuits — the
+// tracked best, exchange payloads, OnImprove arguments — are always
+// snapshots, never the live engine circuit.
 func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 	if opts.Cost == nil {
 		opts.Cost = TwoQubitCost()
@@ -114,10 +123,11 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		}
 	}
 
-	curr := c.Clone()
+	eng := rewrite.NewEngine(c)
+	curr := eng.Circuit() // stable pointer to the engine's live circuit
 	currErr := 0.0
 	currCost := opts.Cost(curr)
-	best := curr
+	best := eng.Snapshot()
 	bestErr := 0.0
 	bestCost := currCost
 
@@ -126,6 +136,24 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 	if opts.Async && len(slow) > 0 && len(fast) > 0 {
 		worker = newAsyncWorker()
 		defer worker.stop()
+	}
+
+	// applyAny applies t against the engine — in place when the
+	// transformation supports it, as a whole-circuit transaction otherwise.
+	// On ok the engine holds the candidate and the caller must Commit or
+	// Rollback(0).
+	applyAny := func(t Transformation, allowed float64, r *rand.Rand) (float64, bool) {
+		if ea, ok := t.(EngineApplier); ok {
+			return ea.ApplyEngine(eng, allowed, r)
+		}
+		out, eps, ok := t.Apply(curr, allowed, r)
+		if !ok {
+			return 0, false
+		}
+		// Clone defensively: SetCircuit takes ownership, and a caller-
+		// supplied transformation may hand back shared state.
+		eng.SetCircuit(out.Clone())
+		return eps, true
 	}
 
 	if opts.WarmStart {
@@ -138,14 +166,17 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		for round := 0; round < 8; round++ {
 			roundStart := currCost
 			for _, t := range fast {
-				out, eps, ok := t.Apply(curr, 0, warmRng)
+				eps, ok := applyAny(t, 0, warmRng)
 				if !ok {
 					continue
 				}
-				if candCost := opts.Cost(out); candCost <= currCost {
-					curr, currCost = out, candCost
+				if candCost := opts.Cost(curr); candCost <= currCost {
+					eng.Commit()
+					currCost = candCost
 					currErr += eps
 					res.Accepted++
+				} else {
+					eng.Rollback(0)
 				}
 			}
 			if opts.TimeBudget > 0 && time.Now().After(deadline) {
@@ -156,7 +187,7 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 			}
 		}
 		if currCost < bestCost {
-			best, bestErr, bestCost = curr, currErr, currCost
+			best, bestErr, bestCost = eng.Snapshot(), currErr, currCost
 			if opts.OnImprove != nil {
 				opts.OnImprove(time.Since(start), best)
 			}
@@ -165,7 +196,7 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 
 	improve := func() {
 		if currCost < bestCost {
-			best, bestErr, bestCost = curr, currErr, currCost
+			best, bestErr, bestCost = eng.Snapshot(), currErr, currCost
 			if opts.OnImprove != nil {
 				opts.OnImprove(time.Since(start), best)
 			}
@@ -199,11 +230,14 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		// Portfolio migration: publish our best, and adopt the coordinator's
 		// best-so-far when it strictly beats our current search point. The
 		// adopted circuit carries its own accumulated ε bound, so subsequent
-		// budget admission (line 6) stays sound under Thm 4.2.
+		// budget admission (line 6) stays sound under Thm 4.2. Reset clones
+		// the adopted circuit into the engine, so the coordinator's copy is
+		// never mutated.
 		if opts.Exchanger != nil && it%exchangeEvery == 0 {
 			if adopt, adoptErr, ok := opts.Exchanger.Exchange(best, bestErr, bestCost); ok {
 				if candCost := opts.Cost(adopt); candCost < currCost {
-					curr, currErr, currCost = adopt, adoptErr, candCost
+					eng.Reset(adopt)
+					currErr, currCost = adoptErr, candCost
 					res.Migrations++
 					improve()
 				}
@@ -222,7 +256,8 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 				if r.ok && r.baseErr+r.eps <= opts.Epsilon {
 					candCost := opts.Cost(r.out)
 					if accept(candCost) {
-						curr, currCost = r.out, candCost
+						eng.Reset(r.out)
+						currCost = candCost
 						currErr = r.baseErr + r.eps
 						res.Accepted++
 						improve()
@@ -259,16 +294,19 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		}
 		allowed := opts.Epsilon - currErr
 
-		out, eps, ok := t.Apply(curr, allowed, rng)
+		eps, ok := applyAny(t, allowed, rng)
 		if !ok {
 			continue
 		}
-		candCost := opts.Cost(out)
+		candCost := opts.Cost(curr)
 		if accept(candCost) {
-			curr, currCost = out, candCost
+			eng.Commit()
+			currCost = candCost
 			currErr += eps
 			res.Accepted++
 			improve()
+		} else {
+			eng.Rollback(0)
 		}
 	}
 

@@ -62,7 +62,7 @@ func Instantiate(gs *gateset.GateSet, io InstantiateOptions) ([]Transformation, 
 		syn = fs
 	}
 	if io.WithPhaseFold {
-		ts = append(ts, &PhaseFoldTransformation{GateSetName: gs.Name, Fold: phasepoly.Fold})
+		ts = append(ts, &PhaseFoldTransformation{GateSetName: gs.Name, Fold: phasepoly.FoldChanged})
 	}
 	// Resynthesis at three declared ε classes (§4: a set of τ_ε with
 	// different ε). The coarse class admits aggressive approximations while

@@ -37,8 +37,10 @@ const upstreamSyncEvery = 100 * time.Millisecond
 // coordinator is the portfolio's shared best-so-far store. Workers publish
 // their best solution at exchange points and adopt the global best when it
 // beats their current search point. Circuits handed to the coordinator are
-// never mutated afterwards (the search loop is persistent: transformations
-// return fresh circuits), so sharing pointers across workers is safe.
+// never mutated afterwards: each worker's search point lives inside its own
+// rewrite.Engine, and everything a worker publishes is a snapshot (while
+// adopted circuits are cloned back into the engine), so sharing pointers
+// across workers is safe.
 //
 // When an upstream Exchanger is set (the networked guoqd coordinator of
 // internal/dist), the coordinator forms a two-level hierarchy: workers

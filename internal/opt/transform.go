@@ -29,8 +29,23 @@ type Transformation interface {
 	Slow() bool
 	// Apply attempts one application to a randomly chosen location,
 	// returning the transformed circuit, the error incurred, and whether
-	// anything was attempted. allowedEps caps the incurred error.
+	// anything was attempted. allowedEps caps the incurred error. The
+	// returned circuit must be fresh (or the unmodified input when
+	// ok = false): the search loop may adopt it into a mutable engine.
 	Apply(c *circuit.Circuit, allowedEps float64, rng *rand.Rand) (out *circuit.Circuit, eps float64, ok bool)
+}
+
+// EngineApplier is the incremental fast path of a Transformation: an
+// application against a persistent rewrite.Engine, mutating its circuit in
+// place instead of producing a fresh copy. The GUOQ loop threads one
+// Engine per worker through its iterations and uses this path whenever a
+// transformation supports it — committing on acceptance, rolling back on
+// rejection. Implementations must leave the engine untouched when they
+// report ok = false, must route every mutation through the engine (so its
+// DAG and rule-match caches stay sound), and must consume exactly the same
+// rng stream as Apply so engine-backed runs stay bit-for-bit reproducible.
+type EngineApplier interface {
+	ApplyEngine(e *rewrite.Engine, allowedEps float64, rng *rand.Rand) (eps float64, ok bool)
 }
 
 // ---------------------------------------------------------------------------
@@ -56,6 +71,17 @@ func (t *RuleTransformation) Apply(c *circuit.Circuit, _ float64, rng *rand.Rand
 	return out, 0, true
 }
 
+// ApplyEngine implements EngineApplier: the same full pass, but matched
+// through the engine's per-rule cache and applied as in-place splices.
+func (t *RuleTransformation) ApplyEngine(e *rewrite.Engine, _ float64, rng *rand.Rand) (float64, bool) {
+	c := e.Circuit()
+	if c.Len() == 0 {
+		return 0, false
+	}
+	n := e.FullPass(t.Rule, rng.Intn(c.Len()))
+	return 0, n > 0
+}
+
 // CleanupTransformation wraps the normalization pass as a τ_0.
 type CleanupTransformation struct {
 	GateSetName string
@@ -66,11 +92,22 @@ func (t *CleanupTransformation) Epsilon() float64 { return 0 }
 func (t *CleanupTransformation) Slow() bool       { return false }
 
 func (t *CleanupTransformation) Apply(c *circuit.Circuit, _ float64, _ *rand.Rand) (*circuit.Circuit, float64, bool) {
-	out := rewrite.Cleanup(c, t.GateSetName)
-	if circuit.Equal(out, c) {
+	out, changed := rewrite.CleanupChanged(c, t.GateSetName)
+	if changed == 0 {
 		return c, 0, false
 	}
 	return out, 0, true
+}
+
+// ApplyEngine implements EngineApplier: a whole-circuit pass adopted via
+// SetCircuit (full cache invalidation) only when it changed something.
+func (t *CleanupTransformation) ApplyEngine(e *rewrite.Engine, _ float64, _ *rand.Rand) (float64, bool) {
+	out, changed := rewrite.CleanupChanged(e.Circuit(), t.GateSetName)
+	if changed == 0 {
+		return 0, false
+	}
+	e.SetCircuit(out)
+	return 0, true
 }
 
 // FuseTransformation wraps single-qubit fusion as a τ_0 (continuous sets).
@@ -83,18 +120,30 @@ func (t *FuseTransformation) Epsilon() float64 { return 0 }
 func (t *FuseTransformation) Slow() bool       { return false }
 
 func (t *FuseTransformation) Apply(c *circuit.Circuit, _ float64, _ *rand.Rand) (*circuit.Circuit, float64, bool) {
-	out := rewrite.Fuse1Q(c, t.GateSet)
-	if circuit.Equal(out, c) {
+	out, changed := rewrite.Fuse1QChanged(c, t.GateSet)
+	if changed == 0 {
 		return c, 0, false
 	}
 	return out, 0, true
+}
+
+// ApplyEngine implements EngineApplier.
+func (t *FuseTransformation) ApplyEngine(e *rewrite.Engine, _ float64, _ *rand.Rand) (float64, bool) {
+	out, changed := rewrite.Fuse1QChanged(e.Circuit(), t.GateSet)
+	if changed == 0 {
+		return 0, false
+	}
+	e.SetCircuit(out)
+	return 0, true
 }
 
 // PhaseFoldTransformation wraps global phase folding as a τ_0. It is cheap,
 // exact, and particularly potent on Clifford+T circuits.
 type PhaseFoldTransformation struct {
 	GateSetName string
-	Fold        func(*circuit.Circuit, string) *circuit.Circuit
+	// Fold runs the pass and reports how many sites it changed; zero means
+	// the output is structurally identical to the input.
+	Fold func(*circuit.Circuit, string) (*circuit.Circuit, int)
 }
 
 func (t *PhaseFoldTransformation) Name() string     { return "phasefold" }
@@ -102,11 +151,21 @@ func (t *PhaseFoldTransformation) Epsilon() float64 { return 0 }
 func (t *PhaseFoldTransformation) Slow() bool       { return false }
 
 func (t *PhaseFoldTransformation) Apply(c *circuit.Circuit, _ float64, _ *rand.Rand) (*circuit.Circuit, float64, bool) {
-	out := t.Fold(c, t.GateSetName)
-	if circuit.Equal(out, c) {
+	out, changed := t.Fold(c, t.GateSetName)
+	if changed == 0 {
 		return c, 0, false
 	}
 	return out, 0, true
+}
+
+// ApplyEngine implements EngineApplier.
+func (t *PhaseFoldTransformation) ApplyEngine(e *rewrite.Engine, _ float64, _ *rand.Rand) (float64, bool) {
+	out, changed := t.Fold(e.Circuit(), t.GateSetName)
+	if changed == 0 {
+		return 0, false
+	}
+	e.SetCircuit(out)
+	return 0, true
 }
 
 // ---------------------------------------------------------------------------
@@ -127,7 +186,9 @@ func (t *ResynthTransformation) Name() string     { return "resynth:" + t.Synth.
 func (t *ResynthTransformation) Epsilon() float64 { return t.DeclaredEps }
 func (t *ResynthTransformation) Slow() bool       { return true }
 
-func (t *ResynthTransformation) Apply(c *circuit.Circuit, allowedEps float64, rng *rand.Rand) (*circuit.Circuit, float64, bool) {
+// propose runs the whole resynthesis pipeline short of the final splice:
+// sample a region, synthesize its unitary, and verify the achieved error.
+func (t *ResynthTransformation) propose(c *circuit.Circuit, allowedEps float64, rng *rand.Rand) (*circuit.Region, *circuit.Circuit, float64, bool) {
 	// Sample the region width: 2-qubit regions synthesize in milliseconds
 	// (0..3 CX by the KAK bound), 3-qubit ones are the slow deep calls, so
 	// the mix keeps resynthesis throughput high at compressed budgets while
@@ -138,7 +199,7 @@ func (t *ResynthTransformation) Apply(c *circuit.Circuit, allowedEps float64, rn
 	}
 	region := circuit.RandomRegion(c, width, 0, rng)
 	if region == nil || len(region.Indices) < 2 {
-		return c, 0, false
+		return nil, nil, 0, false
 	}
 	sub := region.Extract(c)
 	eps := t.DeclaredEps
@@ -146,17 +207,37 @@ func (t *ResynthTransformation) Apply(c *circuit.Circuit, allowedEps float64, rn
 		eps = allowedEps
 	}
 	if eps < 0 {
-		return c, 0, false
+		return nil, nil, 0, false
 	}
 	target := sub.Unitary()
 	replacement, err := t.Synth.Synthesize(target, sub.NumQubits, eps)
 	if err != nil {
-		return c, 0, false
+		return nil, nil, 0, false
 	}
 	// Account the error actually incurred, not the declared class.
 	actual := linalg.HSDistance(target, replacement.Unitary())
 	if actual > eps {
+		return nil, nil, 0, false
+	}
+	return region, replacement, actual, true
+}
+
+func (t *ResynthTransformation) Apply(c *circuit.Circuit, allowedEps float64, rng *rand.Rand) (*circuit.Circuit, float64, bool) {
+	region, replacement, actual, ok := t.propose(c, allowedEps, rng)
+	if !ok {
 		return c, 0, false
 	}
 	return region.Replace(c, replacement), actual, true
+}
+
+// ApplyEngine implements EngineApplier: the region replacement goes through
+// the engine, so the splice is transaction-logged and its halo invalidated
+// like any rewrite — resynthesis moves keep the match caches sound.
+func (t *ResynthTransformation) ApplyEngine(e *rewrite.Engine, allowedEps float64, rng *rand.Rand) (float64, bool) {
+	region, replacement, actual, ok := t.propose(e.Circuit(), allowedEps, rng)
+	if !ok {
+		return 0, false
+	}
+	e.ReplaceRegion(region, replacement)
+	return actual, true
 }

@@ -108,6 +108,16 @@ func emitPhase(theta float64, q int, gatesetName string) []gate.Gate {
 // named gate set's diagonal vocabulary. Non-diagonal gates are untouched;
 // two-qubit gate count is exactly preserved.
 func Fold(c *circuit.Circuit, gatesetName string) *circuit.Circuit {
+	out, _ := FoldChanged(c, gatesetName)
+	return out
+}
+
+// FoldChanged is Fold plus a change count: the number of phase gates
+// absorbed into a merge site plus the number of merge sites whose
+// re-emitted ladder differs from the original gate. A zero count
+// guarantees the output is structurally identical (circuit.Equal) to the
+// input, so callers can detect no-ops without a deep compare.
+func FoldChanged(c *circuit.Circuit, gatesetName string) (*circuit.Circuit, int) {
 	n := c.NumQubits
 	words := (n + 63) / 64
 	nextVar := 0
@@ -168,8 +178,21 @@ func Fold(c *circuit.Circuit, gatesetName string) *circuit.Circuit {
 	_ = words
 
 	out := circuit.New(n)
+	changed := 0
+	// identical tracks, incrementally, whether the output still reproduces
+	// the input gate-for-gate: a merged run can re-emit exactly the gates it
+	// absorbed (adjacent same-parity phases whose ladder equals them), in
+	// which case the pass is a no-op despite having "merged" something.
+	identical := true
+	emit := func(g gate.Gate) {
+		if identical && (len(out.Gates) >= len(c.Gates) || !g.Equal(c.Gates[len(out.Gates)])) {
+			identical = false
+		}
+		out.Gates = append(out.Gates, g)
+	}
 	for i, g := range c.Gates {
 		if drop[i] {
+			changed++
 			continue
 		}
 		if key := siteOf[i]; key != "" {
@@ -178,12 +201,21 @@ func Fold(c *circuit.Circuit, gatesetName string) *circuit.Circuit {
 			if b.firstConst {
 				theta = -theta
 			}
-			out.Gates = append(out.Gates, emitPhase(theta, b.firstQubit, gatesetName)...)
+			emitted := emitPhase(theta, b.firstQubit, gatesetName)
+			if !(len(emitted) == 1 && emitted[0].Equal(g)) {
+				changed++
+			}
+			for _, m := range emitted {
+				emit(m)
+			}
 			continue
 		}
-		out.Gates = append(out.Gates, g.Clone())
+		emit(g.Clone())
 	}
-	return out
+	if identical && len(out.Gates) == len(c.Gates) {
+		changed = 0
+	}
+	return out, changed
 }
 
 func cq(g gate.Gate) int { return g.Qubits[0] }

@@ -7,6 +7,7 @@ import (
 
 	"github.com/guoq-dev/guoq/internal/circuit"
 	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/gateset"
 	"github.com/guoq-dev/guoq/internal/linalg"
 )
 
@@ -153,5 +154,32 @@ func TestFoldAnglesAddExactly(t *testing.T) {
 	}
 	if math.Abs(got-0.7) > 1e-12 {
 		t.Fatalf("merged angle = %g, want 0.7", got)
+	}
+}
+
+// TestFoldChangedMatchesEqual fuzzes the changed-count contract: FoldChanged
+// reports zero exactly when the output is structurally identical to the
+// input, which is what lets callers skip deep no-op compares.
+func TestFoldChangedMatchesEqual(t *testing.T) {
+	for _, gsName := range []string{"nam", "cliffordt", "ibmq20", "ibm-eagle", "ionq"} {
+		gs, err := gateset.ByName(gsName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(17))
+		for trial := 0; trial < 60; trial++ {
+			c := circuit.Random(5, 10+rng.Intn(60), gs.Gates, rng)
+			for round := 0; round < 3; round++ {
+				out, changed := FoldChanged(c, gsName)
+				if got, want := changed > 0, !circuit.Equal(out, c); got != want {
+					t.Fatalf("%s trial %d round %d: changed=%d but Equal=%v\nin:  %s\nout: %s",
+						gsName, trial, round, changed, !want, c, out)
+				}
+				if changed == 0 {
+					break
+				}
+				c = out
+			}
+		}
 	}
 }

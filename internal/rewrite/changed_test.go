@@ -1,0 +1,60 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gateset"
+)
+
+// The changed-count contract: a pass reports changed == 0 exactly when its
+// output is structurally identical to its input. The GUOQ loop relies on
+// this to skip deep circuit.Equal compares, and the search trajectory (and
+// with it the pinned guardrail counts) depends on it being exact — so fuzz
+// it over every gate set, including iterated applications that reach the
+// passes' fixpoints, where the subtle no-op cases (identity ladder
+// re-emission, order-preserving merges) live.
+
+func TestCleanupChangedMatchesEqual(t *testing.T) {
+	for _, gs := range gateset.All() {
+		rng := rand.New(rand.NewSource(11))
+		for trial := 0; trial < 60; trial++ {
+			c := circuit.Random(5, 10+rng.Intn(60), gs.Gates, rng)
+			for round := 0; round < 3; round++ {
+				out, changed := CleanupChanged(c, gs.Name)
+				if got, want := changed > 0, !circuit.Equal(out, c); got != want {
+					t.Fatalf("%s trial %d round %d: changed=%d but Equal=%v\nin:  %s\nout: %s",
+						gs.Name, trial, round, changed, !want, c, out)
+				}
+				if changed == 0 {
+					break
+				}
+				c = out
+			}
+		}
+	}
+}
+
+func TestFuse1QChangedMatchesEqual(t *testing.T) {
+	for _, gs := range gateset.All() {
+		if !gs.Continuous() {
+			continue
+		}
+		rng := rand.New(rand.NewSource(13))
+		for trial := 0; trial < 60; trial++ {
+			c := circuit.Random(5, 10+rng.Intn(60), gs.Gates, rng)
+			for round := 0; round < 3; round++ {
+				out, changed := Fuse1QChanged(c, gs)
+				if got, want := changed > 0, !circuit.Equal(out, c); got != want {
+					t.Fatalf("%s trial %d round %d: changed=%d but Equal=%v\nin:  %s\nout: %s",
+						gs.Name, trial, round, changed, !want, c, out)
+				}
+				if changed == 0 {
+					break
+				}
+				c = out
+			}
+		}
+	}
+}

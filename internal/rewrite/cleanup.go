@@ -15,6 +15,16 @@ import (
 // native form. It is a single linear pass using per-wire stacks, so it is
 // cheap enough to run after every accepted transformation.
 func Cleanup(c *circuit.Circuit, gatesetName string) *circuit.Circuit {
+	out, _ := CleanupChanged(c, gatesetName)
+	return out
+}
+
+// CleanupChanged is Cleanup plus a change count: the number of
+// normalization, cancellation, merge, and reorder events that made the
+// output differ from the input. A zero count guarantees the output is
+// structurally identical (circuit.Equal) to the input, so callers can
+// detect no-ops without a deep compare.
+func CleanupChanged(c *circuit.Circuit, gatesetName string) (*circuit.Circuit, int) {
 	p := &cleaner{
 		gateset: gatesetName,
 		alive:   make([]bool, 0, len(c.Gates)),
@@ -32,7 +42,7 @@ func Cleanup(c *circuit.Circuit, gatesetName string) *circuit.Circuit {
 			out.Gates = append(out.Gates, g)
 		}
 	}
-	return out
+	return out, p.changed
 }
 
 type cleaner struct {
@@ -41,6 +51,8 @@ type cleaner struct {
 	alive   []bool
 	top     []int   // per qubit: index into out of the topmost alive gate, or -1
 	belowQ  [][]int // per out index: the previous top for each of its qubits
+	changed int
+	dropSeq []gate.Gate // scratch: a merged run's gates in drop (reverse) order
 }
 
 // push appends g as an alive output gate and records, for each of its
@@ -73,10 +85,14 @@ func (p *cleaner) feed(g gate.Gate) {
 	if len(g.Params) > 0 {
 		g = g.Clone()
 		for i := range g.Params {
-			g.Params[i] = linalg.NormAngle(g.Params[i])
+			if v := linalg.NormAngle(g.Params[i]); v != g.Params[i] {
+				g.Params[i] = v
+				p.changed++
+			}
 		}
 	}
 	if g.Name == gate.I || g.IsIdentityAngle(1e-12) {
+		p.changed++
 		return
 	}
 	switch len(g.Qubits) {
@@ -100,6 +116,7 @@ func (p *cleaner) feed1q(g gate.Gate) {
 	// Inverse pair cancellation: U_g · U_prev ∝ I.
 	prod := linalg.Mul(gate.Matrix(g), gate.Matrix(prev))
 	if linalg.EqualUpToPhase(prod, linalg.Identity(2), 1e-10) {
+		p.changed++
 		p.drop(t)
 		return
 	}
@@ -110,6 +127,8 @@ func (p *cleaner) feed1q(g gate.Gate) {
 	ga, gok := zPhaseOf(g)
 	if pok && gok {
 		total := pa + ga
+		droppedLo := t
+		p.dropSeq = append(p.dropSeq[:0], prev)
 		p.drop(t)
 		for {
 			t2 := p.top[q]
@@ -121,17 +140,51 @@ func (p *cleaner) feed1q(g gate.Gate) {
 				break
 			}
 			total += a2
+			p.dropSeq = append(p.dropSeq, p.out[t2])
+			droppedLo = t2
 			p.drop(t2)
 		}
-		for _, m := range p.emitZPhase(linalg.NormAngle(total)) {
-			m.Qubits = []int{q}
+		emitted := p.emitZPhase(linalg.NormAngle(total))
+		for i := range emitted {
+			emitted[i].Qubits = []int{q}
+		}
+		// The merge is a no-op iff the re-emitted ladder reproduces the
+		// dropped run plus g exactly AND the run was the alive suffix of
+		// the output (re-pushing at the end then preserves order).
+		same := len(emitted) == len(p.dropSeq)+1
+		if same {
+			for i, m := range emitted {
+				orig := g
+				if i < len(p.dropSeq) {
+					orig = p.dropSeq[len(p.dropSeq)-1-i]
+				}
+				if !m.Equal(orig) {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			for i := droppedLo + 1; i < len(p.out); i++ {
+				if p.alive[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			p.changed++
+		}
+		for _, m := range emitted {
 			p.push(m)
 		}
 		return
 	}
 	// Same-axis rotation merging (rx·rx, ry·ry), absorbing the whole run.
+	// Always a change: at least two gates collapse into at most one.
 	if (g.Name == gate.Rx || g.Name == gate.Ry) && prev.Name == g.Name {
 		sum := prev.Params[0] + g.Params[0]
+		p.changed++
 		p.drop(t)
 		for {
 			t2 := p.top[q]
@@ -172,10 +225,12 @@ func (p *cleaner) feed2q(g gate.Gate) {
 	}
 	switch g.Name {
 	case gate.CX, gate.CZ, gate.Swap:
+		p.changed++
 		p.drop(ta) // self-inverse pair
 		return
 	case gate.Rxx, gate.Rzz:
 		sum := linalg.NormAngle(prev.Params[0] + g.Params[0])
+		p.changed++ // two gates collapse into at most one
 		p.drop(ta)
 		if math.Abs(sum) > 1e-12 {
 			p.push(gate.New(g.Name, []int{a, b}, []float64{sum}))

@@ -1,0 +1,522 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+)
+
+// Engine is the stateful, incremental rewrite executor. It owns a mutable
+// circuit with a persistently maintained DAG (gate windows are spliced in
+// and out in place, one linear sweep per transformation, instead of a
+// from-scratch BuildDAG per call) and a per-rule match-site cache, so
+// iterated full passes — the GUOQ inner loop, fixed-pass pipelines,
+// lookahead search — cost far less than the pure FullPass API, which
+// reallocates and rescans everything on every call.
+//
+// Cache and invalidation contract: for every rule the Engine remembers
+// which anchors are known not to match ("negative" entries; positive
+// matches are rare and cheap to recompute, so they are not cached). A
+// match attempt at an anchor only ever inspects gates within pattern-size
+// wire-adjacency steps of the anchor, so after a splice only anchors inside
+// a wire-adjacency halo of the touched windows — BFS steps from the
+// replaced gates and their boundary wire neighbours, out to each rule's own
+// pattern size + 1 — can change verdicts; exactly those entries are
+// cleared, once per transformation. Whole-circuit mutations (SetCircuit,
+// Reset) drop every cache entry.
+//
+// All mutations are recorded on a transaction log: Mark returns a point to
+// which Rollback restores the exact prior gate sequence (a speculative
+// candidate the caller rejected, or a lookahead branch), and Commit accepts
+// everything logged. Rolled-back cache invalidations stay cleared, which is
+// conservative and sound.
+//
+// An Engine is not safe for concurrent use; parallel searches thread one
+// Engine per worker.
+type Engine struct {
+	c   *circuit.Circuit
+	dag *circuit.DAG
+
+	caches map[*Rule]*ruleCache
+	maxPat int // longest pattern among cached rules, for the halo depth
+
+	scratch  *matchScratch
+	used     []bool
+	matchBuf []*Match
+
+	// Mutation assembly scratch.
+	winBuf      []circuit.SpliceWindow
+	replBuf     []gate.Gate
+	byteScratch []byte
+	qOffs       []int
+
+	// scanCount stamps undo records so Rollback can tell whether any anchors
+	// were scanned since a splice was applied; if none were, the entries that
+	// survived the forward invalidation are still valid for the restored
+	// state and the rollback needs no halo pass of its own.
+	scanCount int
+
+	// Halo BFS scratch: epoch-stamped visited marks and a level queue.
+	visited []int
+	epoch   int
+	queue   []int
+	levels  []int
+	seedQ   []int  // touched-qubit list of the current mutation
+	seedQOn []bool // per-qubit membership mark for seedQ
+
+	log []undoRec
+
+	stats EngineStats
+}
+
+// ruleCache is one rule's negative match cache: fail[i] != 0 records that
+// matching the rule anchored at gate i is known to fail. The slice is kept
+// index-aligned with the circuit's gate list across splices. patLen bounds
+// how far a match attempt for this rule can look from its anchor, which
+// sets the rule's invalidation radius.
+type ruleCache struct {
+	fail   []byte
+	patLen int
+}
+
+// EngineStats counts engine activity since construction, for tests and
+// benchmarks.
+type EngineStats struct {
+	Passes      int // FullPass calls
+	CacheSkips  int // anchors skipped via the negative match cache
+	MatchCalls  int // matchAt invocations (cache misses)
+	Splices     int // window replacements applied (including rollbacks)
+	Invalidated int // cache entries cleared by halo invalidation
+	Resets      int // full invalidations (SetCircuit, Reset, their rollbacks)
+}
+
+type undoKind uint8
+
+const (
+	undoMulti undoKind = iota
+	undoSetAll
+)
+
+// undoWin records one applied window in post-splice coordinates: gates
+// [lo, lo+inserted) replaced the removed sequence.
+type undoWin struct {
+	lo       int
+	inserted int
+	removed  []gate.Gate
+}
+
+type undoRec struct {
+	kind undoKind
+	wins []undoWin   // undoMulti: ascending, non-overlapping, post coords
+	old  []gate.Gate // undoSetAll: the entire prior gate list
+	scan int         // e.scanCount when the record was pushed
+}
+
+// NewEngine builds an engine over a deep copy of c; the input is never
+// mutated. The engine's Circuit() pointer stays stable for its lifetime.
+func NewEngine(c *circuit.Circuit) *Engine {
+	e := &Engine{
+		c:       c.Clone(),
+		caches:  map[*Rule]*ruleCache{},
+		scratch: newMatchScratch(),
+	}
+	e.dag = circuit.BuildDAG(e.c)
+	return e
+}
+
+// Circuit returns the engine's live circuit. It is mutated in place by
+// FullPass/ReplaceRegion/SetCircuit/Reset; callers that need a stable copy
+// (publishing a best-so-far, recording a result) must use Snapshot.
+func (e *Engine) Circuit() *circuit.Circuit { return e.c }
+
+// Snapshot returns a deep copy of the current circuit.
+func (e *Engine) Snapshot() *circuit.Circuit { return e.c.Clone() }
+
+// Stats returns activity counters accumulated since construction.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// Mark returns a point on the transaction log to which Rollback can return.
+func (e *Engine) Mark() int { return len(e.log) }
+
+// Commit accepts every logged mutation, discarding the undo state.
+func (e *Engine) Commit() {
+	for i := range e.log {
+		e.log[i] = undoRec{}
+	}
+	e.log = e.log[:0]
+}
+
+// Rollback reverts every mutation logged after mark, most recent first,
+// restoring the exact prior gate sequence. Cache entries invalidated by the
+// reverted mutations stay unknown, which is conservative and sound. When no
+// anchors were scanned since the oldest reverted record was applied (the
+// common reject path: apply, cost, reject), every surviving cache entry was
+// computed against the state being restored, so the rollback splices skip
+// the halo pass entirely.
+func (e *Engine) Rollback(mark int) {
+	if mark >= len(e.log) {
+		return
+	}
+	clean := e.scanCount == e.log[mark].scan
+	for i := len(e.log) - 1; i >= mark; i-- {
+		rec := e.log[i]
+		switch rec.kind {
+		case undoMulti:
+			// Invert in place: each applied window [lo, lo+inserted) goes
+			// back to its removed gates. Post coordinates of the forward
+			// splice are current coordinates now.
+			ws := e.winBuf[:0]
+			for _, w := range rec.wins {
+				ws = append(ws, circuit.SpliceWindow{Lo: w.lo, Hi: w.lo + w.inserted - 1, Repl: w.removed})
+			}
+			e.winBuf = ws
+			e.multiSplice(ws, false, !clean)
+		case undoSetAll:
+			e.c.Gates = rec.old
+			e.rebuildAll()
+		}
+		e.log[i] = undoRec{}
+	}
+	e.log = e.log[:mark]
+}
+
+// cacheFor returns (creating if needed) the rule's negative cache, sized to
+// the current gate count.
+func (e *Engine) cacheFor(r *Rule) *ruleCache {
+	rc := e.caches[r]
+	if rc == nil {
+		rc = &ruleCache{fail: make([]byte, len(e.c.Gates)), patLen: len(r.Pattern)}
+		e.caches[r] = rc
+		if len(r.Pattern) > e.maxPat {
+			e.maxPat = len(r.Pattern)
+		}
+	}
+	return rc
+}
+
+// FullPass applies one full pass of rule r starting at the given anchor,
+// in place, and returns the number of sites replaced — bit-for-bit the
+// same result as the pure FullPass on a copy of the circuit. The scan
+// consults and extends the rule's negative cache; all replacements land in
+// one transaction-logged multi-window splice with a single halo
+// invalidation.
+func (e *Engine) FullPass(r *Rule, start int) int {
+	e.stats.Passes++
+	n := len(e.c.Gates)
+	if n == 0 {
+		return 0
+	}
+	rc := e.cacheFor(r)
+	if cap(e.used) < n {
+		e.used = make([]bool, n)
+	}
+	used := e.used[:n]
+	for i := range used {
+		used[i] = false
+	}
+	e.scanCount++
+	ms := findMatches(e.c, e.dag, r, start, e.scratch, used, rc.fail, e.matchBuf[:0], &e.stats)
+	if len(ms) == 0 {
+		e.matchBuf = ms[:0]
+		return 0
+	}
+	// Assemble the windows in ascending order, exactly like the pure Apply.
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].Lo < ms[j-1].Lo; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+	// Phase one: emit every window's gates into one shared backing buffer,
+	// recording offsets (the buffer may reallocate while growing, so
+	// subslices are taken only afterwards).
+	repl := e.replBuf[:0]
+	offs := e.levels[:0] // reuse the levels scratch for offsets
+	for _, m := range ms {
+		offs = append(offs, len(repl))
+		ti := 0
+		for i := m.Lo; i <= m.Hi; i++ {
+			if ti < len(m.Indices) && m.Indices[ti] == i {
+				ti++
+				continue
+			}
+			repl = append(repl, e.c.Gates[i])
+		}
+		for _, g := range m.Rule.ReplacementCircuitAt(m.Binding) {
+			ng := g.Clone()
+			for k, pq := range ng.Qubits {
+				ng.Qubits[k] = m.QubitMap[pq]
+			}
+			repl = append(repl, ng)
+		}
+	}
+	offs = append(offs, len(repl))
+	e.replBuf = repl
+	ws := e.winBuf[:0]
+	for i, m := range ms {
+		ws = append(ws, circuit.SpliceWindow{Lo: m.Lo, Hi: m.Hi, Repl: repl[offs[i]:offs[i+1]]})
+	}
+	e.winBuf = ws
+	e.levels = offs[:0]
+	e.multiSplice(ws, true, true)
+	sites := len(ms)
+	for i := range ms {
+		ms[i] = nil
+	}
+	e.matchBuf = ms[:0]
+	return sites
+}
+
+// ReplaceRegion splices a resynthesized subcircuit in place of a convex
+// region, mirroring circuit.Region.Replace: unselected window gates are
+// preserved ahead of the replacement, whose local qubits are mapped back to
+// the region's global qubits. The mutation is transaction-logged and its
+// halo invalidated, so resynthesis moves keep the match cache sound.
+func (e *Engine) ReplaceRegion(r *circuit.Region, replacement *circuit.Circuit) {
+	if replacement.NumQubits != len(r.Qubits) {
+		panic(fmt.Sprintf("rewrite: ReplaceRegion: replacement has %d qubits, region spans %d",
+			replacement.NumQubits, len(r.Qubits)))
+	}
+	repl := e.replBuf[:0]
+	ti := 0
+	for i := r.Lo; i <= r.Hi; i++ {
+		if ti < len(r.Indices) && r.Indices[ti] == i {
+			ti++
+			continue
+		}
+		repl = append(repl, e.c.Gates[i])
+	}
+	for _, g := range replacement.Gates {
+		ng := g.Clone()
+		for k, q := range ng.Qubits {
+			ng.Qubits[k] = r.Qubits[q]
+		}
+		repl = append(repl, ng)
+	}
+	e.replBuf = repl
+	ws := append(e.winBuf[:0], circuit.SpliceWindow{Lo: r.Lo, Hi: r.Hi, Repl: repl})
+	e.winBuf = ws
+	e.multiSplice(ws, true, true)
+}
+
+// SetCircuit replaces the engine's entire gate list with out's — the result
+// of a whole-circuit pass (cleanup, fusion, phase folding) — as a logged
+// transaction with full cache invalidation. The engine takes ownership of
+// out's gate slice; the qubit count must be unchanged.
+func (e *Engine) SetCircuit(out *circuit.Circuit) {
+	if out.NumQubits != e.c.NumQubits {
+		panic(fmt.Sprintf("rewrite: SetCircuit: qubit count %d != engine's %d",
+			out.NumQubits, e.c.NumQubits))
+	}
+	e.log = append(e.log, undoRec{kind: undoSetAll, old: e.c.Gates})
+	e.c.Gates = out.Gates
+	e.rebuildAll()
+}
+
+// Reset adopts a new circuit wholesale — an exchange migration or an async
+// resynthesis result — clearing the transaction log and all caches. The
+// input is cloned; the engine's Circuit() pointer is stable across Reset.
+func (e *Engine) Reset(c *circuit.Circuit) {
+	e.c.NumQubits = c.NumQubits
+	e.c.Gates = e.c.Gates[:0]
+	for _, g := range c.Gates {
+		e.c.Gates = append(e.c.Gates, g.Clone())
+	}
+	for i := range e.log {
+		e.log[i] = undoRec{}
+	}
+	e.log = e.log[:0]
+	e.rebuildAll()
+}
+
+// rebuildAll recomputes the DAG from the current gate list and wipes every
+// rule cache (a whole-circuit change has no useful halo).
+func (e *Engine) rebuildAll() {
+	e.stats.Resets++
+	e.dag.Rebuild()
+	n := len(e.c.Gates)
+	for _, rc := range e.caches {
+		if cap(rc.fail) < n {
+			rc.fail = make([]byte, n)
+			continue
+		}
+		rc.fail = rc.fail[:n]
+		for i := range rc.fail {
+			rc.fail[i] = 0
+		}
+	}
+}
+
+// multiSplice applies one transformation's window replacements: a single
+// DAG sweep, one cache splice per rule, and one halo invalidation over all
+// windows. Windows must be ascending and non-overlapping, in current
+// coordinates. When record is set, the inverse is pushed on the undo log;
+// halo holds whether the invalidation pass runs (a clean rollback skips
+// it — see Rollback).
+func (e *Engine) multiSplice(ws []circuit.SpliceWindow, record, halo bool) {
+	e.stats.Splices += len(ws)
+	// Collect, per window, its touched qubits (removed plus inserted gates)
+	// as ranges of one shared list, and — when recording — the removed
+	// windows, before the gate list changes.
+	if cap(e.seedQOn) < e.c.NumQubits {
+		e.seedQOn = make([]bool, e.c.NumQubits)
+	}
+	on := e.seedQOn[:e.c.NumQubits]
+	seeds := e.seedQ[:0]
+	qOffs := e.qOffs[:0]
+	mark := func(gs []gate.Gate) {
+		for _, g := range gs {
+			for _, q := range g.Qubits {
+				if !on[q] {
+					on[q] = true
+					seeds = append(seeds, q)
+				}
+			}
+		}
+	}
+	var wins []undoWin
+	if record {
+		wins = make([]undoWin, 0, len(ws))
+	}
+	delta := 0
+	for _, w := range ws {
+		qOffs = append(qOffs, len(seeds))
+		mark(e.c.Gates[w.Lo : w.Hi+1])
+		mark(w.Repl)
+		for _, q := range seeds[qOffs[len(qOffs)-1]:] {
+			on[q] = false
+		}
+		if record {
+			removed := make([]gate.Gate, w.Hi-w.Lo+1)
+			copy(removed, e.c.Gates[w.Lo:w.Hi+1])
+			wins = append(wins, undoWin{lo: w.Lo + delta, inserted: len(w.Repl), removed: removed})
+		}
+		delta += len(w.Repl) - (w.Hi - w.Lo + 1)
+	}
+	qOffs = append(qOffs, len(seeds))
+	if record {
+		e.log = append(e.log, undoRec{kind: undoMulti, wins: wins, scan: e.scanCount})
+	}
+
+	e.dag.MultiSplice(ws)
+	for _, rc := range e.caches {
+		rc.fail = e.multiSpliceBytes(rc.fail, ws)
+	}
+	if halo {
+		if !record {
+			// A rollback's post coordinates are the forward splice's
+			// original window positions.
+			wins = wins[:0]
+			delta = 0
+			for _, w := range ws {
+				wins = append(wins, undoWin{lo: w.Lo + delta, inserted: len(w.Repl)})
+				delta += len(w.Repl) - (w.Hi - w.Lo + 1)
+			}
+		}
+		e.invalidate(wins, seeds, qOffs)
+	}
+
+	e.seedQ = seeds[:0]
+	e.qOffs = qOffs[:0]
+}
+
+// multiSpliceBytes mirrors a multi-window gate splice on a per-anchor byte
+// slice: each window's entries are replaced by unknown (zero) bytes. The
+// new slice is assembled into a shared scratch buffer that ping-pongs with
+// the old storage.
+func (e *Engine) multiSpliceBytes(b []byte, ws []circuit.SpliceWindow) []byte {
+	out := e.byteScratch[:0]
+	i := 0
+	for _, w := range ws {
+		out = append(out, b[i:w.Lo]...)
+		for k := 0; k < len(w.Repl); k++ {
+			out = append(out, 0)
+		}
+		i = w.Hi + 1
+	}
+	out = append(out, b[i:]...)
+	e.byteScratch = b[:0]
+	return out
+}
+
+// invalidate clears the cache entries in the wire-adjacency halo of the
+// applied windows (post coordinates). One BFS over the post-splice DAG —
+// seeded with the inserted gates and, per touched wire, the gates just
+// outside each window — records each gate's distance from the change; a
+// rule's entries are cleared only within its own radius (pattern size + 1),
+// since a match attempt for that rule explores at most that many wire steps
+// from its anchor. Keeping the halo per-rule-tight is what lets small rules
+// retain most of their cache across unrelated edits.
+func (e *Engine) invalidate(wins []undoWin, seeds, qOffs []int) {
+	n := len(e.c.Gates)
+	if n == 0 {
+		return
+	}
+	depth := e.maxPat + 1
+	e.epoch++
+	if cap(e.visited) < n {
+		e.visited = make([]int, n)
+	}
+	visited := e.visited[:n]
+	queue := e.queue[:0]
+	add := func(i int) {
+		if i >= 0 && i < n && visited[i] != e.epoch {
+			visited[i] = e.epoch
+			queue = append(queue, i)
+		}
+	}
+	for wi, w := range wins {
+		for i := w.lo; i < w.lo+w.inserted; i++ {
+			add(i)
+		}
+		for _, q := range seeds[qOffs[wi]:qOffs[wi+1]] {
+			wq := e.dag.Wire(q)
+			a := sort.SearchInts(wq, w.lo)
+			if a > 0 {
+				add(wq[a-1])
+			}
+			b := a
+			for b < len(wq) && wq[b] < w.lo+w.inserted {
+				b++
+			}
+			if b < len(wq) {
+				add(wq[b])
+			}
+		}
+	}
+	// Level-order BFS; levels[d] is the queue length after expanding depth
+	// d, so queue[:levels[d]] holds every gate within d steps of the seeds.
+	levels := e.levels[:0]
+	levels = append(levels, len(queue))
+	head := 0
+	for d := 1; d <= depth; d++ {
+		levelEnd := levels[len(levels)-1]
+		for head < levelEnd {
+			i := queue[head]
+			head++
+			next, prev := e.dag.Links(i)
+			for _, nb := range next {
+				add(nb)
+			}
+			for _, nb := range prev {
+				add(nb)
+			}
+		}
+		levels = append(levels, len(queue))
+	}
+	for _, rc := range e.caches {
+		r := rc.patLen + 1
+		if r > depth {
+			r = depth
+		}
+		for _, i := range queue[:levels[r]] {
+			if rc.fail[i] != 0 {
+				rc.fail[i] = 0
+				e.stats.Invalidated++
+			}
+		}
+	}
+	e.queue = queue[:0]
+	e.levels = levels[:0]
+}

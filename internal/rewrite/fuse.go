@@ -17,17 +17,42 @@ import (
 // This plays the role of the nonlinear u-gate merge rules that symbolic
 // patterns cannot express (their parameter algebra is not linear).
 func Fuse1Q(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit {
+	out, _ := Fuse1QChanged(c, gs)
+	return out
+}
+
+// Fuse1QChanged is Fuse1Q plus a change count covering both fusion events
+// and the commuting reorders the per-wire buffering introduces (a buffered
+// run is emitted after multi-qubit gates on other wires that arrived later
+// than the run's gates). A zero count guarantees the output is structurally
+// identical (circuit.Equal) to the input.
+func Fuse1QChanged(c *circuit.Circuit, gs *gateset.GateSet) (*circuit.Circuit, int) {
 	out := circuit.New(c.NumQubits)
 	pending := make([][]gate.Gate, c.NumQubits)
+	pendIdx := make([][]int, c.NumQubits)
+	changed := 0
+	lastOrig := -1
+	orderOK := true
+
+	// emitOrig appends an unmodified input gate, tracking whether the
+	// output still visits input gates in their original order.
+	emitOrig := func(g gate.Gate, idx int) {
+		out.Gates = append(out.Gates, g)
+		if idx < lastOrig {
+			orderOK = false
+		} else {
+			lastOrig = idx
+		}
+	}
 
 	flush := func(q int) {
-		run := pending[q]
-		pending[q] = nil
+		run, idxs := pending[q], pendIdx[q]
+		pending[q], pendIdx[q] = nil, nil
 		if len(run) == 0 {
 			return
 		}
 		if len(run) == 1 {
-			out.Gates = append(out.Gates, run[0])
+			emitOrig(run[0], idxs[0])
 			return
 		}
 		u := linalg.Identity(2)
@@ -35,27 +60,48 @@ func Fuse1Q(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit {
 			u = linalg.Mul(gate.Matrix(g), u)
 		}
 		fused := emit1Q(u, q, gs)
-		if fused == nil || len(fused) > len(run) {
-			out.Gates = append(out.Gates, run...)
+		if fused == nil || len(fused) > len(run) || gateSeqEqual(fused, run) {
+			for i := range run {
+				emitOrig(run[i], idxs[i])
+			}
 			return
 		}
+		changed++
 		out.Gates = append(out.Gates, fused...)
 	}
 
-	for _, g := range c.Gates {
+	for i, g := range c.Gates {
 		if len(g.Qubits) == 1 {
-			pending[g.Qubits[0]] = append(pending[g.Qubits[0]], g)
+			q := g.Qubits[0]
+			pending[q] = append(pending[q], g)
+			pendIdx[q] = append(pendIdx[q], i)
 			continue
 		}
 		for _, q := range g.Qubits {
 			flush(q)
 		}
-		out.Gates = append(out.Gates, g)
+		emitOrig(g, i)
 	}
 	for q := range pending {
 		flush(q)
 	}
-	return out
+	if !orderOK {
+		changed++
+	}
+	return out, changed
+}
+
+// gateSeqEqual compares two gate sequences the way circuit.Equal does.
+func gateSeqEqual(a, b []gate.Gate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // emit1Q renders an arbitrary 2×2 unitary as a minimal native single-qubit

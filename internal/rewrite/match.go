@@ -17,6 +17,41 @@ type Match struct {
 	Lo, Hi   int // window bounds (min/max of Indices)
 }
 
+// matchScratch holds the matcher's working state so that repeated matching
+// — a full pass, or the Engine's cached rescan — allocates nothing on the
+// failure path (the overwhelmingly common one). Between calls the scratch
+// maintains the invariants: qmap and rq all -1, taken empty. A successful
+// match copies its bindings out into a fresh Match, so the scratch can be
+// reused immediately.
+type matchScratch struct {
+	binding []float64
+	bound   []bool
+	qmap    []int // pattern qubit -> circuit qubit, -1 unused
+	rq      []int // circuit qubit -> pattern qubit, -1 unused
+	pos     []int // pattern gate -> circuit index
+	matched []bool
+	taken   []int // circuit indices matched so far
+}
+
+func newMatchScratch() *matchScratch { return &matchScratch{} }
+
+func (s *matchScratch) ensure(c *circuit.Circuit, r *Rule) {
+	for len(s.rq) < c.NumQubits {
+		s.rq = append(s.rq, -1)
+	}
+	for len(s.qmap) < r.NumQubits {
+		s.qmap = append(s.qmap, -1)
+	}
+	if len(s.binding) < r.NumVars {
+		s.binding = make([]float64, r.NumVars)
+		s.bound = make([]bool, r.NumVars)
+	}
+	if len(s.pos) < len(r.Pattern) {
+		s.pos = make([]int, len(r.Pattern))
+		s.matched = make([]bool, len(r.Pattern))
+	}
+}
+
 // matchAt attempts to match rule r with its anchor (pattern gate 0) at
 // circuit gate index anchor. Pattern gates are matched in the rule's BFS
 // order: each new pattern gate is located through a wire-adjacency
@@ -29,60 +64,71 @@ type Match struct {
 // every gate between the first and last matched index that touches a
 // matched qubit is itself matched. That invariant makes the match a convex
 // region (§3), so replacement is always semantics-preserving.
-func matchAt(c *circuit.Circuit, d *circuit.DAG, r *Rule, anchor int) (*Match, bool) {
+func matchAt(c *circuit.Circuit, d *circuit.DAG, r *Rule, anchor int, s *matchScratch) (*Match, bool) {
+	s.ensure(c, r)
+	m, ok := s.match(c, d, r, anchor)
+	// Restore the scratch invariants regardless of where matching bailed.
+	for pq := 0; pq < r.NumQubits; pq++ {
+		if cq := s.qmap[pq]; cq >= 0 {
+			s.rq[cq] = -1
+			s.qmap[pq] = -1
+		}
+	}
+	s.taken = s.taken[:0]
+	return m, ok
+}
+
+func (s *matchScratch) match(c *circuit.Circuit, d *circuit.DAG, r *Rule, anchor int) (*Match, bool) {
 	first := c.Gates[anchor]
 	pg0 := r.Pattern[0]
 	if first.Name != pg0.Name || len(first.Qubits) != len(pg0.Qubits) {
 		return nil, false
 	}
-	binding := make([]float64, r.NumVars)
-	bound := make([]bool, r.NumVars)
+	for i := 0; i < r.NumVars; i++ {
+		s.bound[i] = false
+	}
 	for i, p := range pg0.Params {
-		if !matchParam(p, first.Params[i], binding, bound) {
+		if !matchParam(p, first.Params[i], s.binding, s.bound) {
 			return nil, false
 		}
-	}
-	qmap := make([]int, r.NumQubits) // pattern qubit -> circuit qubit
-	rmap := map[int]int{}            // circuit qubit -> pattern qubit
-	for i := range qmap {
-		qmap[i] = -1
 	}
 	for k, pq := range pg0.Qubits {
 		cq := first.Qubits[k]
-		if _, used := rmap[cq]; used {
+		if s.rq[cq] >= 0 {
 			return nil, false
 		}
-		qmap[pq] = cq
-		rmap[cq] = pq
+		s.qmap[pq] = cq
+		s.rq[cq] = pq
 	}
-	pos := make([]int, len(r.Pattern)) // pattern gate -> circuit index
-	matched := make([]bool, len(r.Pattern))
-	pos[0] = anchor
-	matched[0] = true
-	taken := map[int]bool{anchor: true} // circuit indices already used
+	for i := range r.Pattern {
+		s.matched[i] = false
+	}
+	s.pos[0] = anchor
+	s.matched[0] = true
+	s.taken = append(s.taken[:0], anchor)
 
 	for _, gi := range r.matchOrder[1:] {
 		pg := r.Pattern[gi]
 		cand := -1
 		for k, pq := range pg.Qubits {
-			cq := qmap[pq]
-			if pp := r.prevPat[gi][k]; pp >= 0 && matched[pp] {
+			cq := s.qmap[pq]
+			if pp := r.prevPat[gi][k]; pp >= 0 && s.matched[pp] {
 				// cq is mapped: the neighbour uses the same pattern wire.
-				nxt := d.NextOnWire(pos[pp], cq)
+				nxt := d.NextOnWire(s.pos[pp], cq)
 				if nxt < 0 || (cand >= 0 && cand != nxt) {
 					return nil, false
 				}
 				cand = nxt
 			}
-			if np := r.nextPat[gi][k]; np >= 0 && matched[np] {
-				prv := d.PrevOnWire(pos[np], cq)
+			if np := r.nextPat[gi][k]; np >= 0 && s.matched[np] {
+				prv := d.PrevOnWire(s.pos[np], cq)
 				if prv < 0 || (cand >= 0 && cand != prv) {
 					return nil, false
 				}
 				cand = prv
 			}
 		}
-		if cand < 0 || taken[cand] {
+		if cand < 0 || intsContain(s.taken, cand) {
 			return nil, false
 		}
 		g := c.Gates[cand]
@@ -92,62 +138,79 @@ func matchAt(c *circuit.Circuit, d *circuit.DAG, r *Rule, anchor int) (*Match, b
 		for k, pq := range pg.Qubits {
 			cq := g.Qubits[k]
 			switch {
-			case qmap[pq] == cq:
-			case qmap[pq] < 0:
-				if _, used := rmap[cq]; used {
+			case s.qmap[pq] == cq:
+			case s.qmap[pq] < 0:
+				if s.rq[cq] >= 0 {
 					return nil, false
 				}
-				qmap[pq] = cq
-				rmap[cq] = pq
+				s.qmap[pq] = cq
+				s.rq[cq] = pq
 			default:
 				return nil, false
 			}
 		}
 		for i, p := range pg.Params {
-			if !matchParam(p, g.Params[i], binding, bound) {
+			if !matchParam(p, g.Params[i], s.binding, s.bound) {
 				return nil, false
 			}
 		}
-		pos[gi] = cand
-		matched[gi] = true
-		taken[cand] = true
+		s.pos[gi] = cand
+		s.matched[gi] = true
+		s.taken = append(s.taken, cand)
 	}
 
-	indices := make([]int, len(pos))
-	copy(indices, pos)
-	sort.Ints(indices)
-	lo, hi := indices[0], indices[len(indices)-1]
+	// Sort the matched indices ascending (insertion sort: ≤ |pattern|).
+	for i := 1; i < len(s.taken); i++ {
+		for j := i; j > 0 && s.taken[j] < s.taken[j-1]; j-- {
+			s.taken[j], s.taken[j-1] = s.taken[j-1], s.taken[j]
+		}
+	}
+	lo, hi := s.taken[0], s.taken[len(s.taken)-1]
 	// Window purity: any gate in [lo,hi] touching a matched qubit must be
 	// in the match.
+	ti := 0
 	for i := lo; i <= hi; i++ {
-		if taken[i] {
+		if ti < len(s.taken) && s.taken[ti] == i {
+			ti++
 			continue
 		}
 		for _, q := range c.Gates[i].Qubits {
-			if _, mapped := rmap[q]; mapped {
+			if s.rq[q] >= 0 {
 				return nil, false
 			}
 		}
 	}
+	indices := make([]int, len(s.taken))
+	copy(indices, s.taken)
+	qm := make([]int, r.NumQubits)
+	copy(qm, s.qmap[:r.NumQubits])
+	bd := make([]float64, r.NumVars)
+	copy(bd, s.binding[:r.NumVars])
 	return &Match{
-		Rule: r, Indices: indices, QubitMap: qmap,
-		Binding: binding, Lo: lo, Hi: hi,
+		Rule: r, Indices: indices, QubitMap: qm,
+		Binding: bd, Lo: lo, Hi: hi,
 	}, true
 }
 
-// FindMatches scans the whole circuit and returns all non-overlapping
-// matches of r, greedily from the given start index, wrapping around. This
-// implements the full-pass strategy of §5.3: "perform a full pass through
-// the circuit, replacing every disjoint match". Matches whose windows
-// overlap an earlier match are skipped.
-func FindMatches(c *circuit.Circuit, r *Rule, start int) []*Match {
-	n := len(c.Gates)
-	if n == 0 {
-		return nil
+func intsContain(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
 	}
-	d := circuit.BuildDAG(c)
-	used := make([]bool, n)
-	var out []*Match
+	return false
+}
+
+// findMatches is the shared greedy scan behind FindMatches and the Engine:
+// non-overlapping matches of r collected from start, wrapping around, in
+// anchor order. used must be all-false with length len(c.Gates). fail, when
+// non-nil, is the Engine's per-anchor negative cache: anchors marked
+// non-zero are skipped without rematching, and fresh failures are recorded
+// into it — sound because matchAt is a pure function of the circuit around
+// the anchor, and the Engine clears entries whose neighbourhood changed.
+// st, when non-nil, accumulates cache-effectiveness counters.
+func findMatches(c *circuit.Circuit, d *circuit.DAG, r *Rule, start int, s *matchScratch, used []bool, fail []byte, out []*Match, st *EngineStats) []*Match {
+	n := len(c.Gates)
 	if start < 0 {
 		start = 0
 	}
@@ -156,8 +219,20 @@ func FindMatches(c *circuit.Circuit, r *Rule, start int) []*Match {
 		if used[anchor] {
 			continue
 		}
-		m, ok := matchAt(c, d, r, anchor)
+		if fail != nil && fail[anchor] != 0 {
+			if st != nil {
+				st.CacheSkips++
+			}
+			continue
+		}
+		if st != nil {
+			st.MatchCalls++
+		}
+		m, ok := matchAt(c, d, r, anchor, s)
 		if !ok {
+			if fail != nil {
+				fail[anchor] = 1
+			}
 			continue
 		}
 		clash := false
@@ -178,10 +253,24 @@ func FindMatches(c *circuit.Circuit, r *Rule, start int) []*Match {
 	return out
 }
 
+// FindMatches scans the whole circuit and returns all non-overlapping
+// matches of r, greedily from the given start index, wrapping around. This
+// implements the full-pass strategy of §5.3: "perform a full pass through
+// the circuit, replacing every disjoint match". Matches whose windows
+// overlap an earlier match are skipped.
+func FindMatches(c *circuit.Circuit, r *Rule, start int) []*Match {
+	n := len(c.Gates)
+	if n == 0 {
+		return nil
+	}
+	d := circuit.BuildDAG(c)
+	return findMatches(c, d, r, start, newMatchScratch(), make([]bool, n), nil, nil, nil)
+}
+
 // MatchAt exposes single-site matching for tests and the beam-search
 // baseline.
 func MatchAt(c *circuit.Circuit, d *circuit.DAG, r *Rule, anchor int) (*Match, bool) {
-	return matchAt(c, d, r, anchor)
+	return matchAt(c, d, r, anchor, newMatchScratch())
 }
 
 // Apply replaces every given match in one pass, producing a new circuit.
@@ -233,6 +322,10 @@ func Apply(c *circuit.Circuit, matches []*Match) *circuit.Circuit {
 // FullPass runs FindMatches + Apply for one rule starting at the given
 // anchor, returning the rewritten circuit and the number of sites replaced.
 // When nothing matches, the original circuit is returned unchanged.
+//
+// FullPass is the pure, stateless API: it rebuilds the DAG and rescans
+// every anchor on each call. Iterated callers (the GUOQ loop, fixed-pass
+// pipelines) should prefer an Engine, which keeps both incrementally.
 func FullPass(c *circuit.Circuit, r *Rule, start int) (*circuit.Circuit, int) {
 	ms := FindMatches(c, r, start)
 	if len(ms) == 0 {

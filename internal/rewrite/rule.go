@@ -3,6 +3,22 @@
 // DAG-based matcher, and the full-pass application strategy of §5.3
 // ("start at a random node and replace every disjoint match").
 //
+// Two execution surfaces apply the rules. FullPass is the pure, stateless
+// API: it rebuilds the circuit DAG and rescans every anchor on each call,
+// and returns a fresh circuit — the right tool for one-shot rewrites and
+// for callers that need value semantics. Engine is the incremental API for
+// iterated search: it owns a mutable circuit whose DAG is maintained by
+// in-place window splices, caches per-rule negative match verdicts that
+// survive across calls (invalidated only inside a wire-adjacency halo of
+// the gates a transformation touched), and exposes a transaction log
+// (Mark/Rollback/Commit) so speculative candidates — a rejected GUOQ move,
+// a lookahead branch — are reverted without copying circuits. Engine and
+// FullPass produce bit-for-bit identical results for identical inputs; the
+// engine's metamorphic test pins that equivalence over long random rule
+// sequences. Iterated callers (the GUOQ loop, fixed-pass pipelines,
+// lookahead, warm starts) should prefer an Engine; see the Engine type for
+// the full invalidation contract.
+//
 // Every rule registered in this package is machine-verified: the test suite
 // checks pattern ≡ replacement (mod global phase) at randomized angles.
 package rewrite
