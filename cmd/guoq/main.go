@@ -4,24 +4,33 @@
 //
 //	guoq -gateset ibm-eagle -budget 2s [-objective 2q|t|fidelity|gates]
 //	     [-epsilon 1e-8] [-seed 1] [-async] [-parallel N] [-partition]
-//	     [-coordinator addr] [-session id] [-o out.qasm] input.qasm
+//	     [-coordinator addr] [-session id] [-progress] [-o out.qasm] input.qasm
 //
 // The input is translated into the target gate set first, so any circuit in
 // the supported vocabulary is accepted. Statistics go to stderr, the
 // optimized QASM to -o or stdout.
+//
+// GUOQ is an anytime algorithm and the CLI honors that: SIGINT/SIGTERM
+// stops the search gracefully and emits the best circuit found so far
+// (press Ctrl-C twice to abort hard). -budget 0 runs until interrupted.
+// -progress streams live search statistics to stderr.
 //
 // With -coordinator addr the run joins a distributed search through a
 // guoqd daemon: it periodically publishes its best solution (with its
 // accumulated ε bound) and adopts strictly better solutions found by other
 // machines. Runs started on the same input with the same objective and
 // epsilon share a session automatically; pass -session to pin one
-// explicitly.
+// explicitly. The signal context propagates into the coordinator client,
+// so an interrupt also aborts in-flight exchange requests.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/guoq-dev/guoq"
@@ -34,13 +43,14 @@ func main() {
 		gateSet   = flag.String("gateset", "ibm-eagle", "target gate set: ibmq20|ibm-eagle|ionq|nam|cliffordt")
 		objective = flag.String("objective", "", "objective: 2q|t|fidelity|gates (default: 2q, or t for cliffordt)")
 		epsilon   = flag.Float64("epsilon", 1e-8, "global approximation budget ε_f")
-		budget    = flag.Duration("budget", 2*time.Second, "search time budget")
+		budget    = flag.Duration("budget", 2*time.Second, "search time budget (0 = run until interrupted)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		async     = flag.Bool("async", false, "apply resynthesis asynchronously")
 		parallel  = flag.Int("parallel", 1, "concurrent search workers (0 = one per CPU, capped at 8)")
 		part      = flag.Bool("partition", false, "with -parallel ≥ 2, optimize disjoint time windows of large circuits concurrently")
 		coord     = flag.String("coordinator", "", "guoqd coordinator address for distributed best-so-far exchange")
 		session   = flag.String("session", "", "exchange session id (default: derived from circuit+objective+epsilon)")
+		progress  = flag.Bool("progress", false, "stream live search progress to stderr")
 		outPath   = flag.String("o", "", "output QASM path (default stdout)")
 	)
 	flag.Parse()
@@ -66,6 +76,16 @@ func main() {
 		workers = opt.AutoWorkers()
 	}
 
+	// First SIGINT/SIGTERM cancels the run context — the session winds down
+	// and returns its best-so-far. stopSig() then restores default signal
+	// handling, so a second Ctrl-C kills the process the classic way.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+	go func() {
+		<-ctx.Done()
+		stopSig()
+	}()
+
 	obj := guoq.Objective(*objective)
 	if obj == "" {
 		obj = guoq.DefaultObjective(*gateSet)
@@ -85,6 +105,7 @@ func main() {
 			fatal(err)
 		}
 		client.Epsilon = *epsilon
+		client.Context = ctx
 		fmt.Fprintf(os.Stderr, "coordinator %s, session %s\n", *coord, id)
 	}
 
@@ -101,9 +122,32 @@ func main() {
 	if client != nil {
 		o.Exchanger = client
 	}
-	out, res, err := guoq.Optimize(native, o)
+	sess, err := guoq.Start(ctx, native, o)
 	if err != nil {
 		fatal(err)
+	}
+	if *progress {
+		go func() {
+			last := time.Time{}
+			for ev := range sess.Events() {
+				// Improvements always print; heartbeats at most 2 Hz.
+				if !ev.Improved && time.Since(last) < 500*time.Millisecond {
+					continue
+				}
+				last = time.Now()
+				fmt.Fprintf(os.Stderr, "progress   %8d iters  %6.2f%% accepted  best cost %.3f  ε=%.3g  resynth=%d\n",
+					ev.Iters, 100*ev.AcceptanceRate, ev.BestCost, ev.Error, ev.ResynthInFlight)
+			}
+		}()
+	}
+	out, res, err := sess.Wait()
+	if err != nil {
+		fatal(err)
+	}
+	// The signal context errors only on SIGINT/SIGTERM — Start applies the
+	// -budget deadline on a derived context, invisible here.
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "interrupted — emitting best-so-far")
 	}
 	fmt.Fprintf(os.Stderr, "gateset    %s (objective %s, ε=%g, %v)\n",
 		res.GateSet, res.Objective, *epsilon, res.Elapsed.Round(time.Millisecond))
@@ -112,6 +156,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "T gates    %6d -> %6d\n", res.TCountBefore, res.TCountAfter)
 	fmt.Fprintf(os.Stderr, "depth      %6d -> %6d\n", res.DepthBefore, res.DepthAfter)
 	fmt.Fprintf(os.Stderr, "fidelity   %.4f -> %.4f\n", res.FidelityBefore, res.FidelityAfter)
+	fmt.Fprintf(os.Stderr, "search     %d iters, %d accepted\n", res.Iters, res.Accepted)
 	if client != nil {
 		st := client.Stats()
 		fmt.Fprintf(os.Stderr, "exchange   %d round trips (%d throttled), %d adoptions, %d migrations into the search, %d errors\n",

@@ -17,17 +17,25 @@
 // starting at i (any experiment), so n machines cover one suite exactly
 // once with no coordination. The "bench" experiment sweeps the suite
 // through GUOQ once per circuit and records per-circuit results; -json
-// writes them as a JSON array (to a file, or stdout with "-"), and
-// -remote addr switches it to dynamic sharding — circuits are leased from
-// a guoqd coordinator's work queue (dead workers' leases expire and their
-// circuits are re-issued) and every result is reported back, so the
-// coordinator accumulates the merged suite (curl /v1/queues/bench).
+// writes them as a JSON array streamed one element per finished circuit
+// (to a file, or stdout with "-"), and -remote addr switches it to
+// dynamic sharding — circuits are leased from a guoqd coordinator's work
+// queue (dead workers' leases expire and their circuits are re-issued)
+// and every result is reported back, so the coordinator accumulates the
+// merged suite (curl /v1/queues/bench).
+//
+// The bench sweep is interruptible: SIGINT/SIGTERM stops between circuits
+// (the in-flight circuit finishes with its best-so-far), the JSON array is
+// closed validly, and the partial results are reported.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/guoq-dev/guoq/internal/dist"
@@ -51,13 +59,20 @@ func main() {
 	)
 	flag.Parse()
 
+	// With -json - the machine-readable array owns stdout; every human
+	// line (headers, per-circuit progress, summaries) moves to stderr.
+	hout := os.Stdout
+	if *jsonOut == "-" {
+		hout = os.Stderr
+	}
+
 	cfg := experiments.Config{
 		Budget:     *budget,
 		Trials:     *trials,
 		SuiteLimit: *limit,
 		Epsilon:    1e-8,
 		Seed:       *seed,
-		Out:        os.Stdout,
+		Out:        hout,
 	}
 	if *shard != "" {
 		if _, err := fmt.Sscanf(*shard, "%d/%d", &cfg.Shard, &cfg.Shards); err != nil ||
@@ -66,8 +81,17 @@ func main() {
 		}
 	}
 
+	// SIGINT/SIGTERM cancels the sweep between circuits; a second signal
+	// kills immediately (default handling is restored after the first).
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+	go func() {
+		<-ctx.Done()
+		stopSig()
+	}()
+
 	runBench := func() error {
-		bo := experiments.BenchOptions{GateSet: *gateSet, Workers: *workers}
+		bo := experiments.BenchOptions{GateSet: *gateSet, Workers: *workers, Context: ctx}
 		if host, err := os.Hostname(); err == nil {
 			bo.Worker = fmt.Sprintf("%s-%d", host, os.Getpid())
 		}
@@ -76,6 +100,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			client.Context = ctx
 			bo.Source = &dist.JobSource{Client: client, QueueName: *queue, TTL: *ttl}
 		}
 		if *jsonOut != "" {
@@ -94,12 +119,16 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("bench: %d circuits optimized\n", len(results))
+		if ctx.Err() != nil {
+			fmt.Fprintf(cfg.Out, "bench: interrupted after %d circuits (partial results reported)\n", len(results))
+			return nil
+		}
+		fmt.Fprintf(cfg.Out, "bench: %d circuits optimized\n", len(results))
 		return nil
 	}
 
 	run := func(id string) error {
-		fmt.Printf("### %s (budget=%v trials=%d limit=%d)\n\n", id, *budget, *trials, *limit)
+		fmt.Fprintf(hout, "### %s (budget=%v trials=%d limit=%d)\n\n", id, *budget, *trials, *limit)
 		start := time.Now()
 		var err error
 		var sums []experiments.Summary
@@ -139,10 +168,10 @@ func main() {
 			return err
 		}
 		for _, s := range sums {
-			fmt.Printf("summary: vs %-26s %-13s better/match/worse = %d/%d/%d  mean guoq=%.3f tool=%.3f\n",
+			fmt.Fprintf(hout, "summary: vs %-26s %-13s better/match/worse = %d/%d/%d  mean guoq=%.3f tool=%.3f\n",
 				s.Tool, s.Metric, s.Better, s.Match, s.Worse, s.GUOQMean, s.ToolMean)
 		}
-		fmt.Printf("\n(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(hout, "\n(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		return nil
 	}
 

@@ -5,7 +5,11 @@
 // Usage:
 //
 //	guoqd -listen :7077 [-lease-ttl 60s] [-max-attempts 3]
-//	      [-seed-bench] [-limit 40] [-queue bench] [-quiet]
+//	      [-seed-bench] [-limit 40] [-queue bench] [-grace 5s] [-quiet]
+//
+// SIGINT/SIGTERM shuts the daemon down gracefully: the listener stops
+// accepting, in-flight requests get up to -grace to finish, and request
+// contexts observe the shutdown (a second signal kills immediately).
 //
 // With -seed-bench the daemon seeds its work queue with the benchmark
 // suite (subsampled to -limit circuits, 0 = all 247), so guoqbench
@@ -21,10 +25,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/guoq-dev/guoq/internal/benchmarks"
@@ -42,6 +50,7 @@ func main() {
 		gateSet     = flag.String("gateset", "ibmq20", "gate set whose suite seeds the queue (must match the workers' -gateset)")
 		limit       = flag.Int("limit", 40, "suite subsample size for -seed-bench (0 = full suite)")
 		queue       = flag.String("queue", "bench", "work queue name for -seed-bench")
+		grace       = flag.Duration("grace", 5*time.Second, "drain deadline for in-flight requests on shutdown")
 		quiet       = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	flag.Parse()
@@ -80,8 +89,22 @@ func main() {
 		logger.Printf("seeded queue %q with %d %s benchmark circuits", *queue, added, gs.Name)
 	}
 
-	logger.Printf("coordinator listening on %s", *listen)
-	if err := srv.ListenAndServe(*listen); err != nil {
+	// First SIGINT/SIGTERM starts the graceful drain; restoring default
+	// handling right after means a second signal kills immediately.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+	go func() {
+		<-ctx.Done()
+		stopSig()
+	}()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
 		logger.Fatal(err)
 	}
+	logger.Printf("coordinator listening on %s", l.Addr())
+	if err := srv.ServeContext(ctx, l, *grace); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("coordinator drained, shutting down")
 }

@@ -1,0 +1,81 @@
+package guoq_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/guoq-dev/guoq"
+)
+
+// ExampleStart shows the anytime Session workflow: start a search under a
+// cancellable context, watch the progress stream, and collect the best
+// solution found — the same code path whether the run ends by deadline,
+// cancellation, or Stop.
+func ExampleStart() {
+	c := guoq.NewCircuit(3)
+	c.Append(guoq.H(0), guoq.CX(0, 1), guoq.CX(0, 1), guoq.CX(1, 2))
+	native, err := guoq.Translate(c, "ibm-eagle")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel() // cancelling early would return the best-so-far
+
+	sess, err := guoq.Start(ctx, native, guoq.Options{
+		GateSet: "ibm-eagle",
+		Budget:  200 * time.Millisecond, // sugar for a ctx deadline
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Live observation: Events streams progress, Best snapshots at any
+	// moment without stopping the search.
+	go func() {
+		for ev := range sess.Events() {
+			if ev.Improved {
+				fmt.Printf("improved: cost %.3f after %d iters\n", ev.BestCost, ev.Iters)
+			}
+		}
+	}()
+	if snapshot, res := sess.Best(); snapshot != nil {
+		_ = res.TwoQubitAfter // valid mid-run statistics
+	}
+
+	out, res, err := sess.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.TwoQubitBefore, "->", out.TwoQubitCount())
+}
+
+// ExampleCostFunc supplies a custom objective: the search minimizes the
+// caller's function instead of the built-in Objective enum, with the same
+// never-worse and ε-equivalence guarantees stated against it.
+func ExampleCostFunc() {
+	c := guoq.NewCircuit(3)
+	c.Append(guoq.H(0), guoq.H(0), guoq.CX(0, 1), guoq.T(2), guoq.Tdg(2))
+	native, err := guoq.Translate(c, "nam")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Minimize depth, breaking ties on total gate count.
+	depthCost := guoq.CostFunc(func(c *guoq.Circuit) float64 {
+		return float64(c.Depth()) + 1e-3*float64(c.Len())
+	})
+	out, res, err := guoq.Optimize(native, guoq.Options{
+		GateSet: "nam",
+		Cost:    depthCost,
+		Budget:  200 * time.Millisecond,
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Objective, "depth:", res.DepthBefore, "->", out.Depth())
+}

@@ -1,0 +1,93 @@
+// Anytime optimization with the Session API: start a long-running search,
+// watch its progress stream, and stop it whenever you like — Ctrl-C (or
+// the -budget deadline) returns the best circuit found so far instead of
+// losing the work.
+//
+// Run with -budget 0 and interrupt at will:
+//
+//	go run ./examples/anytime -budget 0
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/guoq-dev/guoq"
+)
+
+// buildWorkload layers redundant blocks over a random base so the search
+// has both easy and hard reductions to chew on for a while.
+func buildWorkload(n, layers int, seed int64) *guoq.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := guoq.NewCircuit(n)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.Append(guoq.H(q), guoq.Rz(rng.Float64(), q))
+		}
+		for q := 0; q+1 < n; q += 2 {
+			a, b := q, q+1
+			c.Append(guoq.CX(a, b), guoq.CX(a, b), guoq.CX(b, a))
+		}
+		c.Append(guoq.CCX(rng.Intn(n-2), n-2, n-1))
+	}
+	return c
+}
+
+func main() {
+	budget := flag.Duration("budget", 3*time.Second, "search deadline (0 = run until Ctrl-C)")
+	flag.Parse()
+
+	native, err := guoq.Translate(buildWorkload(5, 4, 11), "ibm-eagle")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("input: %d gates, %d two-qubit\n", native.Len(), native.TwoQubitCount())
+
+	// Ctrl-C cancels the context; the session resolves to its best-so-far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sess, err := guoq.Start(ctx, native, guoq.Options{
+		GateSet:     "ibm-eagle",
+		Budget:      *budget, // sugar for context.WithTimeout(ctx, budget)
+		Parallelism: 4,
+		Async:       true,
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Events stream is a live view; Best() would work just as well
+	// from a poller. Slow consumers only lose intermediate records.
+	last := time.Time{}
+	for ev := range sess.Events() {
+		if !ev.Improved && time.Since(last) < 500*time.Millisecond {
+			continue
+		}
+		last = time.Now()
+		marker := " "
+		if ev.Improved {
+			marker = "*"
+		}
+		fmt.Printf("%s %7.2fs  %9d iters  accept %5.2f%%  best 2q-cost %.3f  ε=%.2g\n",
+			marker, ev.Elapsed.Seconds(), ev.Iters, 100*ev.AcceptanceRate, ev.BestCost, ev.Error)
+	}
+
+	out, res, err := sess.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ctx.Err() != nil {
+		fmt.Println("interrupted — best-so-far:")
+	}
+	fmt.Printf("done in %v: %d -> %d gates, %d -> %d two-qubit, depth %d (%d iters, ε=%.2g)\n",
+		res.Elapsed.Round(time.Millisecond), res.Before, res.After,
+		res.TwoQubitBefore, res.TwoQubitAfter, out.Depth(), res.Iters, res.Error)
+}

@@ -15,13 +15,25 @@
 // The optimizer guarantees the result is ε-equivalent to the input under
 // the Hilbert–Schmidt distance (Thm 5.3 of the paper): rewrite rules are
 // exact, resynthesis consumes an explicitly tracked error budget.
+//
+// GUOQ is an anytime algorithm, and the Session API exposes that: Start
+// returns immediately with a handle whose Best gives a valid snapshot at
+// any moment, Events streams progress, and cancelling the context (or
+// calling Stop) ends the search gracefully with the best solution found
+// so far:
+//
+//	sess, _ := guoq.Start(ctx, c, guoq.Options{GateSet: "ibm-eagle"})
+//	for ev := range sess.Events() {
+//		fmt.Printf("iter %d best cost %.1f\n", ev.Iters, ev.BestCost)
+//	}
+//	out, res, _ := sess.Wait() // best-so-far, even if ctx was cancelled
 package guoq
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"github.com/guoq-dev/guoq/internal/baselines"
 	"github.com/guoq-dev/guoq/internal/circuit"
 	"github.com/guoq-dev/guoq/internal/gate"
 	"github.com/guoq-dev/guoq/internal/gateset"
@@ -117,20 +129,37 @@ const (
 	MinimizeGates Objective = "gates"
 )
 
-// Options configures Optimize.
+// Options configures Optimize and Start.
 type Options struct {
 	// GateSet is the target gate set name; the input must already be
 	// native to it (use Translate first). Required.
 	GateSet string
 	// Objective defaults to MinimizeTwoQubit (MinimizeT for cliffordt).
+	// Mutually exclusive with Cost.
 	Objective Objective
+	// Cost, when set, supplies a custom optimization objective in place of
+	// the built-in Objective enum: the search minimizes Cost.Cost and the
+	// never-worse guarantee is stated against it. Wrap a plain function
+	// with CostFunc. The function must be pure (same circuit, same value)
+	// and safe for concurrent use — parallel modes score candidates from
+	// several goroutines. Result.Objective reports "custom".
+	Cost Cost
 	// Epsilon is the global approximation budget ε_f (default 1e-8;
 	// 0 disables approximate resynthesis entirely).
 	Epsilon float64
-	// Budget is the wall-clock search budget (default 1 s).
+	// Budget is sugar for a context deadline: Start derives its run context
+	// via context.WithTimeout(ctx, Budget), so cancellation and deadline
+	// are one mechanism. For Optimize, 0 keeps the historical 1 s default;
+	// for Start, 0 means no deadline — the session runs until the caller's
+	// ctx cancels or Stop is called (the anytime mode). Prefer passing a
+	// ctx with a deadline to Start; Budget remains for compatibility.
 	Budget time.Duration
 	// Seed makes runs reproducible (synchronous mode).
 	Seed int64
+	// MaxIters bounds search iterations (0 = unlimited). A synchronous
+	// single-worker run bounded by MaxIters (with a budget generous enough
+	// not to fire first) is bit-for-bit reproducible for equal seeds.
+	MaxIters int
 	// Async runs resynthesis asynchronously alongside rewriting (§5.3).
 	Async bool
 	// Parallelism is the number of concurrent search workers. 0 or 1 runs
@@ -161,7 +190,32 @@ type Options struct {
 // and must never mutate a circuit after returning it.
 type Exchanger = opt.Exchanger
 
-// Result reports optimization statistics.
+// Cost is a custom optimization objective: any pure function scoring a
+// circuit, which the search minimizes. Implementations must be safe for
+// concurrent use (parallel modes score from several goroutines) and fast —
+// the cost runs on the search's hot path, once per candidate.
+type Cost interface {
+	Cost(c *Circuit) float64
+}
+
+// CostFunc adapts a plain function to the Cost interface:
+//
+//	opts.Cost = guoq.CostFunc(func(c *guoq.Circuit) float64 {
+//		return float64(c.Depth())
+//	})
+type CostFunc func(c *Circuit) float64
+
+// Cost implements the Cost interface.
+func (f CostFunc) Cost(c *Circuit) float64 { return f(c) }
+
+// ObjectiveCustom is what Result.Objective reports when Options.Cost
+// supplied a caller-defined objective.
+const ObjectiveCustom Objective = "custom"
+
+// Result reports optimization statistics. Every field is valid for
+// cancelled runs too: a session stopped mid-search reports the true
+// before/after counts, accumulated Error, and iteration statistics of the
+// best-so-far circuit actually returned (the anytime contract).
 type Result struct {
 	GateSet        string
 	Objective      Objective
@@ -178,73 +232,97 @@ type Result struct {
 	// relative to the input (≤ Options.Epsilon; 0 when only exact
 	// transformations were applied).
 	Error float64
+	// Iters and Accepted are the cumulative search-loop counters (summed
+	// across workers in parallel modes).
+	Iters    int
+	Accepted int
 	// Migrations counts how many times the search adopted a better
 	// solution from Options.Exchanger (0 without one).
 	Migrations int
 	Elapsed    time.Duration
 }
 
+// Validate reports the first configuration error in o, with the silently
+// ignored combinations of older releases now rejected explicitly:
+// PartitionParallel without Parallelism ≥ 2, an Objective set alongside a
+// custom Cost, negative budgets, and unknown gate-set or objective names.
+// Start and Optimize call it after applying defaults; call it directly to
+// fail fast on configuration assembled from user input.
+func (o Options) Validate() error {
+	if o.GateSet == "" {
+		return fmt.Errorf("guoq: Options.GateSet is required (one of %v)", GateSets())
+	}
+	if _, err := gateset.ByName(o.GateSet); err != nil {
+		return err
+	}
+	if o.Cost != nil && o.Objective != "" && o.Objective != ObjectiveCustom {
+		return fmt.Errorf("guoq: Options.Cost and Options.Objective %q are mutually exclusive (set one)", o.Objective)
+	}
+	if o.Cost == nil && o.Objective != "" {
+		switch o.Objective {
+		case MinimizeTwoQubit, MinimizeT, MaximizeFidelity, MinimizeGates:
+		default:
+			return fmt.Errorf("guoq: unknown objective %q", o.Objective)
+		}
+	}
+	if o.Epsilon < 0 {
+		return fmt.Errorf("guoq: Options.Epsilon must be ≥ 0, got %g", o.Epsilon)
+	}
+	if o.Budget < 0 {
+		return fmt.Errorf("guoq: Options.Budget must be ≥ 0, got %v", o.Budget)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("guoq: Options.Parallelism must be ≥ 0, got %d", o.Parallelism)
+	}
+	if o.MaxIters < 0 {
+		return fmt.Errorf("guoq: Options.MaxIters must be ≥ 0, got %d", o.MaxIters)
+	}
+	if o.PartitionParallel && o.Parallelism < 2 {
+		return fmt.Errorf("guoq: Options.PartitionParallel requires Parallelism ≥ 2, got %d", o.Parallelism)
+	}
+	return nil
+}
+
+// resolveCost maps the configured objective (enum or custom Cost) to the
+// internal cost function and the label Result.Objective reports.
+func resolveCost(o Options, gs *gateset.GateSet) (opt.Cost, Objective, error) {
+	if o.Cost != nil {
+		cc := o.Cost
+		return func(c *circuit.Circuit) float64 { return cc.Cost(c) }, ObjectiveCustom, nil
+	}
+	model := gateset.ModelFor(gs)
+	switch o.Objective {
+	case MinimizeTwoQubit:
+		return opt.TwoQubitCost(), o.Objective, nil
+	case MinimizeT:
+		return opt.TCost(), o.Objective, nil
+	case MaximizeFidelity:
+		return opt.FidelityCost(model), o.Objective, nil
+	case MinimizeGates:
+		return opt.GateCountCost(), o.Objective, nil
+	default:
+		return nil, "", fmt.Errorf("guoq: unknown objective %q", o.Objective)
+	}
+}
+
 // Optimize runs the GUOQ algorithm on a circuit already expressed in the
 // target gate set and returns the optimized circuit with statistics. The
 // result is always at least as good as the input under the chosen
 // objective, and ε-equivalent to it.
+//
+// Optimize is a thin synchronous wrapper over Start + Wait: seeded
+// synchronous runs produce bit-identical output through either entry
+// point. Use Start directly when you need cancellation, live progress, or
+// mid-run snapshots.
 func Optimize(c *Circuit, o Options) (*Circuit, *Result, error) {
-	gs, err := gateset.ByName(o.GateSet)
-	if err != nil {
-		return nil, nil, err
-	}
-	if !gs.IsNative(c) {
-		return nil, nil, fmt.Errorf("guoq: input circuit is not native to %s (use Translate first)", o.GateSet)
-	}
-	if o.Objective == "" {
-		o.Objective = DefaultObjective(gs.Name)
-	}
-	if o.Epsilon == 0 {
-		o.Epsilon = 1e-8
-	}
 	if o.Budget == 0 {
 		o.Budget = time.Second
 	}
-	var cost opt.Cost
-	model := gateset.ModelFor(gs)
-	switch o.Objective {
-	case MinimizeTwoQubit:
-		cost = opt.TwoQubitCost()
-	case MinimizeT:
-		cost = opt.TCost()
-	case MaximizeFidelity:
-		cost = opt.FidelityCost(model)
-	case MinimizeGates:
-		cost = opt.GateCountCost()
-	default:
-		return nil, nil, fmt.Errorf("guoq: unknown objective %q", o.Objective)
+	s, err := Start(context.Background(), c, o)
+	if err != nil {
+		return nil, nil, err
 	}
-
-	runner := baselines.NewGUOQ(o.Epsilon)
-	runner.Async = o.Async
-	runner.Parallelism = o.Parallelism
-	runner.Partition = o.PartitionParallel
-	runner.Exchanger = o.Exchanger
-	start := time.Now()
-	out, stats := runner.OptimizeStats(c, gs, cost, o.Budget, o.Seed)
-	res := &Result{
-		GateSet:        o.GateSet,
-		Objective:      o.Objective,
-		Before:         c.Len(),
-		After:          out.Len(),
-		TwoQubitBefore: c.TwoQubitCount(),
-		TwoQubitAfter:  out.TwoQubitCount(),
-		TCountBefore:   c.TCount(),
-		TCountAfter:    out.TCount(),
-		DepthBefore:    c.Depth(),
-		DepthAfter:     out.Depth(),
-		FidelityBefore: model.CircuitFidelity(c),
-		FidelityAfter:  model.CircuitFidelity(out),
-		Error:          stats.BestError,
-		Migrations:     stats.Migrations,
-		Elapsed:        time.Since(start),
-	}
-	return out, res, nil
+	return s.Wait()
 }
 
 // EstimateFidelity returns the estimated success probability of a circuit

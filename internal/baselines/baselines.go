@@ -8,6 +8,7 @@
 package baselines
 
 import (
+	"context"
 	"time"
 
 	"github.com/guoq-dev/guoq/internal/circuit"
@@ -23,6 +24,25 @@ type Optimizer interface {
 	// Optimize returns an improved circuit within the wall-clock budget.
 	// Implementations never return a worse circuit than the input.
 	Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit
+}
+
+// ContextOptimizer is an Optimizer whose search honors context
+// cancellation: OptimizeContext returns its best-so-far (never worse than
+// the input) as soon as ctx is done. Every optimizer in this package
+// implements it; the plain Optimize methods are equivalent to calling
+// OptimizeContext with context.Background().
+type ContextOptimizer interface {
+	Optimizer
+	OptimizeContext(ctx context.Context, c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit
+}
+
+// OptimizeWithContext runs a tool under ctx when it supports cancellation,
+// degrading to the blocking Optimize for tools that do not.
+func OptimizeWithContext(ctx context.Context, tool Optimizer, c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit {
+	if co, ok := tool.(ContextOptimizer); ok {
+		return co.OptimizeContext(ctx, c, gs, cost, budget, seed)
+	}
+	return tool.Optimize(c, gs, cost, budget, seed)
 }
 
 // keepBetter guards the "never worse" contract.

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"time"
 
 	"github.com/guoq-dev/guoq/internal/circuit"
@@ -132,13 +133,23 @@ func (f *FixedPass) Name() string { return f.Tool }
 
 // Optimize implements Optimizer. Fixed-pass tools ignore the budget and the
 // seed: they are deterministic and fast.
-func (f *FixedPass) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, _ time.Duration, _ int64) *circuit.Circuit {
+func (f *FixedPass) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit {
+	return f.OptimizeContext(context.Background(), c, gs, cost, budget, seed)
+}
+
+// OptimizeContext implements ContextOptimizer: cancellation is observed
+// between rounds (individual passes are fast and always run to completion,
+// so the committed state is a whole-pipeline prefix, never a torn pass).
+func (f *FixedPass) OptimizeContext(ctx context.Context, c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, _ time.Duration, _ int64) *circuit.Circuit {
 	eng := rewrite.NewEngine(c)
 	rounds := f.Rounds
 	if rounds <= 0 {
 		rounds = 1
 	}
 	for r := 0; r < rounds; r++ {
+		if ctx.Err() != nil {
+			break
+		}
 		before := eng.Circuit().Len()
 		for _, p := range f.Passes {
 			p(eng, gs)

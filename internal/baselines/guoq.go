@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"time"
 
 	"github.com/guoq-dev/guoq/internal/circuit"
@@ -35,6 +36,14 @@ type GUOQ struct {
 	// polls it directly, a portfolio relays through its in-process
 	// coordinator.
 	Exchanger opt.Exchanger
+	// MaxIters bounds search iterations (0 = unlimited): with a synchronous
+	// single worker and no deadline it makes a run bit-reproducible.
+	MaxIters int
+	// OnEvent, when set, receives opt.Event progress reports from the
+	// search (improvements, heartbeats, and a final event per worker); the
+	// hook behind the public Session's Events stream. Must be safe for
+	// concurrent use in parallel modes.
+	OnEvent func(opt.Event)
 }
 
 // GUOQMode selects among the paper's search variants.
@@ -96,6 +105,12 @@ func (g *GUOQ) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, 
 	return out
 }
 
+// OptimizeContext implements ContextOptimizer.
+func (g *GUOQ) OptimizeContext(ctx context.Context, c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit {
+	out, _ := g.OptimizeStatsContext(ctx, c, gs, cost, budget, seed)
+	return out
+}
+
 // OptimizeStats is Optimize plus the search statistics: the returned
 // Result carries the accumulated ε bound, iteration/acceptance counts and
 // exchange migrations for the circuit actually returned (BestError is 0
@@ -103,9 +118,23 @@ func (g *GUOQ) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, 
 // recorder (internal/experiments.Bench) and the distributed CLIs consume
 // the statistics; plain comparisons use Optimize.
 func (g *GUOQ) OptimizeStats(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) (*circuit.Circuit, *opt.Result) {
-	synthTime := budget / 4
-	if synthTime > 500*time.Millisecond {
-		synthTime = 500 * time.Millisecond
+	return g.OptimizeStatsContext(context.Background(), c, gs, cost, budget, seed)
+}
+
+// OptimizeStatsContext is OptimizeStats under a context: the search ends at
+// whichever of ctx cancellation or the budget fires first, and the
+// statistics are accurate either way (the anytime contract — a cancelled
+// run's Result carries real before/after counts and the accumulated ε of
+// the circuit actually returned). budget ≤ 0 removes the wall-clock bound
+// entirely: the run ends only on cancellation (or MaxIters), with synthesis
+// calls individually capped at their 500 ms default.
+func (g *GUOQ) OptimizeStatsContext(ctx context.Context, c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) (*circuit.Circuit, *opt.Result) {
+	synthTime := 500 * time.Millisecond
+	if budget > 0 {
+		synthTime = budget / 4
+		if synthTime > 500*time.Millisecond {
+			synthTime = 500 * time.Millisecond
+		}
 	}
 	// QUESO's rule compositions subsume rotation merging; our smaller
 	// hand-built libraries express that capability as the phase-folding
@@ -127,6 +156,11 @@ func (g *GUOQ) OptimizeStats(c *circuit.Circuit, gs *gateset.GateSet, cost opt.C
 	opts.Async = g.Async
 	opts.WarmStart = true
 	opts.Exchanger = g.Exchanger
+	opts.MaxIters = g.MaxIters
+	opts.OnEvent = g.OnEvent
+	if ctx != nil {
+		opts.Context = ctx
+	}
 	if g.ResynthProb > 0 {
 		opts.ResynthProb = g.ResynthProb
 	}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"time"
 
 	"github.com/guoq-dev/guoq/internal/circuit"
@@ -52,6 +53,12 @@ func (p *Partition) Blocks(c *circuit.Circuit) []*circuit.Region {
 // Optimize implements Optimizer: one partition pass, resynthesizing each
 // block and keeping the replacement only when it improves the cost.
 func (p *Partition) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit {
+	return p.OptimizeContext(context.Background(), c, gs, cost, budget, seed)
+}
+
+// OptimizeContext implements ContextOptimizer: cancellation is observed
+// between blocks, so a cancelled pass returns the blocks already improved.
+func (p *Partition) OptimizeContext(ctx context.Context, c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit {
 	var syn synth.Synthesizer
 	if p.UseFinite || !gs.Continuous() {
 		fs := finite.New()
@@ -73,6 +80,9 @@ func (p *Partition) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.C
 	// Blocks are replaced back-to-front so earlier indices stay valid.
 	for bi := len(blocks) - 1; bi >= 0; bi-- {
 		if budget > 0 && time.Now().After(deadline) {
+			break
+		}
+		if ctx.Err() != nil {
 			break
 		}
 		region := blocks[bi]

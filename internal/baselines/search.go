@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -30,6 +31,12 @@ func (b *BeamSearch) Name() string { return b.Tool }
 
 // Optimize implements Optimizer.
 func (b *BeamSearch) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit {
+	return b.OptimizeContext(context.Background(), c, gs, cost, budget, seed)
+}
+
+// OptimizeContext implements ContextOptimizer: the beam loop returns its
+// best-so-far at the first cancelled dequeue.
+func (b *BeamSearch) OptimizeContext(ctx context.Context, c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit {
 	ts, err := opt.Instantiate(gs, opt.InstantiateOptions{EpsilonF: 1e-8})
 	if err != nil {
 		return c
@@ -38,6 +45,7 @@ func (b *BeamSearch) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.
 	opts.Cost = cost
 	opts.TimeBudget = budget
 	opts.Seed = seed
+	opts.Context = ctx
 	res := opt.Beam(c, opt.FilterFast(ts), opts, b.Width)
 	return keepBetter(c, res.Best, cost)
 }
@@ -65,6 +73,12 @@ func (l *Lookahead) Name() string { return l.Tool }
 // copies (and DAG rebuilds) of the pure FullPass pipeline disappear; the
 // chosen step is then re-applied (deterministic) and committed.
 func (l *Lookahead) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit {
+	return l.OptimizeContext(context.Background(), c, gs, cost, budget, seed)
+}
+
+// OptimizeContext implements ContextOptimizer: cancellation is checked at
+// every outer greedy step (the committed best is returned mid-rollout).
+func (l *Lookahead) OptimizeContext(ctx context.Context, c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit {
 	rules, err := rewrite.RulesFor(gs.Name)
 	if err != nil {
 		return c
@@ -93,6 +107,9 @@ func (l *Lookahead) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.C
 	bestCost := cost(best)
 
 	for time.Now().Before(deadline) {
+		if ctx.Err() != nil {
+			break
+		}
 		curCost := cost(eng.Circuit())
 		bestRule := -1
 		bestScore := curCost
@@ -165,7 +182,13 @@ func (p *PyZX) Name() string { return "pyzx" }
 // folds merges phase regions, which is (a fragment of) what PyZX's
 // full_reduce achieves with Hadamard gadgets. Multi-qubit gates are never
 // touched, so the CX count is exactly preserved.
-func (p *PyZX) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, _ time.Duration, _ int64) *circuit.Circuit {
+func (p *PyZX) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit {
+	return p.OptimizeContext(context.Background(), c, gs, cost, budget, seed)
+}
+
+// OptimizeContext implements ContextOptimizer: cancellation is observed
+// between fixpoint rounds.
+func (p *PyZX) OptimizeContext(ctx context.Context, c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, _ time.Duration, _ int64) *circuit.Circuit {
 	rules, _ := rewrite.RulesFor(gs.Name)
 	var oneQ []*rewrite.Rule
 	for _, r := range rules {
@@ -175,6 +198,9 @@ func (p *PyZX) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, 
 	}
 	eng := rewrite.NewEngine(c)
 	for round := 0; round < 8; round++ {
+		if ctx.Err() != nil {
+			break
+		}
 		before := eng.Circuit().Len()
 		if folded, changed := phasepoly.FoldChanged(eng.Circuit(), gs.Name); changed > 0 {
 			eng.SetCircuit(folded)

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -51,6 +52,13 @@ type Client struct {
 	// WAN should see. 0 means the 100 ms default; negative disables
 	// throttling (tests).
 	MinInterval time.Duration
+	// Context, when set, is the base context every HTTP request derives
+	// from: cancelling it aborts in-flight exchanges, leases, and
+	// completion reports, and makes JobSource.LeaseNext stop polling. The
+	// CLIs bind it to their signal context so a SIGINT never leaves a
+	// request (or a lease poll loop) dangling. Nil means
+	// context.Background().
+	Context context.Context
 
 	mu       sync.Mutex
 	stats    ClientStats
@@ -104,9 +112,21 @@ func (c *Client) Stats() ClientStats {
 	return c.stats
 }
 
+// ctx returns the client's base request context.
+func (c *Client) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
+}
+
 // Healthy probes the coordinator's /healthz endpoint.
 func (c *Client) Healthy() error {
-	resp, err := c.hc.Get(c.base + "/healthz")
+	req, err := http.NewRequestWithContext(c.ctx(), http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -206,7 +226,11 @@ func (c *Client) Complete(queue, id string, result any) error {
 // Queue fetches a queue's status including collected results.
 func (c *Client) Queue(queue string) (QueueStatus, error) {
 	var st QueueStatus
-	resp, err := c.hc.Get(c.base + "/v1/queues/" + queue)
+	req, err := http.NewRequestWithContext(c.ctx(), http.MethodGet, c.base+"/v1/queues/"+queue, nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return st, err
 	}
@@ -222,7 +246,12 @@ func (c *Client) post(path string, req, into any) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(c.ctx(), http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		return err
 	}
@@ -252,7 +281,9 @@ type JobSource struct {
 	Poll time.Duration
 }
 
-// LeaseNext blocks until a job is available or the queue is drained.
+// LeaseNext blocks until a job is available, the queue is drained, or the
+// client's Context is cancelled (the poll sleep is interruptible, so a
+// SIGINT does not linger for a full poll period).
 func (s *JobSource) LeaseNext() (string, bool, error) {
 	poll := s.Poll
 	if poll <= 0 {
@@ -269,7 +300,13 @@ func (s *JobSource) LeaseNext() (string, bool, error) {
 		if drained {
 			return "", false, nil
 		}
-		time.Sleep(poll)
+		timer := time.NewTimer(poll)
+		select {
+		case <-timer.C:
+		case <-s.Client.ctx().Done():
+			timer.Stop()
+			return "", false, s.Client.ctx().Err()
+		}
 	}
 }
 

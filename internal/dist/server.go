@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -206,6 +207,35 @@ func (s *Server) ListenAndServe(addr string) error {
 func (s *Server) Serve(l net.Listener) error {
 	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	return srv.Serve(l)
+}
+
+// ServeContext runs the coordinator on l until ctx is cancelled, then
+// drains gracefully: the listener stops accepting, in-flight requests get
+// up to grace (default 5 s) to finish via http.Server.Shutdown, and
+// request contexts derive from ctx so handlers observe the shutdown too.
+// Returns nil after a clean drain, or the Shutdown error when the grace
+// period expires with requests still in flight.
+func (s *Server) ServeContext(ctx context.Context, l net.Listener, grace time.Duration) error {
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	<-errc // Serve has returned http.ErrServerClosed
+	return err
 }
 
 func (s *Server) handleExchange(w http.ResponseWriter, r *http.Request) {

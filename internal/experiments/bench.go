@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -60,9 +62,48 @@ type BenchOptions struct {
 	Source JobSource
 	// Worker names this process in reported results.
 	Worker string
-	// JSON, when set, receives the per-circuit results as an indented
-	// JSON array once the sweep finishes.
+	// JSON, when set, receives the per-circuit results as an indented JSON
+	// array, streamed one element per finished circuit (the array is valid
+	// JSON once the sweep ends — including a cancelled sweep). Writing to a
+	// terminal therefore shows live per-circuit progress in -json mode.
 	JSON io.Writer
+	// Context, when set, cancels the sweep: the loop stops between
+	// circuits, the in-flight circuit's search returns its best-so-far
+	// (recorded like any other result), and Bench returns everything
+	// completed so far without error — cancellation is a normal anytime
+	// outcome, not a failure. Nil means context.Background().
+	Context context.Context
+}
+
+// jsonArrayStream incrementally writes a JSON array, one element per emit,
+// so a consumer tailing the output sees records as they complete and a
+// cancelled sweep still ends with valid JSON.
+type jsonArrayStream struct {
+	w io.Writer
+	n int
+}
+
+func (s *jsonArrayStream) emit(v any) error {
+	raw, err := json.MarshalIndent(v, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	sep := "[\n  "
+	if s.n > 0 {
+		sep = ",\n  "
+	}
+	s.n++
+	_, err = fmt.Fprintf(s.w, "%s%s", sep, raw)
+	return err
+}
+
+func (s *jsonArrayStream) close() error {
+	if s.n == 0 {
+		_, err := io.WriteString(s.w, "[]\n")
+		return err
+	}
+	_, err := io.WriteString(s.w, "\n]\n")
+	return err
 }
 
 // Bench sweeps benchmark circuits through GUOQ once each and records
@@ -75,6 +116,10 @@ func Bench(cfg Config, bo BenchOptions) ([]CircuitResult, error) {
 	cfg.normalize()
 	if bo.GateSet == "" {
 		bo.GateSet = "ibmq20"
+	}
+	ctx := bo.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	gs, err := gateset.ByName(bo.GateSet)
 	if err != nil {
@@ -95,9 +140,14 @@ func Bench(cfg Config, bo BenchOptions) ([]CircuitResult, error) {
 		runner = baselines.NewGUOQ(cfg.Epsilon)
 	}
 
+	var stream *jsonArrayStream
+	if bo.JSON != nil {
+		stream = &jsonArrayStream{w: bo.JSON}
+	}
+
 	runOne := func(b benchmarks.Named) CircuitResult {
 		start := time.Now()
-		out, stats := runner.OptimizeStats(b.Circuit, gs, cost, cfg.Budget, cfg.Seed)
+		out, stats := runner.OptimizeStatsContext(ctx, b.Circuit, gs, cost, cfg.Budget, cfg.Seed)
 		wall := time.Since(start)
 		r := CircuitResult{
 			Name:           b.Name,
@@ -122,19 +172,35 @@ func Bench(cfg Config, bo BenchOptions) ([]CircuitResult, error) {
 	}
 
 	var results []CircuitResult
+	record := func(r CircuitResult) error {
+		results = append(results, r)
+		if stream != nil {
+			return stream.emit(r)
+		}
+		return nil
+	}
+
 	if bo.Source == nil {
 		for _, b := range cfg.selectSuite(suite) {
-			results = append(results, runOne(b))
+			if ctx.Err() != nil {
+				break // cancelled: return what completed, valid JSON and all
+			}
+			if err := record(runOne(b)); err != nil {
+				return finish(results, stream, err)
+			}
 		}
 	} else {
 		byName := make(map[string]benchmarks.Named, len(suite))
 		for _, b := range suite {
 			byName[b.Name] = b
 		}
-		for {
+		for ctx.Err() == nil {
 			id, ok, err := bo.Source.LeaseNext()
 			if err != nil {
-				return results, fmt.Errorf("experiments: lease: %w", err)
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					break // the poll loop observed our cancellation
+				}
+				return finish(results, stream, fmt.Errorf("experiments: lease: %w", err))
 			}
 			if !ok {
 				break
@@ -146,28 +212,43 @@ func Bench(cfg Config, bo BenchOptions) ([]CircuitResult, error) {
 				// retry it forever on a worker that can never run it.
 				msg, _ := json.Marshal(map[string]string{"error": "unknown circuit " + id})
 				if err := bo.Source.CompleteJob(id, msg); err != nil {
-					return results, fmt.Errorf("experiments: complete %s: %w", id, err)
+					return finish(results, stream, fmt.Errorf("experiments: complete %s: %w", id, err))
 				}
 				continue
 			}
 			r := runOne(b)
 			raw, err := json.Marshal(r)
 			if err != nil {
-				return results, err
+				return finish(results, stream, err)
 			}
 			if err := bo.Source.CompleteJob(id, raw); err != nil {
-				return results, fmt.Errorf("experiments: complete %s: %w", id, err)
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					// Interrupted while reporting: the completion HTTP call
+					// ran on the already-cancelled client context. Keep the
+					// finished circuit locally (JSON stream + return value)
+					// and stop gracefully; the coordinator re-issues the
+					// unacknowledged lease after its TTL.
+					if rerr := record(r); rerr != nil {
+						return finish(results, stream, rerr)
+					}
+					break
+				}
+				return finish(results, stream, fmt.Errorf("experiments: complete %s: %w", id, err))
 			}
-			results = append(results, r)
+			if err := record(r); err != nil {
+				return finish(results, stream, err)
+			}
 		}
 	}
+	return finish(results, stream, nil)
+}
 
-	if bo.JSON != nil {
-		enc := json.NewEncoder(bo.JSON)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
-			return results, err
+// finish closes the JSON stream (keeping the first error) and returns.
+func finish(results []CircuitResult, stream *jsonArrayStream, err error) ([]CircuitResult, error) {
+	if stream != nil {
+		if cerr := stream.close(); err == nil {
+			err = cerr
 		}
 	}
-	return results, nil
+	return results, err
 }

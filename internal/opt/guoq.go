@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -58,6 +59,60 @@ type Options struct {
 	// synchronous portfolio deterministic (worker 0 reproduces the
 	// equally-seeded single-worker run exactly).
 	ExchangeEvery int
+	// Context, when non-nil, cancels the search: the loop returns its
+	// best-so-far (a valid, ε-bounded, never-worse solution) as soon as it
+	// observes ctx.Done(). Cancellation composes with TimeBudget/MaxIters —
+	// whichever fires first ends the run. Checking the context consumes no
+	// randomness, so a run that is never cancelled is bit-identical to one
+	// with a nil Context.
+	Context context.Context
+	// OnEvent, when set, receives progress events: one on every improvement
+	// (Event.Best non-nil), a heartbeat every EventEvery iterations, and a
+	// final event just before the run returns. Parallel modes invoke it
+	// concurrently from several workers; implementations must be safe for
+	// concurrent use and fast (the hook runs on the search's hot path).
+	OnEvent func(Event)
+	// EventEvery is the heartbeat period in iterations (default 256;
+	// negative disables heartbeats — improvement and final events still
+	// fire).
+	EventEvery int
+}
+
+// Event is a point-in-time progress report from a running search, emitted
+// through Options.OnEvent. Counter fields are cumulative for the emitting
+// worker; an aggregating consumer (the public Session) sums the latest
+// event of each Worker.
+type Event struct {
+	// Worker identifies the emitting search: the portfolio worker index or
+	// partition window index (0 for a single-worker run).
+	Worker int
+	// Elapsed is the time since this worker's search started.
+	Elapsed time.Duration
+	// Iters and Accepted are the worker's cumulative loop counters.
+	Iters    int
+	Accepted int
+	// Migrations counts exchange adoptions so far.
+	Migrations int
+	// ResynthInFlight is the number of asynchronous resynthesis calls
+	// currently running (0 or 1 per worker).
+	ResynthInFlight int
+	// BestCost and BestErr describe the worker's best-so-far solution.
+	BestCost float64
+	BestErr  float64
+	// Best is set only on improvement events: a snapshot of the new best
+	// circuit, safe to retain (never mutated afterwards). Heartbeat and
+	// final events leave it nil. Partition windows also leave it nil —
+	// a window-local circuit is not a whole-circuit solution.
+	Best *circuit.Circuit
+}
+
+// searchDone returns the context's done channel, or nil (blocks forever in
+// a select) when no context is configured.
+func (o *Options) searchDone() <-chan struct{} {
+	if o.Context == nil {
+		return nil
+	}
+	return o.Context.Done()
 }
 
 // DefaultOptions mirrors the paper's instantiation: ε_f = 10⁻⁸, t = 10,
@@ -99,6 +154,13 @@ type Result struct {
 // subcircuit, apply, and accept probabilistically based on cost, tracking
 // the accumulated error against the ε_f budget.
 //
+// GUOQ is an anytime algorithm: Options.Context cancellation, the
+// TimeBudget deadline, and MaxIters all end the run the same way — the
+// strictly-improving best-so-far is returned with its accumulated bound
+// and full statistics, so a cancelled run's Result is as trustworthy as a
+// completed one's. (An in-flight asynchronous resynthesis call is drained
+// before returning, bounded by the synthesizer's own time limit.)
+//
 // The loop threads one rewrite.Engine through its iterations: the current
 // search point lives inside the engine, transformations that implement
 // EngineApplier mutate it in place (reusing the engine's incremental DAG
@@ -136,6 +198,48 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 	if opts.Async && len(slow) > 0 && len(fast) > 0 {
 		worker = newAsyncWorker()
 		defer worker.stop()
+	}
+
+	// Cancellation: a nil done channel blocks forever in the select, so a
+	// run without a Context never observes it.
+	done := opts.searchDone()
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+
+	// emit publishes a progress event; best is non-nil only on improvement.
+	emit := func(bc *circuit.Circuit) {
+		if opts.OnEvent == nil {
+			return
+		}
+		e := Event{
+			Elapsed:    time.Since(start),
+			Iters:      res.Iters,
+			Accepted:   res.Accepted,
+			Migrations: res.Migrations,
+			BestCost:   bestCost,
+			BestErr:    bestErr,
+			Best:       bc,
+		}
+		if worker != nil && worker.busy {
+			e.ResynthInFlight = 1
+		}
+		opts.OnEvent(e)
+	}
+
+	improve := func() {
+		if currCost < bestCost {
+			best, bestErr, bestCost = eng.Snapshot(), currErr, currCost
+			if opts.OnImprove != nil {
+				opts.OnImprove(time.Since(start), best)
+			}
+			emit(best)
+		}
 	}
 
 	// applyAny applies t against the engine — in place when the
@@ -182,26 +286,16 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 			if opts.TimeBudget > 0 && time.Now().After(deadline) {
 				break
 			}
+			if cancelled() {
+				break
+			}
 			if currCost >= roundStart {
 				break
 			}
 		}
-		if currCost < bestCost {
-			best, bestErr, bestCost = eng.Snapshot(), currErr, currCost
-			if opts.OnImprove != nil {
-				opts.OnImprove(time.Since(start), best)
-			}
-		}
+		improve()
 	}
 
-	improve := func() {
-		if currCost < bestCost {
-			best, bestErr, bestCost = eng.Snapshot(), currErr, currCost
-			if opts.OnImprove != nil {
-				opts.OnImprove(time.Since(start), best)
-			}
-		}
-	}
 	// accept decides per Alg. 1 lines 10-15.
 	accept := func(candCost float64) bool {
 		if candCost <= currCost {
@@ -217,6 +311,10 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 	if exchangeEvery <= 0 {
 		exchangeEvery = 64
 	}
+	eventEvery := opts.EventEvery
+	if eventEvery == 0 {
+		eventEvery = 256
+	}
 
 	for it := 0; ; it++ {
 		if opts.MaxIters > 0 && it >= opts.MaxIters {
@@ -224,6 +322,12 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		}
 		if opts.TimeBudget > 0 && time.Now().After(deadline) {
 			break
+		}
+		if cancelled() {
+			break
+		}
+		if eventEvery > 0 && it > 0 && it%eventEvery == 0 {
+			emit(nil)
 		}
 		res.Iters++
 
@@ -276,6 +380,7 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		switch {
 		case len(fast) == 0 && len(slow) == 0:
 			res.Best, res.BestError, res.Elapsed = best, bestErr, time.Since(start)
+			emit(nil)
 			return res
 		case len(fast) == 0:
 			t = slow[rng.Intn(len(slow))]
@@ -313,6 +418,7 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 	res.Best = best
 	res.BestError = bestErr
 	res.Elapsed = time.Since(start)
+	emit(nil)
 	return res
 }
 

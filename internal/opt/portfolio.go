@@ -165,6 +165,17 @@ func Portfolio(c *circuit.Circuit, ts []Transformation, opts Options, workers in
 			wOpts.Exchanger = co
 		}
 		wOpts.OnImprove = nil // routed through the coordinator
+		if opts.OnEvent != nil {
+			// Tag every event with its worker index; the consumer aggregates
+			// the latest event per worker. Improvement events keep their Best
+			// snapshot — a worker-local best is still a valid whole-circuit
+			// solution with its own ε bound.
+			ev, wid := opts.OnEvent, w
+			wOpts.OnEvent = func(e Event) {
+				e.Worker = wid
+				ev(e)
+			}
+		}
 		wg.Add(1)
 		go func(w int, o Options) {
 			defer wg.Done()
@@ -240,6 +251,17 @@ func PartitionParallel(c *circuit.Circuit, ts []Transformation, opts Options, wo
 		wOpts.Seed = opts.Seed + int64(i)*0x9E3779B9
 		wOpts.Exchanger = nil
 		wOpts.OnImprove = nil // per-window improvements are not global ones
+		if opts.OnEvent != nil {
+			// Window workers report their counters for liveness, but a
+			// window-local circuit is not a whole-circuit solution: strip
+			// the snapshot so consumers never adopt it as a global best.
+			ev, wid := opts.OnEvent, i
+			wOpts.OnEvent = func(e Event) {
+				e.Worker = wid
+				e.Best = nil
+				ev(e)
+			}
+		}
 		wg.Add(1)
 		go func(i int, sub *circuit.Circuit, o Options) {
 			defer wg.Done()

@@ -64,6 +64,7 @@ func Beam(c *circuit.Circuit, ts []Transformation, opts Options, width int) *Res
 	queue := []cand{root}
 	best := root
 
+	done := opts.searchDone()
 	rngSeed := opts.Seed
 	for len(queue) > 0 {
 		if opts.TimeBudget > 0 && time.Now().After(deadline) {
@@ -71,6 +72,14 @@ func Beam(c *circuit.Circuit, ts []Transformation, opts Options, width int) *Res
 		}
 		if opts.MaxIters > 0 && res.Iters >= opts.MaxIters {
 			break
+		}
+		select {
+		case <-done:
+			res.Best = best.c
+			res.BestError = best.err
+			res.Elapsed = time.Since(start)
+			return res
+		default:
 		}
 		cur := queue[0]
 		queue = queue[1:]
