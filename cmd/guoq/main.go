@@ -4,11 +4,18 @@
 //
 //	guoq -gateset ibm-eagle -budget 2s [-objective 2q|t|fidelity|gates]
 //	     [-epsilon 1e-8] [-seed 1] [-async] [-parallel N] [-partition]
-//	     [-coordinator addr] [-session id] [-progress] [-o out.qasm] input.qasm
+//	     [-gateset-file set.json] [-coordinator addr] [-session id]
+//	     [-token secret] [-progress] [-o out.qasm] input.qasm
+//	guoq -list-gatesets
 //
 // The input is translated into the target gate set first, so any circuit in
 // the supported vocabulary is accepted. Statistics go to stderr, the
 // optimized QASM to -o or stdout.
+//
+// -list-gatesets prints every addressable target (built-ins plus whatever
+// -gateset-file adds) with its basis and exits. -gateset-file registers a
+// custom gate set from a JSON description (see guoq.ParseGateSetJSON), so
+// -gateset can name targets beyond the paper's five.
 //
 // GUOQ is an anytime algorithm and the CLI honors that: SIGINT/SIGTERM
 // stops the search gracefully and emits the best circuit found so far
@@ -30,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,10 +58,22 @@ func main() {
 		part      = flag.Bool("partition", false, "with -parallel ≥ 2, optimize disjoint time windows of large circuits concurrently")
 		coord     = flag.String("coordinator", "", "guoqd coordinator address for distributed best-so-far exchange")
 		session   = flag.String("session", "", "exchange session id (default: derived from circuit+objective+epsilon)")
+		token     = flag.String("token", os.Getenv("GUOQD_TOKEN"), "bearer token for a -coordinator started with -token (default $GUOQD_TOKEN)")
 		progress  = flag.Bool("progress", false, "stream live search progress to stderr")
 		outPath   = flag.String("o", "", "output QASM path (default stdout)")
+		gsFile    = flag.String("gateset-file", "", "register a custom gate set from a JSON description before resolving -gateset")
+		listSets  = flag.Bool("list-gatesets", false, "list every addressable gate set and exit")
 	)
 	flag.Parse()
+	if *gsFile != "" {
+		if err := registerGateSetFile(*gsFile); err != nil {
+			fatal(err)
+		}
+	}
+	if *listSets {
+		listGateSets()
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: guoq [flags] input.qasm")
 		flag.PrintDefaults()
@@ -106,6 +126,7 @@ func main() {
 		}
 		client.Epsilon = *epsilon
 		client.Context = ctx
+		client.Token = *token
 		fmt.Fprintf(os.Stderr, "coordinator %s, session %s\n", *coord, id)
 	}
 
@@ -170,6 +191,35 @@ func main() {
 	}
 	if err := os.WriteFile(*outPath, []byte(qasm), 0o644); err != nil {
 		fatal(err)
+	}
+}
+
+// registerGateSetFile loads and registers a custom gate set description so
+// -gateset (and session derivation) can name it.
+func registerGateSetFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	gs, err := guoq.ParseGateSetJSON(data)
+	if err != nil {
+		return err
+	}
+	return guoq.RegisterGateSet(gs)
+}
+
+// listGateSets prints every addressable target with its basis.
+func listGateSets() {
+	for _, name := range guoq.GateSets() {
+		gs, err := guoq.LookupGateSet(name)
+		if err != nil {
+			continue
+		}
+		arch := gs.Architecture
+		if arch == "" {
+			arch = "none"
+		}
+		fmt.Printf("%-16s %-16s %s\n", gs.Name, arch, strings.Join(gs.Basis, " "))
 	}
 }
 

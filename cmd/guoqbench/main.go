@@ -27,6 +27,11 @@
 // The bench sweep is interruptible: SIGINT/SIGTERM stops between circuits
 // (the in-flight circuit finishes with its best-so-far), the JSON array is
 // closed validly, and the partial results are reported.
+//
+// Custom targets: -gateset-file registers a gate set from a JSON
+// description (guoq.ParseGateSetJSON), after which -gateset can name it —
+// the suite is translated into the custom basis like any built-in target.
+// -token authenticates against a coordinator started with guoqd -token.
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/guoq-dev/guoq"
 	"github.com/guoq-dev/guoq/internal/dist"
 	"github.com/guoq-dev/guoq/internal/experiments"
 )
@@ -52,12 +58,27 @@ func main() {
 		shard   = flag.String("shard", "", "static shard i/n: run every n-th circuit starting at i (e.g. 0/4)")
 		remote  = flag.String("remote", "", "guoqd coordinator address for dynamic sharding (bench only)")
 		jsonOut = flag.String("json", "", "write per-circuit results as JSON (bench only; \"-\" = stdout)")
-		gateSet = flag.String("gateset", "ibmq20", "target gate set for bench")
+		gateSet = flag.String("gateset", "ibmq20", "target gate set for bench (built-in or loaded via -gateset-file)")
+		gsFile  = flag.String("gateset-file", "", "register a custom gate set from a JSON description (guoq.ParseGateSetJSON) before resolving -gateset")
 		workers = flag.Int("workers", 1, "per-circuit portfolio size for bench")
 		queue   = flag.String("queue", "bench", "work queue name on the coordinator")
 		ttl     = flag.Duration("lease-ttl", 60*time.Second, "job lease duration in remote mode")
+		token   = flag.String("token", os.Getenv("GUOQD_TOKEN"), "bearer token for a -remote coordinator started with -token (default $GUOQD_TOKEN)")
 	)
 	flag.Parse()
+	if *gsFile != "" {
+		data, err := os.ReadFile(*gsFile)
+		if err != nil {
+			fatal(err)
+		}
+		gs, err := guoq.ParseGateSetJSON(data)
+		if err != nil {
+			fatal(err)
+		}
+		if err := guoq.RegisterGateSet(gs); err != nil {
+			fatal(err)
+		}
+	}
 
 	// With -json - the machine-readable array owns stdout; every human
 	// line (headers, per-circuit progress, summaries) moves to stderr.
@@ -101,6 +122,7 @@ func main() {
 				return err
 			}
 			client.Context = ctx
+			client.Token = *token
 			bo.Source = &dist.JobSource{Client: client, QueueName: *queue, TTL: *ttl}
 		}
 		if *jsonOut != "" {

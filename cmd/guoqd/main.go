@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	guoqd -listen :7077 [-lease-ttl 60s] [-max-attempts 3]
+//	guoqd -listen :7077 [-token secret] [-lease-ttl 60s] [-max-attempts 3]
 //	      [-seed-bench] [-limit 40] [-queue bench] [-grace 5s] [-quiet]
+//
+// With -token (or the GUOQD_TOKEN environment variable) every exchange and
+// queue endpoint requires "Authorization: Bearer <token>"; workers pass the
+// same value via guoq/guoqbench -token. /healthz stays open.
 //
 // SIGINT/SIGTERM shuts the daemon down gracefully: the listener stops
 // accepting, in-flight requests get up to -grace to finish, and request
@@ -52,6 +56,7 @@ func main() {
 		queue       = flag.String("queue", "bench", "work queue name for -seed-bench")
 		grace       = flag.Duration("grace", 5*time.Second, "drain deadline for in-flight requests on shutdown")
 		quiet       = flag.Bool("quiet", false, "suppress per-request logging")
+		token       = flag.String("token", os.Getenv("GUOQD_TOKEN"), "shared bearer token required on /v1/ endpoints (default $GUOQD_TOKEN; empty = open)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -61,11 +66,14 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "guoqd: ", log.LstdFlags)
-	opts := dist.ServerOptions{LeaseTTL: *leaseTTL, MaxAttempts: *maxAttempts}
+	opts := dist.ServerOptions{LeaseTTL: *leaseTTL, MaxAttempts: *maxAttempts, Token: *token}
 	if !*quiet {
 		opts.Logf = logger.Printf
 	}
 	srv := dist.NewServer(opts)
+	if *token != "" {
+		logger.Printf("token auth enabled on /v1/ endpoints")
+	}
 
 	if *seedBench {
 		// Seed with the suite of the workers' gate set: the Clifford+T set

@@ -37,6 +37,7 @@ import (
 	"github.com/guoq-dev/guoq/internal/circuit"
 	"github.com/guoq-dev/guoq/internal/gate"
 	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/linalg"
 	"github.com/guoq-dev/guoq/internal/opt"
 )
 
@@ -81,14 +82,11 @@ var (
 	CCZ  = gate.NewCCZ
 )
 
-// GateSets lists the supported target gate sets (Table 2 of the paper):
-// "ibmq20", "ibm-eagle", "ionq", "nam", "cliffordt".
+// GateSets lists every addressable target gate set: the paper's five
+// ("ibmq20", "ibm-eagle", "ionq", "nam", "cliffordt", Table 2) followed by
+// the sets added with RegisterGateSet, sorted by name.
 func GateSets() []string {
-	var out []string
-	for _, gs := range gateset.All() {
-		out = append(out, gs.Name)
-	}
-	return out
+	return gateset.Names()
 }
 
 // Translate decomposes a circuit into a target gate set, preserving the
@@ -131,9 +129,15 @@ const (
 
 // Options configures Optimize and Start.
 type Options struct {
-	// GateSet is the target gate set name; the input must already be
-	// native to it (use Translate first). Required.
+	// GateSet is the target gate set name — built-in or registered via
+	// RegisterGateSet; the input must already be native to it (use
+	// Translate first). Required unless Target is set.
 	GateSet string
+	// Target selects the target gate set as either a registered name
+	// (string) or a *GateSet value directly — the latter needs no
+	// registration, so ad-hoc targets stay run-local. Mutually exclusive
+	// with GateSet.
+	Target any
 	// Objective defaults to MinimizeTwoQubit (MinimizeT for cliffordt).
 	// Mutually exclusive with Cost.
 	Objective Objective
@@ -183,6 +187,13 @@ type Options struct {
 	// preserved across migration — adopted solutions carry their own
 	// bounds, which the search keeps charging against Epsilon.
 	Exchanger Exchanger
+	// Transformations extends this run's portfolio with caller-supplied
+	// transformations — rules built with NewRule, synthesizers wrapped
+	// with UseSynthesizer — sampled by the search exactly like the
+	// built-in ones (process-wide registration: RegisterTransformation).
+	// Extensions compose with the default portfolio; they never replace
+	// it. Empty leaves the portfolio exactly as in previous releases.
+	Transformations []Transformation
 }
 
 // Exchanger is a shared best-so-far store connecting concurrent searches;
@@ -245,14 +256,12 @@ type Result struct {
 // Validate reports the first configuration error in o, with the silently
 // ignored combinations of older releases now rejected explicitly:
 // PartitionParallel without Parallelism ≥ 2, an Objective set alongside a
-// custom Cost, negative budgets, and unknown gate-set or objective names.
-// Start and Optimize call it after applying defaults; call it directly to
-// fail fast on configuration assembled from user input.
+// custom Cost, negative budgets, unknown gate-set or objective names, and
+// a Target that is neither a known name nor a valid *GateSet. Start and
+// Optimize call it after applying defaults; call it directly to fail fast
+// on configuration assembled from user input.
 func (o Options) Validate() error {
-	if o.GateSet == "" {
-		return fmt.Errorf("guoq: Options.GateSet is required (one of %v)", GateSets())
-	}
-	if _, err := gateset.ByName(o.GateSet); err != nil {
+	if _, err := resolveTarget(o); err != nil {
 		return err
 	}
 	if o.Cost != nil && o.Objective != "" && o.Objective != ObjectiveCustom {
@@ -323,6 +332,16 @@ func Optimize(c *Circuit, o Options) (*Circuit, *Result, error) {
 		return nil, nil, err
 	}
 	return s.Wait()
+}
+
+// Distance returns the Hilbert–Schmidt distance (Def. 3.2) between two
+// circuits' unitaries — the metric of the ε guarantee, and the one the
+// framework uses to verify Synthesizer proposals. A Synthesizer
+// implementation reports Distance(sub, replacement) as its consumed ε.
+// Both circuits must act on the same number of qubits; the cost is
+// exponential in it (fine for the ≤ 3-qubit subcircuits synthesizers see).
+func Distance(a, b *Circuit) float64 {
+	return linalg.HSDistance(a.Unitary(), b.Unitary())
 }
 
 // EstimateFidelity returns the estimated success probability of a circuit

@@ -39,6 +39,12 @@ type GUOQ struct {
 	// MaxIters bounds search iterations (0 = unlimited): with a synchronous
 	// single worker and no deadline it makes a run bit-reproducible.
 	MaxIters int
+	// Registry, when set, supplies the transformation portfolio the search
+	// samples from in place of the default instantiation — the extension
+	// point behind the public API's custom rules, synthesizers, and gate
+	// sets. Nil selects opt.DefaultRegistry(), whose build is identical to
+	// the historical hardcoded construction (seeded runs unchanged).
+	Registry *opt.Registry
 	// OnEvent, when set, receives opt.Event progress reports from the
 	// search (improvements, heartbeats, and a final event per worker); the
 	// hook behind the public Session's Events stream. Must be safe for
@@ -139,7 +145,11 @@ func (g *GUOQ) OptimizeStatsContext(ctx context.Context, c *circuit.Circuit, gs 
 	// QUESO's rule compositions subsume rotation merging; our smaller
 	// hand-built libraries express that capability as the phase-folding
 	// τ_0, included for every gate set (DESIGN.md §3 and §5).
-	ts, err := opt.Instantiate(gs, opt.InstantiateOptions{
+	reg := g.Registry
+	if reg == nil {
+		reg = opt.DefaultRegistry()
+	}
+	ts, err := reg.Build(gs, opt.InstantiateOptions{
 		EpsilonF:      g.Epsilon,
 		MaxQubits:     3,
 		SynthTime:     synthTime,

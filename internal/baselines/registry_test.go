@@ -1,0 +1,40 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/opt"
+)
+
+// TestGUOQRegistryDefaultBitIdentical pins the satellite invariant of the
+// registry refactor at the runner level: a seeded synchronous run with the
+// implicit default registry (Registry nil) is bit-identical to one with
+// the registry spelled out explicitly — i.e. the registry-driven path
+// reproduces the pre-refactor hardcoded construction exactly.
+func TestGUOQRegistryDefaultBitIdentical(t *testing.T) {
+	gs := gateset.Nam
+	c := circuit.Random(4, 40, gs.Gates, rand.New(rand.NewSource(21)))
+	cost := opt.TwoQubitCost()
+
+	run := func(reg *opt.Registry) *circuit.Circuit {
+		g := &GUOQ{Tool: "guoq", Mode: ModeFull, Epsilon: 1e-8, MaxIters: 300, Registry: reg}
+		out, _ := g.OptimizeStats(c, gs, cost, 10*time.Second, 33)
+		return out
+	}
+	implicit := run(nil)
+	explicit := run(opt.DefaultRegistry())
+	if !circuit.Equal(implicit, explicit) {
+		t.Fatalf("seeded outputs diverge: implicit default registry %d gates, explicit %d gates",
+			implicit.Len(), explicit.Len())
+	}
+	// And a registry with an extra no-op-free provider yields a still-valid
+	// (never-worse) result through the same runner.
+	extended := run(opt.DefaultRegistry().With(opt.Static()))
+	if !circuit.Equal(implicit, extended) {
+		t.Fatal("empty extension provider changed the seeded output")
+	}
+}

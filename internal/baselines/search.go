@@ -18,6 +18,10 @@ import (
 type BeamSearch struct {
 	Tool  string
 	Width int
+	// Registry, when set, supplies the transformation portfolio (only its
+	// fast entries are used — the proxy is rewrite-only); nil selects
+	// opt.DefaultRegistry().
+	Registry *opt.Registry
 }
 
 // NewQUESO mirrors QUESO's MaxBeam instantiation.
@@ -37,7 +41,11 @@ func (b *BeamSearch) Optimize(c *circuit.Circuit, gs *gateset.GateSet, cost opt.
 // OptimizeContext implements ContextOptimizer: the beam loop returns its
 // best-so-far at the first cancelled dequeue.
 func (b *BeamSearch) OptimizeContext(ctx context.Context, c *circuit.Circuit, gs *gateset.GateSet, cost opt.Cost, budget time.Duration, seed int64) *circuit.Circuit {
-	ts, err := opt.Instantiate(gs, opt.InstantiateOptions{EpsilonF: 1e-8})
+	reg := b.Registry
+	if reg == nil {
+		reg = opt.DefaultRegistry()
+	}
+	ts, err := reg.Build(gs, opt.InstantiateOptions{EpsilonF: 1e-8})
 	if err != nil {
 		return c
 	}

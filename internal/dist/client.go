@@ -52,6 +52,10 @@ type Client struct {
 	// WAN should see. 0 means the 100 ms default; negative disables
 	// throttling (tests).
 	MinInterval time.Duration
+	// Token, when non-empty, is sent as "Authorization: Bearer <token>"
+	// with every request — the shared secret of a coordinator started with
+	// -token (ServerOptions.Token). Set it before the first request.
+	Token string
 	// Context, when set, is the base context every HTTP request derives
 	// from: cancelling it aborts in-flight exchanges, leases, and
 	// completion reports, and makes JobSource.LeaseNext stop polling. The
@@ -110,6 +114,13 @@ func (c *Client) Stats() ClientStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// authorize attaches the shared bearer token when one is configured.
+func (c *Client) authorize(req *http.Request) {
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
 }
 
 // ctx returns the client's base request context.
@@ -230,6 +241,7 @@ func (c *Client) Queue(queue string) (QueueStatus, error) {
 	if err != nil {
 		return st, err
 	}
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return st, err
@@ -251,6 +263,7 @@ func (c *Client) post(path string, req, into any) error {
 		return err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	c.authorize(hreq)
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		return err

@@ -8,11 +8,16 @@ import (
 // fakeClock is a manually advanced clock for session-GC tests.
 type fakeClock struct{ t time.Time }
 
-func (f *fakeClock) Now() time.Time                { return f.t }
-func (f *fakeClock) Advance(d time.Duration)       { f.t = f.t.Add(d) }
-func newFakeClock() *fakeClock                     { return &fakeClock{t: time.Unix(1_000_000, 0)} }
-func (s *Server) sessionCount() int                { s.mu.Lock(); defer s.mu.Unlock(); return len(s.sessions) }
-func (s *Server) hasSession(id string) bool        { s.mu.Lock(); defer s.mu.Unlock(); _, ok := s.sessions[id]; return ok }
+func (f *fakeClock) Now() time.Time          { return f.t }
+func (f *fakeClock) Advance(d time.Duration) { f.t = f.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func (s *Server) sessionCount() int          { s.mu.Lock(); defer s.mu.Unlock(); return len(s.sessions) }
+func (s *Server) hasSession(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sessions[id]
+	return ok
+}
 
 // TestSessionGCExpiresIdleSessions pins the TTL contract: sessions idle
 // past SessionTTL are collected on the next access, active sessions are

@@ -2,10 +2,12 @@ package dist
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
@@ -31,6 +33,13 @@ type ServerOptions struct {
 	// MaxAttempts is how many times a job is handed out before it is
 	// marked failed (default 3).
 	MaxAttempts int
+	// Token, when non-empty, requires every /v1/ request (exchange and
+	// queue endpoints alike) to carry "Authorization: Bearer <token>";
+	// requests without it get 401. /healthz stays open so load balancers
+	// and Dial's reachability probe keep working. The comparison is
+	// constant-time. Empty leaves the coordinator open (trusted networks,
+	// tests).
+	Token string
 	// Logf, when set, receives one line per state-changing request.
 	Logf func(format string, args ...any)
 }
@@ -191,7 +200,26 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	return s.withAuth(mux)
+}
+
+// withAuth gates the API surface behind the shared token when one is
+// configured; /healthz (everything outside /v1/) stays open.
+func (s *Server) withAuth(next http.Handler) http.Handler {
+	if s.opts.Token == "" {
+		return next
+	}
+	want := []byte(s.opts.Token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if !ok || subtle.ConstantTimeCompare([]byte(got), want) != 1 {
+				httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // ListenAndServe runs the coordinator on addr until the listener fails.

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
 )
 
 // FidelityModel estimates circuit success probability as the product of
@@ -22,6 +23,9 @@ type FidelityModel struct {
 	// PerQubitSpread adds deterministic per-qubit variation of ±spread
 	// (relative), emulating the non-uniformity of real calibration data.
 	PerQubitSpread float64
+	// GateErrors overrides the error rate per gate name exactly (no
+	// per-qubit spread), for custom gate sets with calibrated weights.
+	GateErrors map[gate.Name]float64
 }
 
 // Device models with published error-rate magnitudes.
@@ -43,18 +47,43 @@ var (
 	}
 )
 
-// ModelFor returns the fidelity model the paper pairs with each gate set.
+// ModelFor returns the fidelity model paired with a gate set: the paper's
+// device model for the built-ins (IBM Washington, IonQ Forte for ionq),
+// the same architecture-matched base for custom sets — overridden by the
+// set's own weights (GateErrors, OneQubitError, TwoQubitError) when given.
 func ModelFor(gs *GateSet) FidelityModel {
-	if gs.Name == IonQ.Name {
-		return IonQForte
+	base := IBMWashington
+	if gs.Name == IonQ.Name || gs.Architecture == IonQ.Architecture {
+		base = IonQForte
 	}
-	return IBMWashington
+	if gs.GateErrors == nil && gs.OneQubitError == 0 && gs.TwoQubitError == 0 {
+		return base
+	}
+	m := base
+	m.Name = gs.Name
+	// Custom weights are calibration data, not magnitudes to emulate around:
+	// drop the synthetic per-qubit spread so the model is exactly what the
+	// caller specified.
+	m.PerQubitSpread = 0
+	if gs.OneQubitError > 0 {
+		m.OneQubitError = gs.OneQubitError
+	}
+	if gs.TwoQubitError > 0 {
+		m.TwoQubitError = gs.TwoQubitError
+	}
+	if gs.GateErrors != nil {
+		m.GateErrors = gs.GateErrors
+	}
+	return m
 }
 
 // gateError returns the error rate for a gate acting on the given qubits.
 // The per-qubit spread is a deterministic pseudo-random factor so that the
 // same device model always yields the same calibration table.
-func (m FidelityModel) gateError(qubits []int, arity int) float64 {
+func (m FidelityModel) gateError(name gate.Name, qubits []int, arity int) float64 {
+	if e, ok := m.GateErrors[name]; ok {
+		return e
+	}
 	base := m.OneQubitError
 	if arity >= 2 {
 		base = m.TwoQubitError
@@ -76,7 +105,7 @@ func (m FidelityModel) CircuitFidelity(c *circuit.Circuit) float64 {
 	// Accumulate in log space for numerical stability on 10⁵-gate circuits.
 	var logF float64
 	for _, g := range c.Gates {
-		logF += math.Log1p(-m.gateError(g.Qubits, len(g.Qubits)))
+		logF += math.Log1p(-m.gateError(g.Name, g.Qubits, len(g.Qubits)))
 	}
 	return math.Exp(logF)
 }
@@ -86,7 +115,7 @@ func (m FidelityModel) CircuitFidelity(c *circuit.Circuit) float64 {
 func (m FidelityModel) LogFidelity(c *circuit.Circuit) float64 {
 	var logF float64
 	for _, g := range c.Gates {
-		logF += math.Log1p(-m.gateError(g.Qubits, len(g.Qubits)))
+		logF += math.Log1p(-m.gateError(g.Name, g.Qubits, len(g.Qubits)))
 	}
 	return logF
 }

@@ -1,0 +1,255 @@
+package gateset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/linalg"
+)
+
+func TestRegisterAndLookup(t *testing.T) {
+	gs, err := New("reg-cz", "superconducting", gate.Rz, gate.SX, gate.X, gate.CZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(gs); err != nil {
+		t.Fatal(err)
+	}
+	defer Unregister("reg-cz")
+	got, err := ByName("reg-cz")
+	if err != nil || got != gs {
+		t.Fatalf("ByName returned %v, %v", got, err)
+	}
+	if gs.Builtin() {
+		t.Fatal("registered set reports builtin")
+	}
+	// Re-registering the same pointer is a no-op; a different set under the
+	// same name is rejected.
+	if err := Register(gs); err != nil {
+		t.Fatalf("idempotent re-register failed: %v", err)
+	}
+	other, _ := New("reg-cz", "", gate.H, gate.CX)
+	if err := Register(other); err == nil {
+		t.Fatal("conflicting registration accepted")
+	}
+	// Built-in names cannot be shadowed.
+	shadow, _ := New("nam", "", gate.H, gate.CX)
+	if err := Register(shadow); err == nil {
+		t.Fatal("built-in shadowing accepted")
+	}
+	names := Names()
+	found := false
+	for _, n := range names {
+		found = found || n == "reg-cz"
+	}
+	if !found {
+		t.Fatalf("Names() = %v misses the registered set", names)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New("", "", gate.H); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := New("x", ""); err == nil {
+		t.Fatal("empty basis accepted")
+	}
+	if _, err := New("x", "", gate.Name("frobnicate")); err == nil {
+		t.Fatal("unknown gate accepted")
+	}
+}
+
+// TestRegistryConcurrent exercises the registry under the race detector
+// (CI runs this package with -race).
+func TestRegistryConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("race-%d", i)
+			gs, err := New(name, "", gate.Rz, gate.H, gate.X, gate.CX)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := Register(gs); err != nil {
+				t.Error(err)
+			}
+			for j := 0; j < 50; j++ {
+				if _, err := ByName(name); err != nil {
+					t.Error(err)
+				}
+				Names()
+			}
+			Unregister(name)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestTranslateCustomSets: the generic capability-based lowerings must
+// preserve the unitary and land inside the basis for a spectrum of custom
+// targets — CZ entangler, rz+ry Euler, rz+rx Euler, u3, and a Clifford+T
+// vocabulary over CZ.
+func TestTranslateCustomSets(t *testing.T) {
+	targets := []struct {
+		name  string
+		gates []gate.Name
+	}{
+		{"t-cz-sx", []gate.Name{gate.Rz, gate.SX, gate.X, gate.CZ}},
+		{"t-zyz", []gate.Name{gate.Rz, gate.Ry, gate.CX}},
+		{"t-zxz", []gate.Name{gate.Rz, gate.Rx, gate.CZ}},
+		{"t-u3", []gate.Name{gate.U1, gate.U2, gate.U3, gate.CZ}},
+		{"t-rzh", []gate.Name{gate.Rz, gate.H, gate.CX}},
+	}
+	src := circuit.New(3)
+	src.Append(
+		gate.NewH(0), gate.NewT(1), gate.NewSdg(2),
+		gate.NewCX(0, 1), gate.NewCZ(1, 2), gate.NewSwap(0, 2),
+		gate.NewRx(0.3, 0), gate.NewRy(-1.2, 1), gate.NewRz(2.1, 2),
+		gate.NewU3(0.5, 0.25, -0.75, 0), gate.NewCCX(0, 1, 2),
+		gate.NewRzz(0.8, 0, 1), gate.NewCP(0.4, 1, 2),
+	)
+	want := src.Unitary()
+	for _, target := range targets {
+		gs, err := New(target.name, "", target.gates...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Translate(src, gs)
+		if err != nil {
+			t.Fatalf("%s: %v", target.name, err)
+		}
+		if !gs.IsNative(out) {
+			t.Fatalf("%s: translation emitted non-native gates", target.name)
+		}
+		if !linalg.EqualUpToPhase(out.Unitary(), want, 1e-9) {
+			t.Fatalf("%s: translation changed the unitary", target.name)
+		}
+	}
+}
+
+// TestTranslateCliffordTOverCZ: a finite vocabulary with a CZ entangler
+// uses the π/4-exact paths; continuously-parameterized input gates with
+// non-π/4 angles are correctly rejected.
+func TestTranslateCliffordTOverCZ(t *testing.T) {
+	gs, err := New("t-ct-cz", "fault tolerant",
+		gate.H, gate.S, gate.Sdg, gate.T, gate.Tdg, gate.X, gate.CZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := circuit.New(2)
+	src.Append(gate.NewH(0), gate.NewT(0), gate.NewCX(0, 1), gate.NewRz(math.Pi/4, 1))
+	out, err := Translate(src, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gs.IsNative(out) {
+		t.Fatal("non-native output")
+	}
+	if !linalg.EqualUpToPhase(out.Unitary(), src.Unitary(), 1e-9) {
+		t.Fatal("unitary changed")
+	}
+	bad := circuit.New(1)
+	bad.Append(gate.NewRz(0.3, 0))
+	if _, err := Translate(bad, gs); err == nil {
+		t.Fatal("non-π/4 rotation accepted by a finite set")
+	}
+}
+
+// TestDecomposeHook: a custom hook overrides lowering and is recursively
+// translated; hooks that re-emit their own gate are rejected.
+func TestDecomposeHook(t *testing.T) {
+	gs, err := New("t-hook", "", gate.Rz, gate.Ry, gate.CX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hookHits := 0
+	gs.Decompose = func(g gate.Gate) ([]gate.Gate, bool) {
+		if g.Name != gate.Swap {
+			return nil, false
+		}
+		hookHits++
+		a, b := g.Qubits[0], g.Qubits[1]
+		return []gate.Gate{gate.NewCX(a, b), gate.NewCX(b, a), gate.NewCX(a, b)}, true
+	}
+	src := circuit.New(2)
+	src.Append(gate.NewSwap(0, 1), gate.NewH(0))
+	out, err := Translate(src, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hookHits != 1 {
+		t.Fatalf("hook hit %d times, want 1", hookHits)
+	}
+	if !gs.IsNative(out) || !linalg.EqualUpToPhase(out.Unitary(), src.Unitary(), 1e-9) {
+		t.Fatal("hook-based translation broken")
+	}
+
+	gs.Decompose = func(g gate.Gate) ([]gate.Gate, bool) {
+		return []gate.Gate{g.Clone()}, true // cyclic: re-emits itself
+	}
+	if _, err := Translate(src, gs); err == nil {
+		t.Fatal("self-emitting hook accepted")
+	}
+}
+
+// TestModelForCustomWeights: custom error weights flow into the fidelity
+// model; built-ins keep the paper's device models untouched.
+func TestModelForCustomWeights(t *testing.T) {
+	if m := ModelFor(Nam); m.Name != IBMWashington.Name || m.TwoQubitError != IBMWashington.TwoQubitError || m.GateErrors != nil {
+		t.Fatal("builtin nam model changed")
+	}
+	if m := ModelFor(IonQ); m.Name != IonQForte.Name {
+		t.Fatal("builtin ionq model changed")
+	}
+	gs, err := New("t-weights", "superconducting", gate.Rz, gate.SX, gate.X, gate.CZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs.TwoQubitError = 0.5
+	gs.GateErrors = map[gate.Name]float64{gate.SX: 0.25}
+	m := ModelFor(gs)
+	if m.Name != "t-weights" {
+		t.Fatalf("model name %q", m.Name)
+	}
+	c := circuit.New(2)
+	c.Append(gate.NewCZ(0, 1))
+	if f := m.CircuitFidelity(c); f != 0.5 {
+		t.Fatalf("cz fidelity %g, want 0.5 (custom two-qubit error)", f)
+	}
+	c2 := circuit.New(1)
+	c2.Append(gate.NewSX(0))
+	if f := m.CircuitFidelity(c2); f != 0.75 {
+		t.Fatalf("sx fidelity %g, want 0.75 (per-gate override, no spread)", f)
+	}
+}
+
+// TestTranslateCustomFuzz: random circuits through a custom CZ set keep
+// their unitary (the generic lowering composed with multi-qubit chains).
+func TestTranslateCustomFuzz(t *testing.T) {
+	gs, err := New("t-fuzz-cz", "", gate.Rz, gate.SX, gate.X, gate.CZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		src := circuit.Random(3, 20, circuit.DefaultTestVocab, rng)
+		out, err := Translate(src, gs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gs.IsNative(out) {
+			t.Fatal("non-native output")
+		}
+		if !linalg.EqualUpToPhase(out.Unitary(), src.Unitary(), 1e-8) {
+			t.Fatalf("trial %d: unitary drifted", trial)
+		}
+	}
+}

@@ -13,18 +13,26 @@ import (
 // unitary up to global phase. This is the "input circuit is already
 // decomposed into the target gate set" preprocessing of §6.
 //
-// The pipeline first lowers multi-qubit gates to {1q, CX} (plus Rzz for
-// ionq), then lowers single-qubit gates per target, and finally lowers CX
-// itself for sets without a native CX (ionq).
+// The pipeline first consults the set's Decompose hook (custom sets), then
+// lowers multi-qubit gates to {1q, CX} (plus Rzz for ionq), then lowers
+// single-qubit gates per target — by the curated per-set paths for the
+// built-ins, by basis-capability detection for registered custom sets —
+// and finally lowers CX itself for sets without a native CX (ionq, or any
+// custom set with a CZ- or Rxx-style entangler).
 func Translate(c *circuit.Circuit, gs *GateSet) (*circuit.Circuit, error) {
 	out := circuit.New(c.NumQubits)
 	for _, g := range c.Gates {
-		if err := translateGate(g, gs, out); err != nil {
+		if err := translateGate(g, gs, out, 0); err != nil {
 			return nil, fmt.Errorf("gateset: translate %v to %s: %w", g, gs.Name, err)
 		}
 	}
 	return out, nil
 }
+
+// maxLowerDepth bounds recursive lowering so a miswritten Decompose hook
+// (one that cycles through non-native forms) errors instead of recursing
+// forever. Built-in chains are ≤ 4 deep; 32 leaves custom hooks room.
+const maxLowerDepth = 32
 
 // MustTranslate is Translate for callers with statically valid input (e.g.
 // the benchmark generators); it panics on error.
@@ -36,7 +44,10 @@ func MustTranslate(c *circuit.Circuit, gs *GateSet) *circuit.Circuit {
 	return out
 }
 
-func translateGate(g gate.Gate, gs *GateSet, out *circuit.Circuit) error {
+func translateGate(g gate.Gate, gs *GateSet, out *circuit.Circuit, depth int) error {
+	if depth > maxLowerDepth {
+		return fmt.Errorf("lowering of %s exceeds depth %d (cyclic Decompose hook?)", g.Name, maxLowerDepth)
+	}
 	if g.Name == gate.I || g.IsIdentityAngle(1e-12) {
 		return nil
 	}
@@ -44,72 +55,80 @@ func translateGate(g gate.Gate, gs *GateSet, out *circuit.Circuit) error {
 		out.Append(g.Clone())
 		return nil
 	}
+	// Custom sets lower through their Decompose hook first, so a registered
+	// target can override any built-in path; falling through (ok = false)
+	// keeps the built-in lowerings as the backstop.
+	if gs.Decompose != nil {
+		if seq, ok := gs.Decompose(g); ok {
+			for _, sub := range seq {
+				if sub.Name == g.Name {
+					return fmt.Errorf("decompose hook for %s re-emits the gate", g.Name)
+				}
+			}
+			return translateAll(gs, out, depth+1, seq...)
+		}
+	}
 	switch g.Name {
 	// --- multi-qubit lowering to {1q, cx} ---
 	case gate.CCX:
 		a, b, t := g.Qubits[0], g.Qubits[1], g.Qubits[2]
-		for _, sub := range ccxSeq(a, b, t) {
-			if err := translateGate(sub, gs, out); err != nil {
-				return err
-			}
-		}
-		return nil
+		return translateAll(gs, out, depth+1, ccxSeq(a, b, t)...)
 	case gate.CCZ:
 		a, b, t := g.Qubits[0], g.Qubits[1], g.Qubits[2]
 		seq := []gate.Gate{gate.NewH(t)}
 		seq = append(seq, ccxSeq(a, b, t)...)
 		seq = append(seq, gate.NewH(t))
-		for _, sub := range seq {
-			if err := translateGate(sub, gs, out); err != nil {
-				return err
-			}
-		}
-		return nil
+		return translateAll(gs, out, depth+1, seq...)
 	case gate.CZ:
 		c, t := g.Qubits[0], g.Qubits[1]
-		return translateAll(gs, out,
+		return translateAll(gs, out, depth+1,
 			gate.NewH(t), gate.NewCX(c, t), gate.NewH(t))
 	case gate.Swap:
 		a, b := g.Qubits[0], g.Qubits[1]
-		return translateAll(gs, out,
+		return translateAll(gs, out, depth+1,
 			gate.NewCX(a, b), gate.NewCX(b, a), gate.NewCX(a, b))
 	case gate.CP:
 		c, t := g.Qubits[0], g.Qubits[1]
 		th := g.Params[0]
-		return translateAll(gs, out,
+		return translateAll(gs, out, depth+1,
 			gate.NewRz(th/2, c), gate.NewCX(c, t),
 			gate.NewRz(-th/2, t), gate.NewCX(c, t), gate.NewRz(th/2, t))
 	case gate.Rzz:
 		a, b := g.Qubits[0], g.Qubits[1]
-		if gs.Name == IonQ.Name {
+		if gs.Contains(gate.Rxx) && !gs.Contains(gate.CX) {
 			// ZZ = (H-like basis change) of XX: Rzz = (Ry(-π/2)⊗Ry(-π/2))·
 			// Rxx·(Ry(π/2)⊗Ry(π/2)) since Z = Ry(-π/2)·X·Ry(π/2).
-			return translateAll(gs, out,
+			return translateAll(gs, out, depth+1,
 				gate.NewRy(math.Pi/2, a), gate.NewRy(math.Pi/2, b),
 				gate.NewRxx(g.Params[0], a, b),
 				gate.NewRy(-math.Pi/2, a), gate.NewRy(-math.Pi/2, b))
 		}
-		return translateAll(gs, out,
+		return translateAll(gs, out, depth+1,
 			gate.NewCX(a, b), gate.NewRz(g.Params[0], b), gate.NewCX(a, b))
 	case gate.Rxx:
 		a, b := g.Qubits[0], g.Qubits[1]
-		return translateAll(gs, out,
+		return translateAll(gs, out, depth+1,
 			gate.NewH(a), gate.NewH(b),
 			gate.NewRzz(g.Params[0], a, b),
 			gate.NewH(a), gate.NewH(b))
 	case gate.CX:
-		// Only ionq lacks a native CX. Maslov-style decomposition into a
-		// single Rxx(π/2) plus single-qubit rotations; verified in tests.
+		// Sets without a native CX synthesize it from their entangler:
+		// Maslov-style from Rxx (ionq and ion-trap-like custom sets), or
+		// H-conjugated CZ for CZ-based superconducting sets.
 		c, t := g.Qubits[0], g.Qubits[1]
-		if gs.Name != IonQ.Name {
-			return fmt.Errorf("no cx lowering for gate set %s", gs.Name)
+		switch {
+		case gs.Contains(gate.Rxx):
+			return translateAll(gs, out, depth+1,
+				gate.NewRy(math.Pi/2, c),
+				gate.NewRxx(math.Pi/2, c, t),
+				gate.NewRx(-math.Pi/2, c),
+				gate.NewRx(-math.Pi/2, t),
+				gate.NewRy(-math.Pi/2, c))
+		case gs.Contains(gate.CZ):
+			return translateAll(gs, out, depth+1,
+				gate.NewH(t), gate.NewCZ(c, t), gate.NewH(t))
 		}
-		return translateAll(gs, out,
-			gate.NewRy(math.Pi/2, c),
-			gate.NewRxx(math.Pi/2, c, t),
-			gate.NewRx(-math.Pi/2, c),
-			gate.NewRx(-math.Pi/2, t),
-			gate.NewRy(-math.Pi/2, c))
+		return fmt.Errorf("no cx lowering for gate set %s", gs.Name)
 	}
 
 	if len(g.Qubits) != 1 {
@@ -118,9 +137,9 @@ func translateGate(g gate.Gate, gs *GateSet, out *circuit.Circuit) error {
 	return translate1Q(g, gs, out)
 }
 
-func translateAll(gs *GateSet, out *circuit.Circuit, seq ...gate.Gate) error {
+func translateAll(gs *GateSet, out *circuit.Circuit, depth int, seq ...gate.Gate) error {
 	for _, g := range seq {
-		if err := translateGate(g, gs, out); err != nil {
+		if err := translateGate(g, gs, out, depth); err != nil {
 			return err
 		}
 	}
@@ -271,7 +290,141 @@ func translate1Q(g gate.Gate, gs *GateSet, out *circuit.Circuit) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("unknown target gate set %s", gs.Name)
+	return translate1QGeneric(g, gs, out)
+}
+
+// translate1QGeneric lowers a single-qubit gate into a custom (registered)
+// gate set by basis-capability detection, mirroring the curated per-set
+// strategies: any universal continuous 1q basis we know an Euler-style
+// factorization for, or the Clifford+T vocabulary for finite sets. Sets
+// with none of these capabilities must supply a Decompose hook.
+func translate1QGeneric(g gate.Gate, gs *GateSet, out *circuit.Circuit) error {
+	q := g.Qubits[0]
+	u := gate.Matrix(g)
+
+	// Phase-only gates collapse to a single native z-rotation when the set
+	// has one, regardless of the general strategy below.
+	hasRz, hasU1 := gs.Contains(gate.Rz), gs.Contains(gate.U1)
+	emitZ := func(theta float64) {
+		theta = linalg.NormAngle(theta)
+		if math.Abs(theta) <= 1e-12 {
+			return
+		}
+		if hasRz {
+			out.Append(gate.NewRz(theta, q))
+		} else {
+			out.Append(gate.NewU1(theta, q))
+		}
+	}
+
+	switch {
+	case gs.Contains(gate.U3):
+		th, ph, la, _ := linalg.U3Angles(u)
+		if th <= 1e-12 && (hasRz || hasU1) {
+			emitZ(ph + la)
+			return nil
+		}
+		out.Append(gate.NewU3(th, ph, la, q))
+		return nil
+
+	case (hasRz || hasU1) && gs.Contains(gate.SX):
+		// ZSXZSXZ: U3(θ,φ,λ) ~ Rz(φ+π)·SX·Rz(θ+π)·SX·Rz(λ).
+		th, ph, la, _ := linalg.U3Angles(u)
+		if th <= 1e-12 {
+			emitZ(ph + la)
+			return nil
+		}
+		emitZ(la)
+		out.Append(gate.NewSX(q))
+		emitZ(th + math.Pi)
+		out.Append(gate.NewSX(q))
+		emitZ(ph + math.Pi)
+		return nil
+
+	case (hasRz || hasU1) && gs.Contains(gate.Ry):
+		// ZYZ Euler: U ~ Rz(φ)·Ry(θ)·Rz(λ).
+		th, ph, la, _ := linalg.EulerZYZ(u)
+		emitZ(la)
+		if math.Abs(th) > 1e-12 {
+			out.Append(gate.NewRy(th, q))
+		}
+		emitZ(ph)
+		return nil
+
+	case (hasRz || hasU1) && gs.Contains(gate.Rx):
+		// ZXZ via Ry(θ) = Rz(π/2)·Rx(θ)·Rz(−π/2), folded into the ZYZ
+		// z-rotations: U ~ Rz(φ+π/2)·Rx(θ)·Rz(λ−π/2).
+		th, ph, la, _ := linalg.EulerZYZ(u)
+		if math.Abs(th) <= 1e-12 {
+			emitZ(ph + la)
+			return nil
+		}
+		emitZ(la - math.Pi/2)
+		out.Append(gate.NewRx(th, q))
+		emitZ(ph + math.Pi/2)
+		return nil
+
+	case (hasRz || hasU1) && gs.Contains(gate.H):
+		// Nam-style: Ry(θ) = Rz(π/2)·H·Rz(θ)·H·Rz(−π/2) folded into ZYZ.
+		th, ph, la, _ := linalg.EulerZYZ(u)
+		if math.Abs(th) <= 1e-12 {
+			emitZ(ph + la)
+			return nil
+		}
+		emitZ(la - math.Pi/2)
+		out.Append(gate.NewH(q))
+		emitZ(th)
+		out.Append(gate.NewH(q))
+		emitZ(ph + math.Pi/2)
+		return nil
+
+	case gs.Contains(gate.H) && gs.Contains(gate.S) && gs.Contains(gate.Sdg) &&
+		gs.Contains(gate.T) && gs.Contains(gate.Tdg):
+		// Clifford+T-style finite vocabulary over a custom basis (e.g. a
+		// CZ-entangler fault-tolerant set): reuse the exact π/4-phase paths.
+		return translate1QCliffordT(g, gs, out)
+	}
+	return fmt.Errorf("no single-qubit lowering for gate set %s (no known 1q basis; set a Decompose hook)", gs.Name)
+}
+
+// translate1QCliffordT lowers a single-qubit gate over the {H,S,S†,T,T†}
+// vocabulary (plus X when present), shared by the built-in cliffordt path's
+// strategy; exact only for π/4-multiple rotations.
+func translate1QCliffordT(g gate.Gate, gs *GateSet, out *circuit.Circuit) error {
+	q := g.Qubits[0]
+	switch g.Name {
+	case gate.Z:
+		out.Append(gate.NewS(q), gate.NewS(q))
+	case gate.Y:
+		if !gs.Contains(gate.X) {
+			return fmt.Errorf("gate y needs x in the basis of %s", gs.Name)
+		}
+		out.Append(gate.NewS(q), gate.NewS(q), gate.NewX(q))
+	case gate.X:
+		// X = H·Z·H for sets that dropped X from the basis.
+		out.Append(gate.NewH(q), gate.NewS(q), gate.NewS(q), gate.NewH(q))
+	case gate.SX:
+		out.Append(gate.NewH(q), gate.NewS(q), gate.NewH(q))
+	case gate.SXdg:
+		out.Append(gate.NewH(q), gate.NewSdg(q), gate.NewH(q))
+	case gate.Rz, gate.U1:
+		return appendCliffordTPhase(out, g.Params[0], q)
+	case gate.Rx:
+		out.Append(gate.NewH(q))
+		if err := appendCliffordTPhase(out, g.Params[0], q); err != nil {
+			return err
+		}
+		out.Append(gate.NewH(q))
+	case gate.Ry:
+		out.Append(gate.NewS(q), gate.NewH(q))
+		if err := appendCliffordTPhase(out, g.Params[0], q); err != nil {
+			return err
+		}
+		out.Append(gate.NewH(q), gate.NewSdg(q))
+	default:
+		return fmt.Errorf("gate %s not representable over a Clifford+T basis", g.Name)
+	}
+	return nil
 }
 
 // appendRz appends an rz unless the angle is an identity rotation.

@@ -242,15 +242,33 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		}
 	}
 
+	// applyFlat is the whole-circuit application path, preferring the
+	// cancellation-aware variant when the run has a context so slow calls
+	// abort promptly on cancellation (the ctx checks consume no randomness,
+	// keeping uncancelled runs bit-identical).
+	applyFlat := func(t Transformation, c *circuit.Circuit, allowed float64, r *rand.Rand) (*circuit.Circuit, float64, bool) {
+		if opts.Context != nil {
+			if ca, ok := t.(ContextApplier); ok {
+				return ca.ApplyContext(opts.Context, c, allowed, r)
+			}
+		}
+		return t.Apply(c, allowed, r)
+	}
+
 	// applyAny applies t against the engine — in place when the
 	// transformation supports it, as a whole-circuit transaction otherwise.
 	// On ok the engine holds the candidate and the caller must Commit or
 	// Rollback(0).
 	applyAny := func(t Transformation, allowed float64, r *rand.Rand) (float64, bool) {
+		if opts.Context != nil {
+			if ea, ok := t.(EngineContextApplier); ok {
+				return ea.ApplyEngineContext(opts.Context, eng, allowed, r)
+			}
+		}
 		if ea, ok := t.(EngineApplier); ok {
 			return ea.ApplyEngine(eng, allowed, r)
 		}
-		out, eps, ok := t.Apply(curr, allowed, r)
+		out, eps, ok := applyFlat(t, curr, allowed, r)
 		if !ok {
 			return 0, false
 		}
@@ -371,7 +389,7 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 			if !worker.busy {
 				t := slow[rng.Intn(len(slow))]
 				if currErr+t.Epsilon() <= opts.Epsilon {
-					worker.launch(t, curr.Clone(), currErr, opts.Epsilon-currErr, rng.Int63())
+					worker.launch(opts.Context, t, curr.Clone(), currErr, opts.Epsilon-currErr, rng.Int63())
 				}
 			}
 		}
@@ -432,6 +450,7 @@ type asyncWorker struct {
 }
 
 type asyncJob struct {
+	ctx     context.Context // nil for uncancellable runs
 	t       Transformation
 	c       *circuit.Circuit
 	baseErr float64 // accumulated error of c at launch time
@@ -454,7 +473,19 @@ func newAsyncWorker() *asyncWorker {
 	go func() {
 		for job := range w.in {
 			rng := rand.New(rand.NewSource(job.seed))
-			o, eps, ok := job.t.Apply(job.c, job.allowed, rng)
+			var (
+				o   *circuit.Circuit
+				eps float64
+				ok  bool
+			)
+			// Prefer the cancellation-aware path: stop() then returns as
+			// soon as the synthesizer notices the context, instead of after
+			// a full synthesis deadline.
+			if ca, cok := job.t.(ContextApplier); cok && job.ctx != nil {
+				o, eps, ok = ca.ApplyContext(job.ctx, job.c, job.allowed, rng)
+			} else {
+				o, eps, ok = job.t.Apply(job.c, job.allowed, rng)
+			}
 			w.out <- asyncResult{out: o, baseErr: job.baseErr, eps: eps, ok: ok}
 		}
 	}()
@@ -463,12 +494,12 @@ func newAsyncWorker() *asyncWorker {
 
 // launch starts a job if the worker is idle; otherwise the request is
 // dropped (one in-flight resynthesis at a time).
-func (w *asyncWorker) launch(t Transformation, c *circuit.Circuit, baseErr, allowed float64, seed int64) {
+func (w *asyncWorker) launch(ctx context.Context, t Transformation, c *circuit.Circuit, baseErr, allowed float64, seed int64) {
 	if w.busy {
 		return
 	}
 	w.busy = true
-	w.in <- asyncJob{t: t, c: c, baseErr: baseErr, allowed: allowed, seed: seed}
+	w.in <- asyncJob{ctx: ctx, t: t, c: c, baseErr: baseErr, allowed: allowed, seed: seed}
 }
 
 // poll returns a finished result if one is ready.

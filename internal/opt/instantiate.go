@@ -31,6 +31,12 @@ type InstantiateOptions struct {
 // (§6, "Instantiation of guoq"): the QUESO-style rule library, the cleanup
 // and 1q-fusion τ_0 passes, and a resynthesis τ_ε — numeric (BQSKit-style)
 // for continuous sets, finite-set search (Synthetiq-style) for Clifford+T.
+//
+// Custom (registered) gate sets instantiate too: a set without a
+// registered rule library runs on the τ_0 passes plus resynthesis, and a
+// finite custom set whose basis cannot carry the Clifford+T synthesizer's
+// output skips built-in resynthesis (supply a CircuitSynthesizer through
+// the registry instead).
 func Instantiate(gs *gateset.GateSet, io InstantiateOptions) ([]Transformation, error) {
 	if io.EpsilonF <= 0 {
 		io.EpsilonF = 1e-8
@@ -40,9 +46,12 @@ func Instantiate(gs *gateset.GateSet, io InstantiateOptions) ([]Transformation, 
 	}
 	rules, err := rewrite.RulesFor(gs.Name)
 	if err != nil {
-		return nil, fmt.Errorf("opt: instantiate: %w", err)
+		if gs.Builtin() {
+			return nil, fmt.Errorf("opt: instantiate: %w", err)
+		}
+		rules = nil // custom set without a rule library: τ_0 passes + resynthesis only
 	}
-	ts := []Transformation{&CleanupTransformation{GateSetName: gs.Name}}
+	ts := []Transformation{&CleanupTransformation{GateSetName: gs.Name, GateSet: gs}}
 	for _, r := range rules {
 		ts = append(ts, &RuleTransformation{Rule: r})
 	}
@@ -54,7 +63,7 @@ func Instantiate(gs *gateset.GateSet, io InstantiateOptions) ([]Transformation, 
 			ns.MaxTime = io.SynthTime
 		}
 		syn = ns
-	} else {
+	} else if carriesCliffordT(gs) {
 		fs := finite.New()
 		if io.SynthTime > 0 {
 			fs.MaxTime = io.SynthTime
@@ -62,7 +71,10 @@ func Instantiate(gs *gateset.GateSet, io InstantiateOptions) ([]Transformation, 
 		syn = fs
 	}
 	if io.WithPhaseFold {
-		ts = append(ts, &PhaseFoldTransformation{GateSetName: gs.Name, Fold: phasepoly.FoldChanged})
+		ts = append(ts, &PhaseFoldTransformation{GateSet: gs, Fold: phasepoly.FoldChangedFor})
+	}
+	if syn == nil {
+		return ts, nil
 	}
 	// Resynthesis at three declared ε classes (§4: a set of τ_ε with
 	// different ε). The coarse class admits aggressive approximations while
@@ -77,6 +89,18 @@ func Instantiate(gs *gateset.GateSet, io InstantiateOptions) ([]Transformation, 
 		})
 	}
 	return ts, nil
+}
+
+// carriesCliffordT reports whether the finite synthesizer's output
+// vocabulary ({h, x, s, s†, t, t†, cx}) is native to the set, which is what
+// built-in finite resynthesis needs to splice its results back legally.
+func carriesCliffordT(gs *gateset.GateSet) bool {
+	for _, n := range gateset.CliffordT.Gates {
+		if !gs.Contains(n) {
+			return false
+		}
+	}
+	return true
 }
 
 // FilterFast returns only the ε = 0 fast transformations (GUOQ-REWRITE).

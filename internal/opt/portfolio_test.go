@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -170,7 +171,7 @@ func (s stubSlow) Apply(c *circuit.Circuit, _ float64, _ *rand.Rand) (*circuit.C
 func TestAsyncWorkerCarriesErrorBase(t *testing.T) {
 	w := newAsyncWorker()
 	defer w.stop()
-	w.launch(stubSlow{eps: 0.125}, circuit.New(1), 0.25, 0.5, 1)
+	w.launch(context.Background(), stubSlow{eps: 0.125}, circuit.New(1), 0.25, 0.5, 1)
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		if r, ready := w.poll(); ready {

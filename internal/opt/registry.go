@@ -1,0 +1,77 @@
+package opt
+
+import (
+	"fmt"
+
+	"github.com/guoq-dev/guoq/internal/gateset"
+)
+
+// Provider constructs transformations for a target gate set. The paper's
+// instantiation (Instantiate) is the canonical provider; user extensions —
+// custom rules, external synthesizers — are additional providers appended
+// to a Registry.
+type Provider func(gs *gateset.GateSet, io InstantiateOptions) ([]Transformation, error)
+
+// Static adapts a fixed transformation slice to a Provider (pre-compiled
+// user transformations whose construction already happened upstream).
+func Static(ts ...Transformation) Provider {
+	return func(*gateset.GateSet, InstantiateOptions) ([]Transformation, error) {
+		out := make([]Transformation, len(ts))
+		copy(out, ts)
+		return out, nil
+	}
+}
+
+// Registry is an ordered collection of transformation providers: the
+// portfolio the GUOQ search samples from is whatever the registry builds,
+// making the search transformation-agnostic end to end (the τ_ε framing of
+// §4 — rules and resynthesis are just entries, not special cases). Build
+// order is provider order, which matters for seeded reproducibility: the
+// loop indexes transformations by rng draws, so two runs agree bit-for-bit
+// only when their registries build identical sequences.
+//
+// A Registry is immutable after construction from the search's point of
+// view: With returns extended copies, so a registry shared across
+// concurrent runs is safe without locks.
+type Registry struct {
+	providers []Provider
+}
+
+// NewRegistry builds a registry from providers, in order.
+func NewRegistry(ps ...Provider) *Registry {
+	r := &Registry{providers: make([]Provider, len(ps))}
+	copy(r.providers, ps)
+	return r
+}
+
+// DefaultRegistry returns the registry of the paper's instantiation: the
+// curated rule library, cleanup/fusion/phase-folding τ_0 passes, and the
+// built-in resynthesis τ_ε ladder. Building from it reproduces the
+// pre-registry Instantiate output exactly (same transformations, same
+// order), so seeded runs are bit-identical across the refactor.
+func DefaultRegistry() *Registry {
+	return NewRegistry(Instantiate)
+}
+
+// With returns a new registry with the providers appended after the
+// receiver's; the receiver is unchanged.
+func (r *Registry) With(ps ...Provider) *Registry {
+	out := &Registry{providers: make([]Provider, 0, len(r.providers)+len(ps))}
+	out.providers = append(out.providers, r.providers...)
+	out.providers = append(out.providers, ps...)
+	return out
+}
+
+// Build constructs the transformation set for a gate set by running every
+// provider in order and concatenating the results.
+func (r *Registry) Build(gs *gateset.GateSet, io InstantiateOptions) ([]Transformation, error) {
+	var out []Transformation
+	for i, p := range r.providers {
+		ts, err := p(gs, io)
+		if err != nil {
+			return nil, fmt.Errorf("opt: registry provider %d: %w", i, err)
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}

@@ -5,6 +5,7 @@
 package opt
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/guoq-dev/guoq/internal/circuit"
@@ -48,6 +49,23 @@ type EngineApplier interface {
 	ApplyEngine(e *rewrite.Engine, allowedEps float64, rng *rand.Rand) (eps float64, ok bool)
 }
 
+// ContextApplier is the cancellation-aware path of a Transformation: an
+// application that observes ctx and returns early (ok = false) when it is
+// cancelled, instead of running to its own internal deadline. The search
+// loop uses this path for slow transformations so a cancelled run stops
+// within one optimizer sweep rather than draining a full synthesis
+// deadline. Implementations must consume exactly the same rng stream as
+// Apply — context checks may not draw randomness — so runs that are never
+// cancelled stay bit-identical.
+type ContextApplier interface {
+	ApplyContext(ctx context.Context, c *circuit.Circuit, allowedEps float64, rng *rand.Rand) (out *circuit.Circuit, eps float64, ok bool)
+}
+
+// EngineContextApplier combines the engine fast path with cancellation.
+type EngineContextApplier interface {
+	ApplyEngineContext(ctx context.Context, e *rewrite.Engine, allowedEps float64, rng *rand.Rand) (eps float64, ok bool)
+}
+
 // ---------------------------------------------------------------------------
 
 // RuleTransformation wraps one rewrite rule as a τ_0: a full pass replacing
@@ -82,17 +100,28 @@ func (t *RuleTransformation) ApplyEngine(e *rewrite.Engine, _ float64, rng *rand
 	return 0, n > 0
 }
 
-// CleanupTransformation wraps the normalization pass as a τ_0.
+// CleanupTransformation wraps the normalization pass as a τ_0. GateSet,
+// when non-nil, carries the resolved target so the pass emits natively
+// even for ad-hoc sets that are not name-addressable; GateSetName alone
+// resolves through the registry.
 type CleanupTransformation struct {
 	GateSetName string
+	GateSet     *gateset.GateSet
 }
 
 func (t *CleanupTransformation) Name() string     { return "cleanup" }
 func (t *CleanupTransformation) Epsilon() float64 { return 0 }
 func (t *CleanupTransformation) Slow() bool       { return false }
 
+func (t *CleanupTransformation) cleanup(c *circuit.Circuit) (*circuit.Circuit, int) {
+	if t.GateSet != nil {
+		return rewrite.CleanupChangedFor(c, t.GateSet)
+	}
+	return rewrite.CleanupChanged(c, t.GateSetName)
+}
+
 func (t *CleanupTransformation) Apply(c *circuit.Circuit, _ float64, _ *rand.Rand) (*circuit.Circuit, float64, bool) {
-	out, changed := rewrite.CleanupChanged(c, t.GateSetName)
+	out, changed := t.cleanup(c)
 	if changed == 0 {
 		return c, 0, false
 	}
@@ -102,7 +131,7 @@ func (t *CleanupTransformation) Apply(c *circuit.Circuit, _ float64, _ *rand.Ran
 // ApplyEngine implements EngineApplier: a whole-circuit pass adopted via
 // SetCircuit (full cache invalidation) only when it changed something.
 func (t *CleanupTransformation) ApplyEngine(e *rewrite.Engine, _ float64, _ *rand.Rand) (float64, bool) {
-	out, changed := rewrite.CleanupChanged(e.Circuit(), t.GateSetName)
+	out, changed := t.cleanup(e.Circuit())
 	if changed == 0 {
 		return 0, false
 	}
@@ -140,10 +169,12 @@ func (t *FuseTransformation) ApplyEngine(e *rewrite.Engine, _ float64, _ *rand.R
 // PhaseFoldTransformation wraps global phase folding as a τ_0. It is cheap,
 // exact, and particularly potent on Clifford+T circuits.
 type PhaseFoldTransformation struct {
-	GateSetName string
+	// GateSet is the resolved target whose diagonal vocabulary the fold
+	// emits in.
+	GateSet *gateset.GateSet
 	// Fold runs the pass and reports how many sites it changed; zero means
 	// the output is structurally identical to the input.
-	Fold func(*circuit.Circuit, string) (*circuit.Circuit, int)
+	Fold func(*circuit.Circuit, *gateset.GateSet) (*circuit.Circuit, int)
 }
 
 func (t *PhaseFoldTransformation) Name() string     { return "phasefold" }
@@ -151,7 +182,7 @@ func (t *PhaseFoldTransformation) Epsilon() float64 { return 0 }
 func (t *PhaseFoldTransformation) Slow() bool       { return false }
 
 func (t *PhaseFoldTransformation) Apply(c *circuit.Circuit, _ float64, _ *rand.Rand) (*circuit.Circuit, float64, bool) {
-	out, changed := t.Fold(c, t.GateSetName)
+	out, changed := t.Fold(c, t.GateSet)
 	if changed == 0 {
 		return c, 0, false
 	}
@@ -160,7 +191,7 @@ func (t *PhaseFoldTransformation) Apply(c *circuit.Circuit, _ float64, _ *rand.R
 
 // ApplyEngine implements EngineApplier.
 func (t *PhaseFoldTransformation) ApplyEngine(e *rewrite.Engine, _ float64, _ *rand.Rand) (float64, bool) {
-	out, changed := t.Fold(e.Circuit(), t.GateSetName)
+	out, changed := t.Fold(e.Circuit(), t.GateSet)
 	if changed == 0 {
 		return 0, false
 	}
@@ -188,7 +219,9 @@ func (t *ResynthTransformation) Slow() bool       { return true }
 
 // propose runs the whole resynthesis pipeline short of the final splice:
 // sample a region, synthesize its unitary, and verify the achieved error.
-func (t *ResynthTransformation) propose(c *circuit.Circuit, allowedEps float64, rng *rand.Rand) (*circuit.Region, *circuit.Circuit, float64, bool) {
+// ctx cancels the synthesis call itself (for synthesizers that support it),
+// so a cancelled search stops mid-call instead of draining the deadline.
+func (t *ResynthTransformation) propose(ctx context.Context, c *circuit.Circuit, allowedEps float64, rng *rand.Rand) (*circuit.Region, *circuit.Circuit, float64, bool) {
 	// Sample the region width: 2-qubit regions synthesize in milliseconds
 	// (0..3 CX by the KAK bound), 3-qubit ones are the slow deep calls, so
 	// the mix keeps resynthesis throughput high at compressed budgets while
@@ -210,7 +243,7 @@ func (t *ResynthTransformation) propose(c *circuit.Circuit, allowedEps float64, 
 		return nil, nil, 0, false
 	}
 	target := sub.Unitary()
-	replacement, err := t.Synth.Synthesize(target, sub.NumQubits, eps)
+	replacement, err := synth.SynthesizeContext(ctx, t.Synth, target, sub.NumQubits, eps)
 	if err != nil {
 		return nil, nil, 0, false
 	}
@@ -223,7 +256,13 @@ func (t *ResynthTransformation) propose(c *circuit.Circuit, allowedEps float64, 
 }
 
 func (t *ResynthTransformation) Apply(c *circuit.Circuit, allowedEps float64, rng *rand.Rand) (*circuit.Circuit, float64, bool) {
-	region, replacement, actual, ok := t.propose(c, allowedEps, rng)
+	return t.ApplyContext(context.Background(), c, allowedEps, rng)
+}
+
+// ApplyContext implements ContextApplier: cancelling ctx aborts the
+// in-flight synthesis call.
+func (t *ResynthTransformation) ApplyContext(ctx context.Context, c *circuit.Circuit, allowedEps float64, rng *rand.Rand) (*circuit.Circuit, float64, bool) {
+	region, replacement, actual, ok := t.propose(ctx, c, allowedEps, rng)
 	if !ok {
 		return c, 0, false
 	}
@@ -234,7 +273,134 @@ func (t *ResynthTransformation) Apply(c *circuit.Circuit, allowedEps float64, rn
 // the engine, so the splice is transaction-logged and its halo invalidated
 // like any rewrite — resynthesis moves keep the match caches sound.
 func (t *ResynthTransformation) ApplyEngine(e *rewrite.Engine, allowedEps float64, rng *rand.Rand) (float64, bool) {
-	region, replacement, actual, ok := t.propose(e.Circuit(), allowedEps, rng)
+	return t.ApplyEngineContext(context.Background(), e, allowedEps, rng)
+}
+
+// ApplyEngineContext implements EngineContextApplier.
+func (t *ResynthTransformation) ApplyEngineContext(ctx context.Context, e *rewrite.Engine, allowedEps float64, rng *rand.Rand) (float64, bool) {
+	region, replacement, actual, ok := t.propose(ctx, e.Circuit(), allowedEps, rng)
+	if !ok {
+		return 0, false
+	}
+	e.ReplaceRegion(region, replacement)
+	return actual, true
+}
+
+// ---------------------------------------------------------------------------
+
+// CircuitSynthesizer is the circuit-level slow extension point behind the
+// public API's Synthesizer interface: given an extracted subcircuit and an
+// error allowance, propose a replacement and report the ε it consumed. The
+// framework treats the report as a claim, not a fact — see
+// CircuitResynthTransformation for the verification that makes a
+// user-supplied synthesizer unable to corrupt the Thm 4.2 accounting.
+type CircuitSynthesizer interface {
+	// Name identifies the synthesizer in logs.
+	Name() string
+	// Synthesize proposes a replacement for sub within eps Hilbert–Schmidt
+	// distance, reporting the error it believes it consumed. Returning an
+	// error (synth.ErrNoSolution for "no proposal") keeps the original.
+	Synthesize(ctx context.Context, sub *circuit.Circuit, eps float64) (replacement *circuit.Circuit, consumed float64, err error)
+}
+
+// CircuitResynthTransformation wraps a CircuitSynthesizer as a τ_ε exactly
+// like built-in resynthesis: sample a random convex region, hand the
+// extracted subcircuit to the synthesizer, splice the replacement back.
+//
+// The budget accounting never trusts the synthesizer: the achieved error is
+// re-measured as the Hilbert–Schmidt distance between the region's unitary
+// and the replacement's, and the transformation is rejected outright when
+// either the measured error or the synthesizer's own claim exceeds the
+// allowance (an over-reporting synthesizer cannot be admitted, and an
+// under-reporting one cannot smuggle error past the budget — the charge is
+// the maximum of measurement and claim). Replacements must also preserve
+// qubit count and, when GateSet is set, stay native to it.
+type CircuitResynthTransformation struct {
+	Synth CircuitSynthesizer
+	// MaxQubits limits subcircuit width (3, the paper's instantiation and
+	// the practical bound for the unitary-distance verification).
+	MaxQubits int
+	// DeclaredEps is the per-application error class used for the
+	// admission check of Alg. 1 line 6.
+	DeclaredEps float64
+	// GateSet, when set, rejects replacements with non-native gates, so a
+	// careless synthesizer cannot push the search out of the target set.
+	GateSet *gateset.GateSet
+}
+
+func (t *CircuitResynthTransformation) Name() string     { return "synth:" + t.Synth.Name() }
+func (t *CircuitResynthTransformation) Epsilon() float64 { return t.DeclaredEps }
+func (t *CircuitResynthTransformation) Slow() bool       { return true }
+
+func (t *CircuitResynthTransformation) propose(ctx context.Context, c *circuit.Circuit, allowedEps float64, rng *rand.Rand) (*circuit.Region, *circuit.Circuit, float64, bool) {
+	width := t.MaxQubits
+	if width <= 0 {
+		width = 3
+	}
+	if width >= 3 && rng.Intn(2) == 0 {
+		width = 2
+	}
+	region := circuit.RandomRegion(c, width, 0, rng)
+	if region == nil || len(region.Indices) < 2 {
+		return nil, nil, 0, false
+	}
+	sub := region.Extract(c)
+	eps := t.DeclaredEps
+	if allowedEps < eps {
+		eps = allowedEps
+	}
+	if eps < 0 {
+		return nil, nil, 0, false
+	}
+	replacement, claimed, err := t.Synth.Synthesize(ctx, sub, eps)
+	if err != nil || replacement == nil {
+		return nil, nil, 0, false
+	}
+	if replacement.NumQubits != sub.NumQubits {
+		return nil, nil, 0, false
+	}
+	if t.GateSet != nil && !t.GateSet.IsNative(replacement) {
+		return nil, nil, 0, false
+	}
+	// Budget admission: the claim must fit the allowance (over-reporting is
+	// rejected, not clamped), and so must the independently measured error.
+	if claimed < 0 || claimed > eps {
+		return nil, nil, 0, false
+	}
+	actual := linalg.HSDistance(sub.Unitary(), replacement.Unitary())
+	if actual > eps {
+		return nil, nil, 0, false
+	}
+	// Charge the worse of measurement and claim: sound under Thm 4.2 either
+	// way, and honest synthesizers (claim == achieved bound ≥ actual) keep
+	// their own accounting.
+	if claimed > actual {
+		actual = claimed
+	}
+	return region, replacement, actual, true
+}
+
+func (t *CircuitResynthTransformation) Apply(c *circuit.Circuit, allowedEps float64, rng *rand.Rand) (*circuit.Circuit, float64, bool) {
+	return t.ApplyContext(context.Background(), c, allowedEps, rng)
+}
+
+// ApplyContext implements ContextApplier.
+func (t *CircuitResynthTransformation) ApplyContext(ctx context.Context, c *circuit.Circuit, allowedEps float64, rng *rand.Rand) (*circuit.Circuit, float64, bool) {
+	region, replacement, actual, ok := t.propose(ctx, c, allowedEps, rng)
+	if !ok {
+		return c, 0, false
+	}
+	return region.Replace(c, replacement), actual, true
+}
+
+// ApplyEngine implements EngineApplier.
+func (t *CircuitResynthTransformation) ApplyEngine(e *rewrite.Engine, allowedEps float64, rng *rand.Rand) (float64, bool) {
+	return t.ApplyEngineContext(context.Background(), e, allowedEps, rng)
+}
+
+// ApplyEngineContext implements EngineContextApplier.
+func (t *CircuitResynthTransformation) ApplyEngineContext(ctx context.Context, e *rewrite.Engine, allowedEps float64, rng *rand.Rand) (float64, bool) {
+	region, replacement, actual, ok := t.propose(ctx, e.Circuit(), allowedEps, rng)
 	if !ok {
 		return 0, false
 	}

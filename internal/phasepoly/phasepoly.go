@@ -15,6 +15,7 @@ import (
 
 	"github.com/guoq-dev/guoq/internal/circuit"
 	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/gateset"
 	"github.com/guoq-dev/guoq/internal/linalg"
 )
 
@@ -77,7 +78,9 @@ func zAngleOf(g gate.Gate) (float64, bool) {
 }
 
 // emitPhase renders a z-rotation in the gate set's native diagonal gates.
-func emitPhase(theta float64, q int, gatesetName string) []gate.Gate {
+// gs is the resolved set (nil for unknown names, which keep the historical
+// rz fallback).
+func emitPhase(theta float64, q int, gatesetName string, gs *gateset.GateSet) []gate.Gate {
 	theta = linalg.NormAngle(theta)
 	if math.Abs(theta) < 1e-12 {
 		return nil
@@ -89,19 +92,33 @@ func emitPhase(theta float64, q int, gatesetName string) []gate.Gate {
 		if !linalg.IsMultipleOf(theta, math.Pi/4, 1e-9) {
 			return []gate.Gate{gate.NewRz(theta, q)}
 		}
-		k := int(math.Round(theta/(math.Pi/4))) % 8
-		if k < 0 {
-			k += 8
-		}
-		lad := map[int][]gate.Gate{
-			0: {}, 1: {gate.NewT(q)}, 2: {gate.NewS(q)},
-			3: {gate.NewS(q), gate.NewT(q)}, 4: {gate.NewS(q), gate.NewS(q)},
-			5: {gate.NewSdg(q), gate.NewTdg(q)}, 6: {gate.NewSdg(q)}, 7: {gate.NewTdg(q)},
-		}
-		return lad[k]
+		return phaseLadder(theta, q)
 	default:
-		return []gate.Gate{gate.NewRz(theta, q)}
+		// Custom sets emit whatever diagonal vocabulary they carry; the
+		// capability pre-check in foldChanged guarantees one exists and
+		// that π/4-ladder-only sets never see a non-multiple total.
+		if gs == nil || gs.Contains(gate.Rz) {
+			return []gate.Gate{gate.NewRz(theta, q)}
+		}
+		if gs.Contains(gate.U1) {
+			return []gate.Gate{gate.NewU1(theta, q)}
+		}
+		return phaseLadder(theta, q)
 	}
+}
+
+// phaseLadder writes a π/4-multiple rotation over {S, S†, T, T†}.
+func phaseLadder(theta float64, q int) []gate.Gate {
+	k := int(math.Round(theta/(math.Pi/4))) % 8
+	if k < 0 {
+		k += 8
+	}
+	lad := map[int][]gate.Gate{
+		0: {}, 1: {gate.NewT(q)}, 2: {gate.NewS(q)},
+		3: {gate.NewS(q), gate.NewT(q)}, 4: {gate.NewS(q), gate.NewS(q)},
+		5: {gate.NewSdg(q), gate.NewTdg(q)}, 6: {gate.NewSdg(q)}, 7: {gate.NewTdg(q)},
+	}
+	return lad[k]
 }
 
 // Fold performs one global phase-folding pass, emitting the result in the
@@ -112,12 +129,47 @@ func Fold(c *circuit.Circuit, gatesetName string) *circuit.Circuit {
 	return out
 }
 
+// FoldFor is Fold against a resolved gate set (required for ad-hoc sets
+// that are not name-addressable).
+func FoldFor(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit {
+	out, _ := FoldChangedFor(c, gs)
+	return out
+}
+
 // FoldChanged is Fold plus a change count: the number of phase gates
 // absorbed into a merge site plus the number of merge sites whose
 // re-emitted ladder differs from the original gate. A zero count
 // guarantees the output is structurally identical (circuit.Equal) to the
 // input, so callers can detect no-ops without a deep compare.
 func FoldChanged(c *circuit.Circuit, gatesetName string) (*circuit.Circuit, int) {
+	gs, err := gateset.ByName(gatesetName)
+	if err != nil {
+		gs = nil
+	}
+	return foldChanged(c, gatesetName, gs)
+}
+
+// FoldChangedFor is FoldChanged against a resolved gate set.
+func FoldChangedFor(c *circuit.Circuit, gs *gateset.GateSet) (*circuit.Circuit, int) {
+	return foldChanged(c, gs.Name, gs)
+}
+
+func foldChanged(c *circuit.Circuit, gatesetName string, gs *gateset.GateSet) (*circuit.Circuit, int) {
+	// Capability pre-check for custom sets: without a continuous z-rotation
+	// the merged totals can only be re-emitted over the π/4 ladder, which is
+	// exact only when every absorbed rotation is a π/4 multiple (native
+	// finite circuits always are); a set with no diagonal vocabulary at all
+	// cannot fold.
+	if gs != nil && !gs.Builtin() && !gs.Contains(gate.Rz) && !gs.Contains(gate.U1) {
+		if !(gs.Contains(gate.S) && gs.Contains(gate.Sdg) && gs.Contains(gate.T) && gs.Contains(gate.Tdg)) {
+			return c, 0
+		}
+		for _, g := range c.Gates {
+			if a, ok := zAngleOf(g); ok && !linalg.IsMultipleOf(a, math.Pi/4, 1e-9) {
+				return c, 0
+			}
+		}
+	}
 	n := c.NumQubits
 	words := (n + 63) / 64
 	nextVar := 0
@@ -201,7 +253,7 @@ func FoldChanged(c *circuit.Circuit, gatesetName string) (*circuit.Circuit, int)
 			if b.firstConst {
 				theta = -theta
 			}
-			emitted := emitPhase(theta, b.firstQubit, gatesetName)
+			emitted := emitPhase(theta, b.firstQubit, gatesetName, gs)
 			if !(len(emitted) == 1 && emitted[0].Equal(g)) {
 				changed++
 			}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
 	"github.com/guoq-dev/guoq/internal/gateset"
 )
 
@@ -56,5 +57,40 @@ func TestFuse1QChangedMatchesEqual(t *testing.T) {
 				c = out
 			}
 		}
+	}
+}
+
+// TestCleanupForAdHocFiniteSet pins the regression where the z-phase merge
+// emitted a non-native rz for gate sets that are not name-addressable: an
+// unregistered finite set must get its π/4 ladder (or keep the run) —
+// never a continuous rotation outside its basis.
+func TestCleanupForAdHocFiniteSet(t *testing.T) {
+	gs, err := gateset.New("adhoc-ft-cleanup", "fault tolerant",
+		gate.H, gate.S, gate.Sdg, gate.T, gate.Tdg, gate.X, gate.CZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New(1)
+	c.Append(gate.NewT(0), gate.NewT(0))
+	out, changed := CleanupChangedFor(c, gs)
+	if changed == 0 {
+		t.Fatal("t·t merge not detected")
+	}
+	if !gs.IsNative(out) {
+		t.Fatalf("cleanup emitted non-native gates: %v", out.Gates)
+	}
+	if out.Len() != 1 || out.Gates[0].Name != gate.S {
+		t.Fatalf("t·t should merge to s, got %v", out.Gates)
+	}
+	// A set with no z-phase vocabulary at all must keep the run untouched.
+	bare, err := gateset.New("adhoc-bare-cleanup", "", gate.H, gate.Z, gate.CZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zz := circuit.New(1)
+	zz.Append(gate.NewZ(0), gate.NewH(0), gate.NewZ(0))
+	out2, _ := CleanupChangedFor(zz, bare)
+	if !bare.IsNative(out2) {
+		t.Fatalf("cleanup pushed a bare set out of basis: %v", out2.Gates)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"github.com/guoq-dev/guoq/internal/circuit"
 	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/gateset"
 	"github.com/guoq-dev/guoq/internal/linalg"
 )
 
@@ -19,14 +20,40 @@ func Cleanup(c *circuit.Circuit, gatesetName string) *circuit.Circuit {
 	return out
 }
 
+// CleanupFor is Cleanup against a resolved gate set (required for ad-hoc
+// sets that are not name-addressable).
+func CleanupFor(c *circuit.Circuit, gs *gateset.GateSet) *circuit.Circuit {
+	out, _ := CleanupChangedFor(c, gs)
+	return out
+}
+
 // CleanupChanged is Cleanup plus a change count: the number of
 // normalization, cancellation, merge, and reorder events that made the
 // output differ from the input. A zero count guarantees the output is
 // structurally identical (circuit.Equal) to the input, so callers can
 // detect no-ops without a deep compare.
+//
+// The name is resolved through the gate-set registry once per call so the
+// z-phase merge can emit in a custom set's native diagonal vocabulary;
+// unknown names keep the historical rz fallback. Callers holding an
+// unregistered *gateset.GateSet must use CleanupChangedFor.
 func CleanupChanged(c *circuit.Circuit, gatesetName string) (*circuit.Circuit, int) {
+	gs, err := gateset.ByName(gatesetName)
+	if err != nil {
+		gs = nil
+	}
+	return cleanupChanged(c, gatesetName, gs)
+}
+
+// CleanupChangedFor is CleanupChanged against a resolved gate set.
+func CleanupChangedFor(c *circuit.Circuit, gs *gateset.GateSet) (*circuit.Circuit, int) {
+	return cleanupChanged(c, gs.Name, gs)
+}
+
+func cleanupChanged(c *circuit.Circuit, gatesetName string, gs *gateset.GateSet) (*circuit.Circuit, int) {
 	p := &cleaner{
 		gateset: gatesetName,
+		gs:      gs,
 		alive:   make([]bool, 0, len(c.Gates)),
 		top:     make([]int, c.NumQubits),
 	}
@@ -47,6 +74,7 @@ func CleanupChanged(c *circuit.Circuit, gatesetName string) (*circuit.Circuit, i
 
 type cleaner struct {
 	gateset string
+	gs      *gateset.GateSet // resolved once; nil for unknown names
 	out     []gate.Gate
 	alive   []bool
 	top     []int   // per qubit: index into out of the topmost alive gate, or -1
@@ -144,7 +172,25 @@ func (p *cleaner) feed1q(g gate.Gate) {
 			droppedLo = t2
 			p.drop(t2)
 		}
-		emitted := p.emitZPhase(linalg.NormAngle(total))
+		emitted, representable := p.emitZPhase(linalg.NormAngle(total))
+		if !representable {
+			// The target set has no exact native form for the merged angle
+			// (a custom finite set without z-phase gates): restore the run
+			// untouched. Restoring reorders the output only when something
+			// alive follows the run, which is the one case that counts as
+			// a change.
+			for i := droppedLo + 1; i < len(p.out); i++ {
+				if p.alive[i] {
+					p.changed++
+					break
+				}
+			}
+			for i := len(p.dropSeq) - 1; i >= 0; i-- {
+				p.push(p.dropSeq[i])
+			}
+			p.push(g)
+			return
+		}
 		for i := range emitted {
 			emitted[i].Qubits = []int{q}
 		}
@@ -263,35 +309,57 @@ func zPhaseOf(g gate.Gate) (float64, bool) {
 }
 
 // emitZPhase renders a z-rotation angle in the target gate set's native
-// diagonal gates (qubits are filled in by the caller).
-func (p *cleaner) emitZPhase(theta float64) []gate.Gate {
+// diagonal gates (qubits are filled in by the caller). ok = false reports
+// that the set has no exact native form for the angle (possible only for
+// custom sets without continuous z-phase gates), in which case the caller
+// must keep the original run.
+func (p *cleaner) emitZPhase(theta float64) (out []gate.Gate, ok bool) {
 	if math.Abs(theta) < 1e-12 {
-		return nil
+		return nil, true
 	}
 	switch p.gateset {
 	case "ibmq20":
-		return []gate.Gate{gate.New(gate.U1, []int{0}, []float64{theta})}
+		return []gate.Gate{gate.New(gate.U1, []int{0}, []float64{theta})}, true
 	case "cliffordt":
 		if !linalg.IsMultipleOf(theta, math.Pi/4, 1e-9) {
 			// Not representable — should not happen for native circuits;
 			// fall back to an rz to preserve semantics (callers operating
 			// on native Clifford+T circuits never hit this).
-			return []gate.Gate{gate.New(gate.Rz, []int{0}, []float64{theta})}
+			return []gate.Gate{gate.New(gate.Rz, []int{0}, []float64{theta})}, true
 		}
-		k := int(math.Round(theta/(math.Pi/4))) % 8
-		if k < 0 {
-			k += 8
+		return phaseLadder(theta), true
+	default:
+		// nam, ibm-eagle, and ionq emit a native rz, as does any custom or
+		// unknown set with a continuous z-rotation. Custom finite sets get
+		// the π/4 ladder when their basis carries it.
+		if p.gs == nil || p.gs.Contains(gate.Rz) {
+			return []gate.Gate{gate.New(gate.Rz, []int{0}, []float64{theta})}, true
 		}
-		lad := map[int][]gate.Name{
-			0: {}, 1: {gate.T}, 2: {gate.S}, 3: {gate.S, gate.T},
-			4: {gate.S, gate.S}, 5: {gate.Sdg, gate.Tdg}, 6: {gate.Sdg}, 7: {gate.Tdg},
+		if p.gs.Contains(gate.U1) {
+			return []gate.Gate{gate.New(gate.U1, []int{0}, []float64{theta})}, true
 		}
-		var out []gate.Gate
-		for _, n := range lad[k] {
-			out = append(out, gate.New(n, []int{0}, nil))
+		if p.gs.Contains(gate.S) && p.gs.Contains(gate.Sdg) && p.gs.Contains(gate.T) && p.gs.Contains(gate.Tdg) &&
+			linalg.IsMultipleOf(theta, math.Pi/4, 1e-9) {
+			return phaseLadder(theta), true
 		}
-		return out
-	default: // nam, ibm-eagle, ionq
-		return []gate.Gate{gate.New(gate.Rz, []int{0}, []float64{theta})}
+		return nil, false
 	}
+}
+
+// phaseLadder writes a π/4-multiple z-rotation as a minimal sequence over
+// {S, S†, T, T†} (qubit 0; the caller rebinds qubits).
+func phaseLadder(theta float64) []gate.Gate {
+	k := int(math.Round(theta/(math.Pi/4))) % 8
+	if k < 0 {
+		k += 8
+	}
+	lad := map[int][]gate.Name{
+		0: {}, 1: {gate.T}, 2: {gate.S}, 3: {gate.S, gate.T},
+		4: {gate.S, gate.S}, 5: {gate.Sdg, gate.Tdg}, 6: {gate.Sdg}, 7: {gate.Tdg},
+	}
+	var out []gate.Gate
+	for _, n := range lad[k] {
+		out = append(out, gate.New(n, []int{0}, nil))
+	}
+	return out
 }

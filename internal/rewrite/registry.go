@@ -1,11 +1,41 @@
 package rewrite
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
-// RulesFor returns the verified rule library for a gate set name (the names
-// of gateset.All). The libraries play the role of QUESO's synthesized rule
-// sets in the paper's GUOQ instantiation (§6).
-func RulesFor(gatesetName string) ([]*Rule, error) {
+// libraries holds caller-registered rule libraries keyed by gate set name.
+// The five built-in libraries are not stored here; lookup checks them first
+// so they cannot be shadowed.
+var libraries = struct {
+	sync.RWMutex
+	m map[string][]*Rule
+}{m: map[string][]*Rule{}}
+
+// RegisterLibrary associates a verified rule library with a (custom) gate
+// set name, so RulesFor — and through it the default transformation
+// registry — finds rules for registered targets. Registering for a
+// built-in name is rejected; re-registering a custom name replaces the
+// library (reloadable configs).
+func RegisterLibrary(gatesetName string, rules []*Rule) error {
+	if gatesetName == "" {
+		return fmt.Errorf("rewrite: empty gate set name")
+	}
+	if _, err := builtinRules(gatesetName); err == nil {
+		return fmt.Errorf("rewrite: gate set %q has a built-in rule library", gatesetName)
+	}
+	cp := make([]*Rule, len(rules))
+	copy(cp, rules)
+	libraries.Lock()
+	libraries.m[gatesetName] = cp
+	libraries.Unlock()
+	return nil
+}
+
+// builtinRules returns the curated library for one of the five evaluation
+// sets (the names of gateset.All).
+func builtinRules(gatesetName string) ([]*Rule, error) {
 	switch gatesetName {
 	case "nam":
 		return namRules(), nil
@@ -21,8 +51,27 @@ func RulesFor(gatesetName string) ([]*Rule, error) {
 	return nil, fmt.Errorf("rewrite: no rule library for gate set %q", gatesetName)
 }
 
-// AllLibraries returns every rule library keyed by gate set name, for
-// exhaustive verification in tests.
+// RulesFor returns the rule library for a gate set name: the curated
+// libraries for the paper's five sets (playing the role of QUESO's
+// synthesized rule sets in the GUOQ instantiation, §6), or whatever
+// RegisterLibrary associated with a custom name.
+func RulesFor(gatesetName string) ([]*Rule, error) {
+	if rules, err := builtinRules(gatesetName); err == nil {
+		return rules, nil
+	}
+	libraries.RLock()
+	rules, ok := libraries.m[gatesetName]
+	libraries.RUnlock()
+	if ok {
+		out := make([]*Rule, len(rules))
+		copy(out, rules)
+		return out, nil
+	}
+	return nil, fmt.Errorf("rewrite: no rule library for gate set %q", gatesetName)
+}
+
+// AllLibraries returns every built-in rule library keyed by gate set name,
+// for exhaustive verification in tests.
 func AllLibraries() map[string][]*Rule {
 	return map[string][]*Rule{
 		"nam":       namRules(),

@@ -9,6 +9,7 @@
 package finite
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -73,6 +74,14 @@ func moves(n int) []gate.Gate {
 
 // Synthesize implements synth.Synthesizer.
 func (s *Synthesizer) Synthesize(target linalg.Matrix, numQubits int, eps float64) (*circuit.Circuit, error) {
+	return s.SynthesizeContext(context.Background(), target, numQubits, eps)
+}
+
+// SynthesizeContext implements synth.ContextSynthesizer: the BFS and the
+// annealer poll ctx at the same cadence as their deadline checks, so a
+// cancelled caller returns within a few search steps instead of draining a
+// full MaxTime deadline.
+func (s *Synthesizer) SynthesizeContext(ctx context.Context, target linalg.Matrix, numQubits int, eps float64) (*circuit.Circuit, error) {
 	if target.N != 1<<numQubits {
 		return nil, fmt.Errorf("finite: target dim %d for %d qubits", target.N, numQubits)
 	}
@@ -84,20 +93,30 @@ func (s *Synthesizer) Synthesize(target linalg.Matrix, numQubits int, eps float6
 		return circuit.New(numQubits), nil
 	}
 	if numQubits == 1 {
-		if c, ok := s.bfs1q(target, tol); ok {
+		if c, ok := s.bfs1q(ctx, target, tol); ok {
 			return c, nil
 		}
 		return nil, synth.ErrNoSolution
 	}
-	if c, ok := s.anneal(target, numQubits, tol); ok {
+	if c, ok := s.anneal(ctx, target, numQubits, tol); ok {
 		return c, nil
 	}
 	return nil, synth.ErrNoSolution
 }
 
+// cancelled is the non-blocking ctx poll shared by the search loops.
+func cancelled(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
 // bfs1q searches single-qubit Clifford+T words breadth-first with
 // phase-canonical deduplication, returning a minimal-length word.
-func (s *Synthesizer) bfs1q(target linalg.Matrix, tol float64) (*circuit.Circuit, bool) {
+func (s *Synthesizer) bfs1q(ctx context.Context, target linalg.Matrix, tol float64) (*circuit.Circuit, bool) {
 	type node struct {
 		u    linalg.Matrix
 		word []gate.Name
@@ -135,6 +154,9 @@ func (s *Synthesizer) bfs1q(target linalg.Matrix, tol float64) (*circuit.Circuit
 			if s.MaxTime > 0 && time.Now().After(deadline) {
 				return nil, false
 			}
+			if cancelled(ctx) {
+				return nil, false
+			}
 		}
 		frontier = next
 	}
@@ -166,7 +188,7 @@ func canonKey(m linalg.Matrix) string {
 // anneal runs simulated annealing over bounded gate sequences: moves are
 // insert / delete / replace; the score is the HS distance with a small
 // length penalty; on success the result is greedily pruned.
-func (s *Synthesizer) anneal(target linalg.Matrix, n int, tol float64) (*circuit.Circuit, bool) {
+func (s *Synthesizer) anneal(ctx context.Context, target linalg.Matrix, n int, tol float64) (*circuit.Circuit, bool) {
 	rng := rand.New(rand.NewSource(s.Seed ^ hashMatrix(target)))
 	vocab := moves(n)
 	deadline := time.Now().Add(s.MaxTime)
@@ -193,8 +215,13 @@ func (s *Synthesizer) anneal(target linalg.Matrix, n int, tol float64) (*circuit
 			if curCost <= tol {
 				return s.prune(cur, target, n, tol), true
 			}
-			if s.MaxTime > 0 && it%128 == 0 && time.Now().After(deadline) {
-				return nil, false
+			if it%128 == 0 {
+				if s.MaxTime > 0 && time.Now().After(deadline) {
+					return nil, false
+				}
+				if cancelled(ctx) {
+					return nil, false
+				}
 			}
 		}
 	}

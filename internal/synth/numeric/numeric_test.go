@@ -1,9 +1,11 @@
 package numeric
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"github.com/guoq-dev/guoq/internal/circuit"
 	"github.com/guoq-dev/guoq/internal/gate"
@@ -178,5 +180,25 @@ func TestSynthesizeDeterministic(t *testing.T) {
 	}
 	if !circuit.Equal(a, b) {
 		t.Fatal("synthesis is not deterministic for identical targets")
+	}
+}
+
+// TestSynthesizeContextCancelPrompt: a cancelled context aborts synthesis
+// within one structure evaluation even when MaxTime is far away — the
+// guarantee that lets the optimizer's cancellation path avoid draining a
+// full synthesis deadline.
+func TestSynthesizeContextCancelPrompt(t *testing.T) {
+	s := New(gateset.IBMQ20)
+	s.MaxTime = 30 * time.Second
+	rng := rand.New(rand.NewSource(5))
+	target := circuit.Random(3, 24, gateset.IBMQ20.Gates, rng).Unitary()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := s.SynthesizeContext(ctx, target, 3, 1e-8); err == nil {
+		t.Fatal("cancelled synthesis reported success on a hard 3q target")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled synthesis took %v, want prompt return", elapsed)
 	}
 }

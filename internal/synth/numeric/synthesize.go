@@ -1,6 +1,7 @@
 package numeric
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -56,6 +57,14 @@ func (s *Synthesizer) Name() string { return "numeric-" + s.GateSet.Name }
 
 // Synthesize implements synth.Synthesizer.
 func (s *Synthesizer) Synthesize(target linalg.Matrix, numQubits int, eps float64) (*circuit.Circuit, error) {
+	return s.SynthesizeContext(context.Background(), target, numQubits, eps)
+}
+
+// SynthesizeContext implements synth.ContextSynthesizer: the structure
+// search polls ctx between structure evaluations (and honours a ctx
+// deadline earlier than MaxTime), so a cancelled caller gets ErrNoSolution
+// within one coordinate-ascent evaluation instead of a full MaxTime drain.
+func (s *Synthesizer) SynthesizeContext(ctx context.Context, target linalg.Matrix, numQubits int, eps float64) (*circuit.Circuit, error) {
 	if !s.GateSet.Continuous() {
 		return nil, fmt.Errorf("numeric: gate set %s is not continuous", s.GateSet.Name)
 	}
@@ -70,7 +79,7 @@ func (s *Synthesizer) Synthesize(target linalg.Matrix, numQubits int, eps float6
 	case 1:
 		return s.finish(one(target, numQubits))
 	case 2, 3:
-		tpl, params, dist := s.search(target, numQubits, tol)
+		tpl, params, dist := s.search(ctx, target, numQubits, tol)
 		if tpl == nil || dist > tol {
 			return nil, synth.ErrNoSolution
 		}
@@ -93,10 +102,30 @@ func one(target linalg.Matrix, n int) (*circuit.Circuit, error) {
 // carries the minimal two-qubit cost. For 2 qubits the structure space is a
 // line (0..3 CX suffice by the KAK theorem); for 3 qubits a beam over pair
 // sequences, warm-starting each child from its parent's parameters.
-func (s *Synthesizer) search(target linalg.Matrix, n int, tol float64) (*Template, []float64, float64) {
+func (s *Synthesizer) search(ctx context.Context, target linalg.Matrix, n int, tol float64) (*Template, []float64, float64) {
 	var deadline time.Time
 	if s.MaxTime > 0 {
 		deadline = time.Now().Add(s.MaxTime)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	// expired reports whether the search must stop: the wall-clock deadline
+	// passed or the context was cancelled. Polled between structure
+	// evaluations — the granularity that bounds cancellation latency.
+	expired := func() bool {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+	if expired() {
+		return nil, nil, math.Inf(1)
 	}
 	type cand struct {
 		pairs  [][2]int
@@ -179,7 +208,7 @@ func (s *Synthesizer) search(target linalg.Matrix, n int, tol float64) (*Templat
 					}
 				}
 				next = append(next, c)
-				if !deadline.IsZero() && time.Now().After(deadline) {
+				if expired() {
 					break
 				}
 			}
@@ -193,7 +222,7 @@ func (s *Synthesizer) search(target linalg.Matrix, n int, tol float64) (*Templat
 			next = next[:s.Beam]
 		}
 		beam = next
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if expired() {
 			break
 		}
 	}

@@ -5,6 +5,7 @@
 package synth
 
 import (
+	"context"
 	"errors"
 
 	"github.com/guoq-dev/guoq/internal/circuit"
@@ -25,6 +26,27 @@ type Synthesizer interface {
 	Synthesize(target linalg.Matrix, numQubits int, eps float64) (*circuit.Circuit, error)
 	// Name identifies the synthesizer in logs and experiment output.
 	Name() string
+}
+
+// ContextSynthesizer is a Synthesizer whose search observes context
+// cancellation: SynthesizeContext returns (typically with ErrNoSolution or
+// the context's error) as soon as it notices ctx is done, instead of
+// running to its own MaxTime deadline. Both built-in synthesizers
+// implement it; the optimizer's cancellation path uses it so stopping a
+// search never drains a full synthesis deadline.
+type ContextSynthesizer interface {
+	Synthesizer
+	SynthesizeContext(ctx context.Context, target linalg.Matrix, numQubits int, eps float64) (*circuit.Circuit, error)
+}
+
+// SynthesizeContext invokes s under ctx when it supports cancellation,
+// degrading to the blocking Synthesize otherwise. A nil or Background ctx
+// is equivalent to calling Synthesize directly.
+func SynthesizeContext(ctx context.Context, s Synthesizer, target linalg.Matrix, numQubits int, eps float64) (*circuit.Circuit, error) {
+	if cs, ok := s.(ContextSynthesizer); ok && ctx != nil {
+		return cs.SynthesizeContext(ctx, target, numQubits, eps)
+	}
+	return s.Synthesize(target, numQubits, eps)
 }
 
 // Resynthesize is the thin wrapper of §4.1: it computes the subcircuit's

@@ -77,12 +77,12 @@ func Start(ctx context.Context, c *Circuit, o Options) (*Session, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	gs, err := gateset.ByName(o.GateSet)
+	gs, err := resolveTarget(o)
 	if err != nil {
 		return nil, err
 	}
 	if !gs.IsNative(c) {
-		return nil, fmt.Errorf("guoq: input circuit is not native to %s (use Translate first)", o.GateSet)
+		return nil, fmt.Errorf("guoq: input circuit is not native to %s (use Translate first)", gs.Name)
 	}
 	if o.Objective == "" && o.Cost == nil {
 		o.Objective = DefaultObjective(gs.Name)
@@ -94,6 +94,14 @@ func Start(ctx context.Context, c *Circuit, o Options) (*Session, error) {
 		return nil, err
 	}
 	cost, objective, err := resolveCost(o, gs)
+	if err != nil {
+		return nil, err
+	}
+	// Compile registered and per-run transformation extensions against the
+	// resolved target now — before any context or goroutine exists — so a
+	// malformed extension (non-native rule replacement, nil synthesizer)
+	// fails Start cleanly instead of being silently dropped mid-run.
+	extras, err := compileExtensions(gs, o.Epsilon, o.Transformations)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +118,7 @@ func Start(ctx context.Context, c *Circuit, o Options) (*Session, error) {
 	model := gateset.ModelFor(gs)
 	s := &Session{
 		base: Result{
-			GateSet:        o.GateSet,
+			GateSet:        gs.Name,
 			Objective:      objective,
 			Before:         c.Len(),
 			TwoQubitBefore: c.TwoQubitCount(),
@@ -137,6 +145,11 @@ func Start(ctx context.Context, c *Circuit, o Options) (*Session, error) {
 	runner.Exchanger = o.Exchanger
 	runner.MaxIters = o.MaxIters
 	runner.OnEvent = s.onEvent
+	// With no extensions the runner keeps its nil registry — the default
+	// portfolio, bit-identical to previous releases for seeded runs.
+	if len(extras) > 0 {
+		runner.Registry = opt.DefaultRegistry().With(opt.Static(extras...))
+	}
 
 	go func() {
 		out, stats := runner.OptimizeStatsContext(ctx, c, gs, cost, o.Budget, o.Seed)
