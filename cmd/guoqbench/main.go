@@ -38,6 +38,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,18 +51,19 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "fig1", "experiment id (table2, table3, fig1, fig7..fig15, parallel, bench, all)")
+		exp     = flag.String("exp", "fig1", "experiment id (table2, table3, fig1, fig7..fig15, parallel, fixpoint, bench, all)")
 		budget  = flag.Duration("budget", 300*time.Millisecond, "per-tool per-circuit budget")
 		trials  = flag.Int("trials", 3, "GUOQ trials per benchmark")
 		limit   = flag.Int("limit", 40, "suite subsample size (0 = full 247)")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		shard   = flag.String("shard", "", "static shard i/n: run every n-th circuit starting at i (e.g. 0/4)")
 		remote  = flag.String("remote", "", "guoqd coordinator address for dynamic sharding (bench only)")
-		jsonOut = flag.String("json", "", "write per-circuit results as JSON (bench only; \"-\" = stdout)")
+		jsonOut = flag.String("json", "", "write results as JSON (bench and fixpoint; \"-\" = stdout)")
 		gateSet = flag.String("gateset", "ibmq20", "target gate set for bench (built-in or loaded via -gateset-file)")
 		gsFile  = flag.String("gateset-file", "", "register a custom gate set from a JSON description (guoq.ParseGateSetJSON) before resolving -gateset")
 		workers = flag.Int("workers", 1, "per-circuit portfolio size for bench")
 		queue   = flag.String("queue", "bench", "work queue name on the coordinator")
+		fpGates = flag.Int("fixpoint-gates", 10000, "generated circuit size for the fixpoint experiment")
 		ttl     = flag.Duration("lease-ttl", 60*time.Second, "job lease duration in remote mode")
 		token   = flag.String("token", os.Getenv("GUOQD_TOKEN"), "bearer token for a -remote coordinator started with -token (default $GUOQD_TOKEN)")
 	)
@@ -149,6 +151,27 @@ func main() {
 		return nil
 	}
 
+	runFixpoint := func() error {
+		var w *os.File
+		if *jsonOut != "" {
+			w = os.Stdout
+			if *jsonOut != "-" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+		}
+		var jw io.Writer
+		if w != nil {
+			jw = w
+		}
+		_, err := experiments.Fixpoint(cfg, *workers, 20, *fpGates, jw)
+		return err
+	}
+
 	run := func(id string) error {
 		fmt.Fprintf(hout, "### %s (budget=%v trials=%d limit=%d)\n\n", id, *budget, *trials, *limit)
 		start := time.Now()
@@ -181,6 +204,8 @@ func main() {
 			_, err = experiments.Fig15(cfg)
 		case "parallel":
 			sums, err = experiments.Parallel(cfg)
+		case "fixpoint":
+			err = runFixpoint()
 		case "bench":
 			err = runBench()
 		default:

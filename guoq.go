@@ -178,6 +178,17 @@ type Options struct {
 	// Circuits too small to window fall back to the portfolio. Requires
 	// Parallelism ≥ 2.
 	PartitionParallel bool
+	// Fixpoint selects parallel local fixpoint optimization — the strategy
+	// for circuits too large for one global search: each round splits the
+	// circuit into sliding windows, optimizes every window concurrently
+	// with a bounded search, stitches improved windows back in one
+	// transaction, and alternates window offsets so seams re-optimize;
+	// rounds repeat until none improves. Epsilon composes across windows
+	// and rounds (Thm 4.2), so the returned Error stays within budget.
+	// Parallelism bounds the concurrent window searches (0 = one per CPU).
+	// Circuits too small to window fall back to the portfolio. Mutually
+	// exclusive with PartitionParallel.
+	Fixpoint bool
 	// Exchanger, when set, connects this run to an external best-so-far
 	// store so several processes (or machines) optimize one circuit as a
 	// single search: the run publishes its best solution with its
@@ -288,6 +299,9 @@ func (o Options) Validate() error {
 	}
 	if o.PartitionParallel && o.Parallelism < 2 {
 		return fmt.Errorf("guoq: Options.PartitionParallel requires Parallelism ≥ 2, got %d", o.Parallelism)
+	}
+	if o.Fixpoint && o.PartitionParallel {
+		return fmt.Errorf("guoq: Options.Fixpoint and Options.PartitionParallel are mutually exclusive (set one)")
 	}
 	return nil
 }

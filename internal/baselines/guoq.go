@@ -7,6 +7,7 @@ import (
 	"github.com/guoq-dev/guoq/internal/circuit"
 	"github.com/guoq-dev/guoq/internal/gateset"
 	"github.com/guoq-dev/guoq/internal/opt"
+	"github.com/guoq-dev/guoq/internal/popt"
 )
 
 // GUOQ wraps the paper's algorithm behind the Optimizer interface, with the
@@ -31,6 +32,16 @@ type GUOQ struct {
 	// windows optimized concurrently (ε split across windows, Thm 4.2);
 	// circuits too small to window fall back to the portfolio.
 	Partition bool
+	// Fixpoint selects the parallel local fixpoint strategy (internal/popt):
+	// iterated rounds of concurrent bounded window searches with alternating
+	// seam offsets, committed only on whole-circuit improvement — the
+	// huge-circuit mode. Takes precedence over Partition; circuits too small
+	// to window fall back to the portfolio.
+	Fixpoint bool
+	// UpstreamSyncEvery tunes how often a portfolio's coordinator polls an
+	// upstream (distributed) exchanger when local workers bring no
+	// improvement; 0 keeps the 100 ms default.
+	UpstreamSyncEvery time.Duration
 	// Exchanger, when set, connects the run to an external best-so-far
 	// store (a guoqd coordinator via internal/dist): a single-worker run
 	// polls it directly, a portfolio relays through its in-process
@@ -102,6 +113,16 @@ func NewPartitionParallel(eps float64, workers int) *GUOQ {
 	return p
 }
 
+// NewFixpoint builds the parallel local fixpoint runner (internal/popt):
+// the strategy for circuits too large for one global search. workers ≤ 0
+// selects one per available CPU, capped at 8.
+func NewFixpoint(eps float64, workers int) *GUOQ {
+	if workers <= 0 {
+		workers = opt.AutoWorkers()
+	}
+	return &GUOQ{Tool: "fixpoint", Mode: ModeFull, Epsilon: eps, Async: true, Parallelism: workers, Fixpoint: true}
+}
+
 // Name implements Optimizer.
 func (g *GUOQ) Name() string { return g.Tool }
 
@@ -168,6 +189,7 @@ func (g *GUOQ) OptimizeStatsContext(ctx context.Context, c *circuit.Circuit, gs 
 	opts.Exchanger = g.Exchanger
 	opts.MaxIters = g.MaxIters
 	opts.OnEvent = g.OnEvent
+	opts.UpstreamSyncEvery = g.UpstreamSyncEvery
 	if ctx != nil {
 		opts.Context = ctx
 	}
@@ -189,6 +211,8 @@ func (g *GUOQ) OptimizeStatsContext(ctx context.Context, c *circuit.Circuit, gs 
 		res = opt.Beam(c, ts, opts, 32)
 	default:
 		switch {
+		case g.Fixpoint:
+			res = popt.Fixpoint(c, ts, popt.Options{Search: opts, Workers: g.Parallelism})
 		case g.Partition && g.Parallelism > 1:
 			res = opt.PartitionParallel(c, ts, opts, g.Parallelism)
 		case g.Parallelism > 1:

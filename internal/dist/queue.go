@@ -111,7 +111,15 @@ func (q *workQueue) lease(worker string, ttl time.Duration, now time.Time) (job 
 // already expired (and whose job was re-leased or even failed) is still
 // accepted — the work was done, and discarding it would only waste a
 // retry. Completing an id the queue never issued is an error.
-func (q *workQueue) complete(id string, result json.RawMessage) error {
+//
+// Expired leases are reaped first: completion is a state transition like
+// lease and status, and skipping the reap here let a dead worker's expired
+// job sit in the leased map across an arbitrarily long run of completions,
+// only returning to pending when some worker next polled — on a
+// completion-heavy tail that delayed its retry (or its failed verdict)
+// until the very end of the run.
+func (q *workQueue) complete(id string, result json.RawMessage, now time.Time) error {
+	q.reap(now)
 	if _, done := q.results[id]; done {
 		return nil
 	}

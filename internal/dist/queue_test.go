@@ -26,19 +26,19 @@ func TestWorkQueueLeaseCompleteFlow(t *testing.T) {
 		t.Fatalf("lease on busy queue: ok=%v drained=%v, want false/false", ok, drained)
 	}
 
-	if err := q.complete("a", json.RawMessage(`{"x":1}`)); err != nil {
+	if err := q.complete("a", json.RawMessage(`{"x":1}`), now); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.complete("a", json.RawMessage(`{"x":2}`)); err != nil {
+	if err := q.complete("a", json.RawMessage(`{"x":2}`), now); err != nil {
 		t.Fatal("second completion must be idempotent:", err)
 	}
 	if string(q.results["a"]) != `{"x":1}` {
 		t.Fatalf("first completion must win, got %s", q.results["a"])
 	}
-	if err := q.complete("nope", nil); err == nil {
+	if err := q.complete("nope", nil, now); err == nil {
 		t.Fatal("completing an unknown job must error")
 	}
-	if err := q.complete("b", nil); err != nil {
+	if err := q.complete("b", nil, now); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok, drained := q.lease("w1", time.Minute, now); ok || !drained {
@@ -78,11 +78,81 @@ func TestWorkQueueLeaseExpiryAndRetryCap(t *testing.T) {
 
 	// A late completion from the original worker is still accepted: the
 	// work happened, failure is not final when results arrive.
-	if err := q.complete("poison", json.RawMessage(`"late"`)); err != nil {
+	if err := q.complete("poison", json.RawMessage(`"late"`), now.Add(11*time.Second)); err != nil {
 		t.Fatal(err)
 	}
 	st = q.status(now.Add(11*time.Second), true)
 	if st.Done != 1 || len(st.Failed) != 0 {
 		t.Fatalf("late completion not recorded: %+v", st)
+	}
+}
+
+// Reaping must also happen on complete: with lease and status as the only
+// reap points, a dead worker's expired job sat in the leased map across an
+// arbitrarily long run of completions and was retried (or failed) only when
+// some worker next polled.
+func TestWorkQueueCompleteReapsExpiredLeases(t *testing.T) {
+	q := newWorkQueue(2)
+	q.push([]Job{{ID: "a"}, {ID: "b"}})
+	now := time.Unix(1000, 0)
+
+	if _, ok, _ := q.lease("w1", time.Minute, now); !ok {
+		t.Fatal("lease a failed")
+	}
+	if j, ok, _ := q.lease("w2", time.Second, now); !ok || j.ID != "b" {
+		t.Fatal("lease b failed")
+	}
+	// b's lease is long expired when w1 completes a; the completion alone
+	// must return b to the pending list.
+	if err := q.complete("a", nil, now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if _, still := q.leased["b"]; still {
+		t.Fatal("complete did not reap the expired lease")
+	}
+	if len(q.pending) != 1 || q.pending[0].job.ID != "b" {
+		t.Fatalf("expired job not returned to pending: %d pending", len(q.pending))
+	}
+
+	// Same shape with b's attempts spent: the completion-triggered reap
+	// must mark it failed instead of re-queuing it.
+	if j, ok, _ := q.lease("w3", time.Second, now.Add(2*time.Hour)); !ok || j.ID != "b" {
+		t.Fatal("re-lease b failed")
+	}
+	if err := q.complete("c", nil, now.Add(3*time.Hour)); err == nil {
+		t.Fatal("completing an unknown job must error")
+	}
+	if !q.failed["b"] {
+		t.Fatal("spent job not failed by the completion-triggered reap")
+	}
+}
+
+// The maxAttempts boundary, pinned: a job whose lease expires exactly
+// maxAttempts times must fail and drain the queue — never be handed out an
+// (attempts+1)-th time.
+func TestWorkQueueMaxAttemptsBoundary(t *testing.T) {
+	const maxAttempts = 3
+	q := newWorkQueue(maxAttempts)
+	q.push([]Job{{ID: "flaky"}})
+	now := time.Unix(1000, 0)
+
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		j, ok, drained := q.lease("w", time.Second, now)
+		if !ok || j.ID != "flaky" {
+			t.Fatalf("attempt %d: lease = %+v ok=%v drained=%v", attempt, j, ok, drained)
+		}
+		now = now.Add(2 * time.Second) // let the lease expire
+	}
+	// All attempts spent: the next poll reports drained, not a 4th lease.
+	j, ok, drained := q.lease("w", time.Second, now)
+	if ok {
+		t.Fatalf("job handed out a %dth time: %+v", maxAttempts+1, j)
+	}
+	if !drained {
+		t.Fatal("queue with only a spent job must report drained")
+	}
+	st := q.status(now, false)
+	if len(st.Failed) != 1 || st.Failed[0] != "flaky" || st.Pending != 0 || st.Leased != 0 {
+		t.Fatalf("status after exhaustion = %+v, want only failed [flaky]", st)
 	}
 }

@@ -319,7 +319,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	job, ok, drained := q.lease(req.Worker, ttl, time.Now())
+	job, ok, drained := q.lease(req.Worker, ttl, s.now())
 	s.mu.Unlock()
 	if ok {
 		s.logf("queue %s: leased %q to %s (ttl %v)", req.Queue, job.ID, req.Worker, ttl)
@@ -342,7 +342,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	err := q.complete(req.ID, req.Result)
+	err := q.complete(req.ID, req.Result, s.now())
 	s.mu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusConflict, err.Error())
@@ -359,7 +359,7 @@ func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	st := q.status(time.Now(), true)
+	st := q.status(s.now(), true)
 	s.mu.Unlock()
 	writeJSON(w, st)
 }

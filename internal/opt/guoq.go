@@ -76,6 +76,22 @@ type Options struct {
 	// negative disables heartbeats — improvement and final events still
 	// fire).
 	EventEvery int
+	// Pool, when set together with Async, runs this search's slow
+	// transformations on the shared resynthesis pool instead of a private
+	// background goroutine. Many concurrent searches (portfolio members,
+	// fixpoint windows) then share one bounded set of synthesis workers —
+	// work-stealing across searches — instead of each holding its own.
+	// Each search still has at most one resynthesis in flight; the pool
+	// bounds how many of those run simultaneously. Leaving Pool nil keeps
+	// the historical one-goroutine-per-search behaviour (and seeded runs
+	// bit-identical to it).
+	Pool *ResynthPool
+	// UpstreamSyncEvery is the minimum interval between a portfolio
+	// group's syncs with an upstream exchanger (two-level hierarchy, e.g.
+	// a remote guoqd coordinator). Zero means the 100 ms default;
+	// unproductive syncs back off adaptively up to 16× this base. Only
+	// meaningful for Portfolio/PartitionParallel runs with an Exchanger.
+	UpstreamSyncEvery time.Duration
 }
 
 // Event is a point-in-time progress report from a running search, emitted
@@ -194,9 +210,13 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 	bestCost := currCost
 
 	res := &Result{}
-	var worker *asyncWorker
+	var worker slowRunner
 	if opts.Async && len(slow) > 0 && len(fast) > 0 {
-		worker = newAsyncWorker()
+		if opts.Pool != nil {
+			worker = opts.Pool.newClient()
+		} else {
+			worker = newAsyncWorker()
+		}
 		defer worker.stop()
 	}
 
@@ -226,7 +246,7 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 			BestErr:    bestErr,
 			Best:       bc,
 		}
-		if worker != nil && worker.busy {
+		if worker != nil && worker.inFlight() {
 			e.ResynthInFlight = 1
 		}
 		opts.OnEvent(e)
@@ -386,7 +406,7 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 					}
 				}
 			}
-			if !worker.busy {
+			if !worker.inFlight() {
 				t := slow[rng.Intn(len(slow))]
 				if currErr+t.Epsilon() <= opts.Epsilon {
 					worker.launch(opts.Context, t, curr.Clone(), currErr, opts.Epsilon-currErr, rng.Int63())
@@ -440,6 +460,37 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 	return res
 }
 
+// slowRunner is the search loop's view of its asynchronous resynthesis
+// backend: the private per-search asyncWorker or a poolClient of the shared
+// ResynthPool. Either way the search holds at most one job in flight;
+// launch while busy is a no-op, poll never blocks, and stop drains the
+// in-flight job before returning.
+type slowRunner interface {
+	launch(ctx context.Context, t Transformation, c *circuit.Circuit, baseErr, allowed float64, seed int64)
+	poll() (asyncResult, bool)
+	inFlight() bool
+	stop()
+}
+
+// runAsyncJob executes one slow transformation — the body shared by the
+// private asyncWorker goroutine and the pooled workers. It prefers the
+// cancellation-aware path so stop() returns as soon as the synthesizer
+// notices the context, instead of after a full synthesis deadline.
+func runAsyncJob(job asyncJob) asyncResult {
+	rng := rand.New(rand.NewSource(job.seed))
+	var (
+		o   *circuit.Circuit
+		eps float64
+		ok  bool
+	)
+	if ca, cok := job.t.(ContextApplier); cok && job.ctx != nil {
+		o, eps, ok = ca.ApplyContext(job.ctx, job.c, job.allowed, rng)
+	} else {
+		o, eps, ok = job.t.Apply(job.c, job.allowed, rng)
+	}
+	return asyncResult{out: o, baseErr: job.baseErr, eps: eps, ok: ok}
+}
+
 // asyncWorker runs at most one slow transformation at a time in a separate
 // goroutine, as in §5.3 ("we only apply resynthesis to a single subcircuit
 // per iteration" and calls are made asynchronously).
@@ -472,21 +523,7 @@ func newAsyncWorker() *asyncWorker {
 	}
 	go func() {
 		for job := range w.in {
-			rng := rand.New(rand.NewSource(job.seed))
-			var (
-				o   *circuit.Circuit
-				eps float64
-				ok  bool
-			)
-			// Prefer the cancellation-aware path: stop() then returns as
-			// soon as the synthesizer notices the context, instead of after
-			// a full synthesis deadline.
-			if ca, cok := job.t.(ContextApplier); cok && job.ctx != nil {
-				o, eps, ok = ca.ApplyContext(job.ctx, job.c, job.allowed, rng)
-			} else {
-				o, eps, ok = job.t.Apply(job.c, job.allowed, rng)
-			}
-			w.out <- asyncResult{out: o, baseErr: job.baseErr, eps: eps, ok: ok}
+			w.out <- runAsyncJob(job)
 		}
 	}()
 	return w
@@ -512,6 +549,9 @@ func (w *asyncWorker) poll() (asyncResult, bool) {
 		return asyncResult{}, false
 	}
 }
+
+// inFlight reports whether a job is currently running.
+func (w *asyncWorker) inFlight() bool { return w.busy }
 
 // stop shuts the worker down, draining any in-flight job.
 func (w *asyncWorker) stop() {

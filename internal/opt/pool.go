@@ -1,0 +1,79 @@
+package opt
+
+import (
+	"context"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/synth"
+)
+
+// ResynthPool is a shared pool of resynthesis workers for concurrent
+// searches. Historically every portfolio member or partition window with
+// Async ran its own background synthesis goroutine, so P searches admitted
+// P simultaneous numerical searches regardless of core count. A ResynthPool
+// caps that at its size while work-stealing across searches: every search
+// still holds at most one resynthesis in flight (the §5.3 discipline), but
+// a free pool worker picks up the next queued job from whichever search
+// produced it. Wire one through Options.Pool; the same pool may back any
+// number of searches and must outlive them all (Close only after every
+// search using it has returned).
+type ResynthPool struct {
+	pool *synth.Pool
+}
+
+// NewResynthPool starts a pool with size workers (at least one).
+func NewResynthPool(size int) *ResynthPool {
+	return &ResynthPool{pool: synth.NewPool(size)}
+}
+
+// Close drains queued jobs and stops the workers. Callers must first stop
+// every search using the pool (their deferred slowRunner.stop() drains each
+// search's in-flight job).
+func (p *ResynthPool) Close() { p.pool.Close() }
+
+// newClient returns this search's handle on the pool: a slowRunner with
+// the same one-in-flight discipline as the private asyncWorker, routing
+// results back over a dedicated channel.
+func (p *ResynthPool) newClient() *poolClient {
+	return &poolClient{p: p, out: make(chan asyncResult, 1)}
+}
+
+type poolClient struct {
+	p    *ResynthPool
+	out  chan asyncResult
+	busy bool
+}
+
+func (c *poolClient) launch(ctx context.Context, t Transformation, circ *circuit.Circuit, baseErr, allowed float64, seed int64) {
+	if c.busy {
+		return
+	}
+	job := asyncJob{ctx: ctx, t: t, c: circ, baseErr: baseErr, allowed: allowed, seed: seed}
+	// The result channel has capacity 1 and the client holds one job at a
+	// time, so the send never blocks a pool worker. Submit fails only when
+	// the pool was closed early; the client then simply stays idle.
+	if c.p.pool.Submit(func() { c.out <- runAsyncJob(job) }) {
+		c.busy = true
+	}
+}
+
+func (c *poolClient) poll() (asyncResult, bool) {
+	select {
+	case r := <-c.out:
+		c.busy = false
+		return r, true
+	default:
+		return asyncResult{}, false
+	}
+}
+
+func (c *poolClient) inFlight() bool { return c.busy }
+
+// stop drains the in-flight job, if any. Close accepts queued jobs, so a
+// submitted job always eventually delivers its result.
+func (c *poolClient) stop() {
+	if c.busy {
+		<-c.out
+		c.busy = false
+	}
+}

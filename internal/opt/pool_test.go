@@ -1,0 +1,108 @@
+package opt
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/synth"
+)
+
+// Many clients sharing one pool: every client must get its own results
+// back (routing is per-client, only the workers are shared), the
+// one-in-flight discipline must hold, and stop must drain cleanly.
+func TestResynthPoolRoutesResultsPerClient(t *testing.T) {
+	pool := NewResynthPool(3)
+	defer pool.Close()
+
+	const clients = 8
+	const jobsPerClient = 20
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cl := pool.newClient()
+			defer cl.stop()
+			for j := 0; j < jobsPerClient; j++ {
+				// Tag each job with a client-unique error value and check it
+				// round-trips: a cross-client delivery would surface as a
+				// foreign tag.
+				tag := float64(ci*1000 + j)
+				cl.launch(nil, markerTransformation{}, nil, tag, 0, int64(j))
+				if !cl.inFlight() {
+					t.Errorf("client %d: launch %d not in flight", ci, j)
+					return
+				}
+				// launch while busy must be a silent no-op.
+				cl.launch(nil, markerTransformation{}, nil, -1, 0, 0)
+				r := awaitResult(cl)
+				if r.baseErr != tag {
+					t.Errorf("client %d: got result tagged %v, want %v", ci, r.baseErr, tag)
+					return
+				}
+				if cl.inFlight() {
+					t.Errorf("client %d: still in flight after poll", ci)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+}
+
+// A closed pool rejects new launches instead of wedging the client: the
+// client stays idle and stop returns immediately.
+func TestResynthPoolClosedLaunchIsNoop(t *testing.T) {
+	pool := NewResynthPool(1)
+	cl := pool.newClient()
+	pool.Close()
+	cl.launch(nil, markerTransformation{}, nil, 1, 0, 0)
+	if cl.inFlight() {
+		t.Fatal("launch on a closed pool left the client busy")
+	}
+	cl.stop() // must not block
+}
+
+// The underlying synth.Pool must run every accepted job exactly once, even
+// those still queued when Close is called.
+func TestSynthPoolDrainsOnClose(t *testing.T) {
+	pool := synth.NewPool(2)
+	var mu sync.Mutex
+	ran := 0
+	const jobs = 50
+	for i := 0; i < jobs; i++ {
+		if !pool.Submit(func() { mu.Lock(); ran++; mu.Unlock() }) {
+			t.Fatal("submit rejected before close")
+		}
+	}
+	pool.Close()
+	if ran != jobs {
+		t.Fatalf("close drained %d of %d jobs", ran, jobs)
+	}
+	if pool.Submit(func() {}) {
+		t.Fatal("submit accepted after close")
+	}
+}
+
+func awaitResult(cl *poolClient) asyncResult {
+	for {
+		if r, ok := cl.poll(); ok {
+			return r
+		}
+		runtime.Gosched()
+	}
+}
+
+// markerTransformation is an inert slow transformation whose Apply returns
+// no result; pool tests only observe the echoed baseErr tag.
+type markerTransformation struct{}
+
+func (markerTransformation) Name() string     { return "marker" }
+func (markerTransformation) Slow() bool       { return true }
+func (markerTransformation) Epsilon() float64 { return 0 }
+func (markerTransformation) Apply(c *circuit.Circuit, allowed float64, r *rand.Rand) (*circuit.Circuit, float64, bool) {
+	return nil, 0, false
+}

@@ -27,12 +27,20 @@ func AutoWorkers() int {
 // accept more uphill moves).
 var tempLadder = []float64{1, 0.5, 2, 0.25, 4, 0.125, 8, 1}
 
-// upstreamSyncEvery bounds how often an idle coordinator polls its upstream
-// exchanger: local improvements are pushed immediately, but a coordinator
-// whose workers are stuck still checks for remote progress at this period
-// instead of on every worker exchange (which would hammer a networked
-// upstream with no-op requests).
-const upstreamSyncEvery = 100 * time.Millisecond
+// upstreamSyncDefault bounds how often an idle coordinator polls its
+// upstream exchanger when Options.UpstreamSyncEvery is unset: local
+// improvements are pushed immediately, but a coordinator whose workers are
+// stuck still checks for remote progress at this period instead of on every
+// worker exchange (which would hammer a networked upstream with no-op
+// requests). Consecutive unproductive syncs back off exponentially up to
+// upstreamSyncMaxBackoff times the base period, so a long-idle session
+// converges to a slow keepalive instead of a fixed-rate poll; any
+// productive sync — a pushed local improvement or an adopted remote one —
+// resets the period.
+const (
+	upstreamSyncDefault    = 100 * time.Millisecond
+	upstreamSyncMaxBackoff = 16
+)
 
 // coordinator is the portfolio's shared best-so-far store. Workers publish
 // their best solution at exchange points and adopt the global best when it
@@ -56,6 +64,8 @@ type coordinator struct {
 
 	upstream Exchanger
 	lastSync time.Time
+	syncBase time.Duration // configured idle-poll period
+	syncWait time.Duration // current period, grown by unproductive syncs
 
 	start     time.Time
 	onImprove func(elapsed time.Duration, best *circuit.Circuit)
@@ -66,13 +76,18 @@ type coordinator struct {
 	cbMu sync.Mutex
 }
 
-func newCoordinator(c *circuit.Circuit, cost Cost, onImprove func(time.Duration, *circuit.Circuit), upstream Exchanger) *coordinator {
+func newCoordinator(c *circuit.Circuit, cost Cost, onImprove func(time.Duration, *circuit.Circuit), upstream Exchanger, syncEvery time.Duration) *coordinator {
+	if syncEvery <= 0 {
+		syncEvery = upstreamSyncDefault
+	}
 	return &coordinator{
 		cost:      cost,
 		best:      c,
 		bestErr:   0,
 		bestVal:   cost(c),
 		upstream:  upstream,
+		syncBase:  syncEvery,
+		syncWait:  syncEvery,
 		start:     time.Now(),
 		onImprove: onImprove,
 	}
@@ -88,7 +103,7 @@ func (co *coordinator) Exchange(best *circuit.Circuit, bestErr, bestCost float64
 		co.best, co.bestErr, co.bestVal = best, bestErr, bestCost
 		improved = true
 	}
-	sync := co.upstream != nil && (improved || time.Since(co.lastSync) >= upstreamSyncEvery)
+	sync := co.upstream != nil && (improved || time.Since(co.lastSync) >= co.syncWait)
 	if sync {
 		co.lastSync = time.Now()
 	}
@@ -99,6 +114,12 @@ func (co *coordinator) Exchange(best *circuit.Circuit, bestErr, bestCost float64
 		co.notify(locBest)
 	}
 	if sync {
+		// A sync is productive when it moves information either way: we
+		// pushed a fresh local improvement, or we adopted a remote one.
+		// Productive syncs reset the idle-poll period; unproductive ones
+		// back it off exponentially (capped), so a stuck session stops
+		// hammering a networked upstream with no-op requests.
+		productive := improved
 		if up, upErr, ok := co.upstream.Exchange(locBest, locErr, locVal); ok {
 			if upVal := co.cost(up); upVal < locVal {
 				co.mu.Lock()
@@ -108,8 +129,19 @@ func (co *coordinator) Exchange(best *circuit.Circuit, bestErr, bestCost float64
 				locBest, locErr, locVal = co.best, co.bestErr, co.bestVal
 				co.mu.Unlock()
 				co.notify(locBest)
+				productive = true
 			}
 		}
+		co.mu.Lock()
+		if productive {
+			co.syncWait = co.syncBase
+		} else if co.syncWait < upstreamSyncMaxBackoff*co.syncBase {
+			co.syncWait *= 2
+			if co.syncWait > upstreamSyncMaxBackoff*co.syncBase {
+				co.syncWait = upstreamSyncMaxBackoff * co.syncBase
+			}
+		}
+		co.mu.Unlock()
 	}
 
 	if locVal < bestCost {
@@ -152,7 +184,17 @@ func Portfolio(c *circuit.Circuit, ts []Transformation, opts Options, workers in
 		opts.Cost = TwoQubitCost()
 	}
 	start := time.Now()
-	co := newCoordinator(c, opts.Cost, opts.OnImprove, opts.Exchanger)
+	// One resynthesis pool shared by every member: each still holds one
+	// call in flight (§5.3), but the pool bounds how many run at once and
+	// steals work across members, instead of each member spawning a private
+	// synthesis goroutine. A caller-supplied pool (a fixpoint run sharing
+	// with its fallback portfolio) is reused as-is.
+	if opts.Async && opts.Pool == nil && len(FilterSlow(ts)) > 0 && len(FilterFast(ts)) > 0 {
+		pool := NewResynthPool(workers)
+		defer pool.Close()
+		opts.Pool = pool
+	}
+	co := newCoordinator(c, opts.Cost, opts.OnImprove, opts.Exchanger, opts.UpstreamSyncEvery)
 
 	results := make([]*Result, workers)
 	var wg sync.WaitGroup
@@ -236,6 +278,12 @@ func PartitionParallel(c *circuit.Circuit, ts []Transformation, opts Options, wo
 		return Portfolio(c, ts, opts, workers)
 	}
 	start := time.Now()
+	// Window workers share one resynthesis pool, exactly as in Portfolio.
+	if opts.Async && opts.Pool == nil && len(FilterSlow(ts)) > 0 && len(FilterFast(ts)) > 0 {
+		pool := NewResynthPool(workers)
+		defer pool.Close()
+		opts.Pool = pool
+	}
 	epsPer := opts.Epsilon / float64(len(windows))
 
 	type windowResult struct {

@@ -68,7 +68,7 @@ func TestCoordinatorExchange(t *testing.T) {
 	cost := TwoQubitCost()
 	base := circuit.Random(4, 30, gateset.IBMEagle.Gates, rand.New(rand.NewSource(8)))
 	better := circuit.New(4) // empty circuit: cost 0, unbeatable
-	co := newCoordinator(base, cost, nil, nil)
+	co := newCoordinator(base, cost, nil, nil, 0)
 
 	if _, _, ok := co.Exchange(base, 0, cost(base)); ok {
 		t.Fatal("exchange offered a solution no better than the caller's")
@@ -83,6 +83,59 @@ func TestCoordinatorExchange(t *testing.T) {
 	// A stale worse report must not displace the stored best.
 	if _, _, ok := co.Exchange(base, 0, cost(base)); !ok {
 		t.Fatal("best was lost after a worse report")
+	}
+}
+
+// countingExchanger counts upstream polls and never offers anything back —
+// the "stuck remote session" the adaptive backoff is for.
+type countingExchanger struct{ calls int }
+
+func (e *countingExchanger) Exchange(*circuit.Circuit, float64, float64) (*circuit.Circuit, float64, bool) {
+	e.calls++
+	return nil, 0, false
+}
+
+// Unproductive upstream syncs must back the poll period off exponentially
+// (capped at 16× the configured base), and any productive sync — here a
+// pushed local improvement — must reset it.
+func TestCoordinatorUpstreamBackoff(t *testing.T) {
+	cost := TwoQubitCost()
+	base := circuit.Random(4, 30, gateset.IBMEagle.Gates, rand.New(rand.NewSource(8)))
+	up := &countingExchanger{}
+	co := newCoordinator(base, cost, nil, up, time.Hour)
+	if co.syncWait != time.Hour {
+		t.Fatalf("syncWait starts at %v, want the configured base", co.syncWait)
+	}
+
+	// Idle polls (no local improvement): each unproductive sync doubles the
+	// wait, saturating at 16× base. The test rolls lastSync back to make
+	// every poll due without sleeping.
+	wants := []time.Duration{2, 4, 8, 16, 16, 16}
+	for i, mult := range wants {
+		co.lastSync = time.Now().Add(-32 * time.Hour)
+		co.Exchange(base, 0, cost(base))
+		if want := time.Duration(mult) * time.Hour; co.syncWait != want {
+			t.Fatalf("after %d unproductive syncs: syncWait %v, want %v", i+1, co.syncWait, want)
+		}
+	}
+	if up.calls != len(wants) {
+		t.Fatalf("upstream polled %d times, want %d", up.calls, len(wants))
+	}
+
+	// A local improvement syncs immediately (no matter the wait) and, being
+	// productive, resets the period to the base.
+	better := circuit.New(4)
+	co.Exchange(better, 0, cost(better))
+	if up.calls != len(wants)+1 {
+		t.Fatal("local improvement was not pushed upstream immediately")
+	}
+	if co.syncWait != time.Hour {
+		t.Fatalf("productive sync left syncWait at %v, want reset to base", co.syncWait)
+	}
+
+	// The zero value selects the documented 100 ms default.
+	if d := newCoordinator(base, cost, nil, up, 0); d.syncBase != upstreamSyncDefault {
+		t.Fatalf("default sync base %v, want %v", d.syncBase, upstreamSyncDefault)
 	}
 }
 

@@ -11,30 +11,60 @@ import "github.com/guoq-dev/guoq/internal/circuit"
 
 // Blocks splits the circuit into consecutive convex blocks spanning at most
 // maxQubits qubits each. Consecutive gate runs are trivially convex. Gates
-// wider than maxQubits are left untouched between blocks.
+// wider than maxQubits are never selected; a wide gate acting on qubits
+// disjoint from the open block is skipped in place (the Region invariant
+// allows unselected window gates on disjoint qubits), and only a wide gate
+// that shares qubits with the block closes it. The skipped gate's qubits
+// stay blocked for the rest of the block: absorbing one later would put the
+// wide gate's qubits inside the selection and break convexity, so a gate
+// touching them starts a fresh block instead.
 func Blocks(c *circuit.Circuit, maxQubits int) []*circuit.Region {
 	var blocks []*circuit.Region
 	var cur *circuit.Region
 	var curQubits map[int]bool
+	var blockedQubits map[int]bool // qubits of wide gates skipped inside cur's window
 	flush := func() {
 		if cur != nil && len(cur.Indices) > 0 {
 			blocks = append(blocks, cur)
 		}
 		cur = nil
+		blockedQubits = nil
 	}
 	for i, g := range c.Gates {
 		if len(g.Qubits) > maxQubits {
-			flush()
-			continue // leave wide gates untouched between blocks
+			if cur != nil {
+				touches := false
+				for _, q := range g.Qubits {
+					if curQubits[q] {
+						touches = true
+						break
+					}
+				}
+				if touches {
+					flush()
+					continue
+				}
+				if blockedQubits == nil {
+					blockedQubits = map[int]bool{}
+				}
+				for _, q := range g.Qubits {
+					blockedQubits[q] = true
+				}
+			}
+			continue
 		}
 		if cur != nil {
+			blocked := false
 			extra := 0
 			for _, q := range g.Qubits {
+				if blockedQubits[q] {
+					blocked = true
+				}
 				if !curQubits[q] {
 					extra++
 				}
 			}
-			if len(curQubits)+extra <= maxQubits {
+			if !blocked && len(curQubits)+extra <= maxQubits {
 				cur.Indices = append(cur.Indices, i)
 				cur.Hi = i
 				for _, q := range g.Qubits {
@@ -62,8 +92,13 @@ func Blocks(c *circuit.Circuit, maxQubits int) []*circuit.Region {
 // its index range, so the windows are disjoint, cover the whole circuit,
 // and concatenating their (independently optimized) replacements in order
 // reproduces the original unitary up to the summed per-window error.
-// Windows narrower than minGates gates are merged into their predecessor;
-// fewer than two resulting windows yields nil (partitioning is pointless).
+// minGates is a hard floor: no returned window is narrower, and a circuit
+// below 2×minGates (or n < 2) yields nil — partitioning is pointless.
+// End windows that would fall below the floor are rebalanced with their
+// neighbour rather than merged wholesale, so no window silently grows past
+// its intended share either (see sized). Callers that need windows on
+// smaller circuits — the parallel local fixpoint optimizer — use
+// SizedWindows, whose floor adapts to the circuit.
 func TimeWindows(c *circuit.Circuit, n, minGates int) []*circuit.Region {
 	total := len(c.Gates)
 	if n < 2 || total < 2*minGates || total < 2 {
@@ -73,29 +108,101 @@ func TimeWindows(c *circuit.Circuit, n, minGates int) []*circuit.Region {
 	if per < minGates {
 		per = minGates
 	}
-	var windows []*circuit.Region
-	for lo := 0; lo < total; lo += per {
-		hi := lo + per - 1
-		if hi >= total {
-			hi = total - 1
+	return sized(c, per, minGates, 0)
+}
+
+// SizedWindows splits the gate list into consecutive disjoint windows of
+// about size gates each, with the first interior boundary shifted to
+// offset — alternating the offset between rounds is how the fixpoint
+// optimizer re-optimizes the seams left by the previous round's windows.
+// Unlike TimeWindows, minGates here is advisory: it is clamped to half the
+// circuit so any circuit with at least two gates and room for two windows
+// partitions, which is what iterated local optimization needs (a hard
+// floor would reject exactly the tail ends of a shrinking circuit).
+// Returns nil when fewer than two windows fit.
+func SizedWindows(c *circuit.Circuit, size, minGates, offset int) []*circuit.Region {
+	total := len(c.Gates)
+	if size < 1 || total < 2 {
+		return nil
+	}
+	if minGates > total/2 {
+		minGates = total / 2
+	}
+	if minGates < 1 {
+		minGates = 1
+	}
+	offset %= size
+	if offset < 0 {
+		offset += size
+	}
+	return sized(c, size, minGates, offset)
+}
+
+// sized builds consecutive windows with boundaries at offset, offset+size,
+// offset+2·size, …, then repairs end slivers narrower than minGates: a
+// sliver and its neighbour are split evenly when they jointly carry
+// 2×minGates gates (both halves stay within [minGates, size] for any
+// minGates ≤ size), and merged only when they do not — so a merged window
+// is itself below 2×minGates, never the size+minGates−1 the old
+// append-to-predecessor merge could silently produce. Requires
+// 1 ≤ minGates ≤ total/2, size ≥ 1, 0 ≤ offset < size.
+func sized(c *circuit.Circuit, size, minGates, offset int) []*circuit.Region {
+	total := len(c.Gates)
+	type span struct{ lo, hi int } // inclusive
+	var spans []span
+	lo := 0
+	for cut := offset; cut < total; cut += size {
+		if cut > lo {
+			spans = append(spans, span{lo, cut - 1})
+			lo = cut
 		}
-		// Merge a trailing sliver into the previous window.
-		if hi-lo+1 < minGates && len(windows) > 0 {
-			prev := windows[len(windows)-1]
-			for i := lo; i <= hi; i++ {
-				prev.Indices = append(prev.Indices, i)
+	}
+	spans = append(spans, span{lo, total - 1})
+
+	// width is the gate count of a span; rebalance repairs spans[i] (an end
+	// sliver below minGates) against its inward neighbour spans[j].
+	width := func(s span) int { return s.hi - s.lo + 1 }
+	rebalance := func(i, j int) {
+		if width(spans[i]) >= minGates {
+			return
+		}
+		combined := width(spans[i]) + width(spans[j])
+		if combined >= 2*minGates {
+			// Split the pair evenly instead of letting one window balloon.
+			first, second := i, j
+			if first > second {
+				first, second = second, first
 			}
-			prev.Hi = hi
-			continue
+			mid := spans[first].lo + combined/2
+			spans[first].hi = mid - 1
+			spans[second].lo = mid
+			return
 		}
-		r := &circuit.Region{Lo: lo, Hi: hi}
-		for i := lo; i <= hi; i++ {
+		// Too small to split: merge the pair.
+		if i < j {
+			spans[j].lo = spans[i].lo
+		} else {
+			spans[j].hi = spans[i].hi
+		}
+		spans = append(spans[:i], spans[i+1:]...)
+	}
+	if len(spans) >= 2 {
+		rebalance(0, 1)
+	}
+	if len(spans) >= 2 {
+		rebalance(len(spans)-1, len(spans)-2)
+	}
+	if len(spans) < 2 {
+		return nil
+	}
+
+	windows := make([]*circuit.Region, 0, len(spans))
+	for _, s := range spans {
+		r := &circuit.Region{Lo: s.lo, Hi: s.hi}
+		for i := s.lo; i <= s.hi; i++ {
 			r.Indices = append(r.Indices, i)
 		}
 		windows = append(windows, r)
-	}
-	if len(windows) < 2 {
-		return nil
 	}
 	for _, w := range windows {
 		fillQubits(c, w)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
 	"github.com/guoq-dev/guoq/internal/verify"
 )
 
@@ -74,6 +75,252 @@ func TestTimeWindowsMergesSliver(t *testing.T) {
 	}
 	if total != c.Len() {
 		t.Fatalf("windows cover %d of %d gates", total, c.Len())
+	}
+}
+
+// checkWindows pins the three window invariants every partition promises:
+// pairwise-disjoint selections, full coverage of the gate list, and indices
+// confined to their window bounds.
+func checkWindows(t *testing.T, c *circuit.Circuit, windows []*circuit.Region) {
+	t.Helper()
+	seen := map[int]bool{}
+	for wi, w := range windows {
+		for _, i := range w.Indices {
+			if seen[i] {
+				t.Fatalf("gate %d selected by two windows", i)
+			}
+			seen[i] = true
+			if i < w.Lo || i > w.Hi {
+				t.Fatalf("window %d: index %d outside [%d,%d]", wi, i, w.Lo, w.Hi)
+			}
+		}
+	}
+	if len(seen) != c.Len() {
+		t.Fatalf("windows cover %d of %d gates", len(seen), c.Len())
+	}
+}
+
+// The sliver-merge boundary, table-driven: window counts, per-window size
+// bounds, coverage, and disjointness must hold exactly at the sizes where
+// the trailing (or, with an offset, leading) window degenerates. The old
+// merge appended a sliver to its predecessor wholesale, silently emitting
+// windows of up to per+minGates-1 gates; the rebalanced construction keeps
+// every window within [minGates, per] whenever the pair carries 2×minGates.
+func TestTimeWindowsBoundaries(t *testing.T) {
+	cases := []struct {
+		name               string
+		gates, n, min      int
+		wantWindows        int
+		wantMinW, wantMaxW int // per-window gate-count bounds (0 = skip)
+	}{
+		// 85 over per=22: trailing 19-gate sliver, pair 41 < 2·20=40? no:
+		// min=20 ⇒ 41 ≥ 40 rebalances into 20+21.
+		{"rebalance-trailing", 85, 4, 20, 4, 20, 22},
+		// min=22: pair carries 41 < 44, must merge (bounded by 2·min-1=43).
+		{"merge-trailing", 85, 4, 22, 3, 22, 43},
+		// Exactly 2×minGates: the smallest circuit TimeWindows accepts.
+		{"exact-two-windows", 48, 2, 24, 2, 24, 24},
+		// One below 2×minGates: rejected (hard floor).
+		{"below-floor", 47, 2, 24, 0, 0, 0},
+		// Pair carries exactly 2×minGates: rebalances, never merges.
+		{"rebalance-exact-2min", 97, 3, 32, 3, 32, 33},
+		// Pair one short of 2×minGates: merges, bounded by 2×minGates-1.
+		{"merge-trailing-bound", 97, 3, 33, 2, 33, 64},
+		// Divides evenly: no sliver handling at all.
+		{"even", 120, 4, 24, 4, 30, 30},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := randomCircuit(7, 6, tc.gates)
+			windows := TimeWindows(c, tc.n, tc.min)
+			if tc.wantWindows == 0 {
+				if windows != nil {
+					t.Fatalf("expected nil, got %d windows", len(windows))
+				}
+				return
+			}
+			if len(windows) != tc.wantWindows {
+				t.Fatalf("got %d windows, want %d", len(windows), tc.wantWindows)
+			}
+			checkWindows(t, c, windows)
+			for _, w := range windows {
+				if n := len(w.Indices); n < tc.wantMinW || n > tc.wantMaxW {
+					t.Fatalf("window of %d gates outside [%d,%d]", n, tc.wantMinW, tc.wantMaxW)
+				}
+			}
+		})
+	}
+}
+
+// SizedWindows adapts the floor to the circuit (the fixpoint mode's need:
+// TimeWindows' hard 2×minGates floor rejected the very circuits iterated
+// local optimization shrinks toward) and supports a boundary offset for
+// seam re-optimization.
+func TestSizedWindowsBoundaries(t *testing.T) {
+	cases := []struct {
+		name                  string
+		gates, size, min, off int
+		wantWindows           int
+	}{
+		{"basic", 100, 25, 10, 0, 4},
+		{"offset-shifts-seams", 100, 25, 10, 12, 5},
+		{"offset-leading-sliver-merges", 100, 25, 24, 5, 3},
+		{"below-timewindows-floor-still-splits", 30, 24, 24, 0, 2},
+		{"one-gate", 1, 24, 24, 0, 0},
+		{"size-swallows-circuit", 40, 64, 8, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := randomCircuit(8, 6, tc.gates)
+			windows := SizedWindows(c, tc.size, tc.min, tc.off)
+			if tc.wantWindows == 0 {
+				if windows != nil {
+					t.Fatalf("expected nil, got %d windows", len(windows))
+				}
+				return
+			}
+			if len(windows) != tc.wantWindows {
+				t.Fatalf("got %d windows, want %d", len(windows), tc.wantWindows)
+			}
+			checkWindows(t, c, windows)
+		})
+	}
+}
+
+// Alternating the offset must shift every interior seam of the previous
+// round strictly inside some window of the next — the property the fixpoint
+// optimizer's seam re-optimization rounds rely on.
+func TestSizedWindowsOffsetCoversSeams(t *testing.T) {
+	c := randomCircuit(9, 6, 200)
+	even := SizedWindows(c, 48, 16, 0)
+	odd := SizedWindows(c, 48, 16, 24)
+	if even == nil || odd == nil {
+		t.Fatal("expected windows at both offsets")
+	}
+	for _, w := range even[:len(even)-1] {
+		seam := w.Hi // boundary between w and its successor
+		inside := false
+		for _, o := range odd {
+			if o.Lo <= seam && seam+1 <= o.Hi {
+				inside = true
+				break
+			}
+		}
+		if !inside {
+			t.Fatalf("seam after gate %d not interior to any offset window", seam)
+		}
+	}
+}
+
+// checkBlockInvariant pins the circuit.Region contract on every block:
+// each unselected gate inside the block's window acts on qubits disjoint
+// from the block (the convexity condition Extract/Replace rely on).
+func checkBlockInvariant(t *testing.T, c *circuit.Circuit, blocks []*circuit.Region) {
+	t.Helper()
+	for bi, b := range blocks {
+		sel := map[int]bool{}
+		for _, i := range b.Indices {
+			sel[i] = true
+		}
+		qs := map[int]bool{}
+		for _, q := range b.Qubits {
+			qs[q] = true
+		}
+		for i := b.Lo; i <= b.Hi; i++ {
+			if sel[i] {
+				continue
+			}
+			for _, q := range c.Gates[i].Qubits {
+				if qs[q] {
+					t.Fatalf("block %d: unselected gate %d shares qubit %d with the block", bi, i, q)
+				}
+			}
+		}
+	}
+}
+
+// A wide gate on qubits disjoint from the open block must be skipped in
+// place, not flush the block — the old force-flush fragmented coverage on
+// circuits with interleaved multi-qubit gates.
+func TestBlocksSkipDisjointWideGate(t *testing.T) {
+	c := circuit.New(5)
+	c.Append(
+		gate.NewCX(0, 1),
+		gate.New(gate.CCX, []int{2, 3, 4}, nil), // wide, disjoint: skip
+		gate.NewCX(0, 1),
+		gate.NewH(0),
+	)
+	blocks := Blocks(c, 2)
+	if len(blocks) != 1 {
+		t.Fatalf("disjoint wide gate fragmented the block: got %d blocks, want 1", len(blocks))
+	}
+	b := blocks[0]
+	if want := []int{0, 2, 3}; len(b.Indices) != len(want) {
+		t.Fatalf("block selects %v, want %v", b.Indices, want)
+	} else {
+		for i, idx := range want {
+			if b.Indices[i] != idx {
+				t.Fatalf("block selects %v, want %v", b.Indices, want)
+			}
+		}
+	}
+	checkBlockInvariant(t, c, blocks)
+}
+
+// A wide gate sharing qubits with the open block must still close it: the
+// block cannot skip a gate it is entangled with.
+func TestBlocksWideGateIntersectingFlushes(t *testing.T) {
+	c := circuit.New(4)
+	c.Append(
+		gate.NewCX(0, 1),
+		gate.New(gate.CCX, []int{1, 2, 3}, nil), // shares qubit 1: flush
+		gate.NewCX(0, 1),
+	)
+	blocks := Blocks(c, 2)
+	if len(blocks) != 2 {
+		t.Fatalf("got %d blocks, want 2", len(blocks))
+	}
+	if blocks[0].Hi >= 1 {
+		t.Fatalf("first block window [%d,%d] swallows the intersecting wide gate", blocks[0].Lo, blocks[0].Hi)
+	}
+	checkBlockInvariant(t, c, blocks)
+}
+
+// Once a wide gate has been skipped, its qubits are blocked: a later gate
+// touching them must start a fresh block (absorbing it would put the wide
+// gate's qubits inside the selection and break convexity).
+func TestBlocksBlockedQubitsStartFreshBlock(t *testing.T) {
+	c := circuit.New(5)
+	c.Append(
+		gate.NewCX(0, 1),
+		gate.New(gate.CCX, []int{2, 3, 4}, nil), // skipped; 2,3,4 blocked
+		gate.NewCX(2, 3),                        // touches blocked qubits
+	)
+	blocks := Blocks(c, 2)
+	if len(blocks) != 2 {
+		t.Fatalf("got %d blocks, want 2", len(blocks))
+	}
+	if got := blocks[1].Indices; len(got) != 1 || got[0] != 2 {
+		t.Fatalf("second block selects %v, want [2]", got)
+	}
+	checkBlockInvariant(t, c, blocks)
+}
+
+// Randomized sweep with 3-qubit gates in the vocabulary: every block stays
+// within the qubit bound and satisfies the Region invariant.
+func TestBlocksInvariantRandom(t *testing.T) {
+	vocab := append([]gate.Name{gate.CCX, gate.CCZ}, circuit.DefaultTestVocab...)
+	for seed := int64(0); seed < 8; seed++ {
+		c := circuit.Random(6, 80, vocab, rand.New(rand.NewSource(seed)))
+		for _, maxQ := range []int{2, 3} {
+			blocks := Blocks(c, maxQ)
+			for _, b := range blocks {
+				if len(b.Qubits) > maxQ {
+					t.Fatalf("seed %d: block spans %d qubits, bound %d", seed, len(b.Qubits), maxQ)
+				}
+			}
+			checkBlockInvariant(t, c, blocks)
+		}
 	}
 }
 

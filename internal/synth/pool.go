@@ -1,0 +1,84 @@
+package synth
+
+import "sync"
+
+// Pool is a fixed-size worker pool for slow synthesis jobs. The optimizer
+// historically gave every search worker a private background goroutine; on
+// a machine running W searches with S synthesis workers each that admits
+// W×S concurrent numerical searches and thrashes the CPU the fast rewrite
+// loops need. A single shared Pool caps concurrency at its size while
+// letting idle capacity drain whichever search produced work — simple work
+// stealing: all submitters feed one queue, any free worker takes the next
+// job regardless of origin.
+//
+// The pool is deliberately generic (jobs are plain funcs) so it stays free
+// of optimizer types; the opt package layers result routing on top.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPool starts a pool with size workers (at least one).
+func NewPool(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(size)
+	for i := 0; i < size; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 { // closed and drained
+			p.mu.Unlock()
+			return
+		}
+		job := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		job()
+	}
+}
+
+// Submit enqueues a job for the next free worker. It returns false — and
+// does not run the job — once the pool is closed, so a submitter racing
+// Close can tell whether its job will ever produce a result.
+func (p *Pool) Submit(job func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.queue = append(p.queue, job)
+	p.cond.Signal()
+	return true
+}
+
+// Close stops accepting jobs, lets the workers drain everything already
+// queued, and blocks until they exit. Draining rather than discarding means
+// every job accepted by Submit runs to completion — submitters blocked on a
+// job's result are always released.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}

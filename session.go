@@ -142,6 +142,7 @@ func Start(ctx context.Context, c *Circuit, o Options) (*Session, error) {
 	runner.Async = o.Async
 	runner.Parallelism = o.Parallelism
 	runner.Partition = o.PartitionParallel
+	runner.Fixpoint = o.Fixpoint
 	runner.Exchanger = o.Exchanger
 	runner.MaxIters = o.MaxIters
 	runner.OnEvent = s.onEvent

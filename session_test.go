@@ -237,6 +237,46 @@ func TestSessionEvents(t *testing.T) {
 	}
 }
 
+// A fixpoint session streams per-round convergence events: each round's
+// Worker-0 event lands in Session.Events with consistent cumulative
+// counters, and the final result is never worse than the input and within
+// the ε budget.
+func TestSessionFixpointEvents(t *testing.T) {
+	// Big enough to actually window at the default 256-gate window size;
+	// smaller circuits would silently exercise the portfolio fallback.
+	c := nativeRandom(t, 37, 600)
+	sess, err := Start(context.Background(), c, Options{
+		GateSet:  "nam",
+		Budget:   2 * time.Second,
+		Seed:     7,
+		Fixpoint: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	for ev := range sess.Events() {
+		events++
+		if ev.Rejected != ev.Iters-ev.Accepted {
+			t.Fatalf("inconsistent counters: %+v", ev)
+		}
+	}
+	if events == 0 {
+		t.Fatal("no round events observed from a fixpoint session")
+	}
+	out, res, err := sess.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || res.TwoQubitAfter > res.TwoQubitBefore {
+		t.Fatalf("fixpoint worsened the objective: %d -> %d two-qubit gates",
+			res.TwoQubitBefore, res.TwoQubitAfter)
+	}
+	if res.Error > 1e-8 {
+		t.Fatalf("Error %g exceeds the default budget", res.Error)
+	}
+}
+
 // Stop is cancel-then-Wait: it must end an unbounded session promptly and
 // return the same result Wait does.
 func TestSessionStop(t *testing.T) {
