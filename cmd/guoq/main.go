@@ -5,7 +5,8 @@
 //	guoq -gateset ibm-eagle -budget 2s [-objective 2q|t|fidelity|gates]
 //	     [-epsilon 1e-8] [-seed 1] [-async] [-parallel N] [-partition]
 //	     [-fixpoint] [-gateset-file set.json] [-coordinator addr]
-//	     [-session id] [-token secret] [-progress] [-o out.qasm] input.qasm
+//	     [-session id] [-token secret] [-progress] [-metrics]
+//	     [-pprof-addr :6060] [-o out.qasm] input.qasm
 //	guoq -list-gatesets
 //
 // The input is translated into the target gate set first, so any circuit in
@@ -29,12 +30,20 @@
 // epsilon share a session automatically; pass -session to pin one
 // explicitly. The signal context propagates into the coordinator client,
 // so an interrupt also aborts in-flight exchange requests.
+//
+// -metrics dumps the run's metric series to stderr after the run: the
+// per-transformation attribution table (attempts/accepts/rejects per rule
+// and synthesizer), engine cache statistics, and the full registry in
+// Prometheus text format. -pprof-addr serves net/http/pprof on a separate
+// listener for CPU/heap profiling of long runs.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -61,6 +70,8 @@ func main() {
 		session   = flag.String("session", "", "exchange session id (default: derived from circuit+objective+epsilon)")
 		token     = flag.String("token", os.Getenv("GUOQD_TOKEN"), "bearer token for a -coordinator started with -token (default $GUOQD_TOKEN)")
 		progress  = flag.Bool("progress", false, "stream live search progress to stderr")
+		metrics   = flag.Bool("metrics", false, "dump per-rule attribution and the full metric registry (Prometheus text) to stderr after the run")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		outPath   = flag.String("o", "", "output QASM path (default stdout)")
 		gsFile    = flag.String("gateset-file", "", "register a custom gate set from a JSON description before resolving -gateset")
 		listSets  = flag.Bool("list-gatesets", false, "list every addressable gate set and exit")
@@ -95,6 +106,16 @@ func main() {
 	workers := *parallel
 	if workers <= 0 {
 		workers = opt.AutoWorkers()
+	}
+	if *pprofAddr != "" {
+		// pprof rides the default mux on its own listener, kept apart from
+		// any user-facing port so profiling is never accidentally exposed.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "guoq: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	// First SIGINT/SIGTERM cancels the run context — the session winds down
@@ -142,6 +163,14 @@ func main() {
 		PartitionParallel: *part,
 		Fixpoint:          *fixpoint,
 	}
+	var reg *guoq.MetricsRegistry
+	if *metrics {
+		reg = guoq.NewMetricsRegistry()
+		o.Metrics = reg
+		if client != nil {
+			client.Instrument(reg)
+		}
+	}
 	if client != nil {
 		o.Exchanger = client
 	}
@@ -184,6 +213,20 @@ func main() {
 		st := client.Stats()
 		fmt.Fprintf(os.Stderr, "exchange   %d round trips (%d throttled), %d adoptions, %d migrations into the search, %d errors\n",
 			st.Exchanges, st.Throttled, st.Adoptions, res.Migrations, st.Errors)
+	}
+	if *metrics {
+		snap := sess.Metrics()
+		fmt.Fprintf(os.Stderr, "engine     %.0f cache hits, %.0f misses, %.0f splices, %.0f invalidated\n",
+			snap["guoq_engine_cache_hits_total"], snap["guoq_engine_cache_misses_total"],
+			snap["guoq_engine_splices_total"], snap["guoq_engine_invalidated_total"])
+		if len(res.Rules) > 0 {
+			fmt.Fprintf(os.Stderr, "%-40s %9s %9s %9s\n", "transformation", "attempts", "accepted", "rejected")
+			for _, r := range res.Rules {
+				fmt.Fprintf(os.Stderr, "%-40s %9d %9d %9d\n", r.Name, r.Attempts, r.Accepted, r.Rejected)
+			}
+		}
+		fmt.Fprintln(os.Stderr, "--- metrics (Prometheus text) ---")
+		_ = reg.WritePrometheus(os.Stderr)
 	}
 
 	qasm := out.WriteQASM()

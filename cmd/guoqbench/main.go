@@ -28,6 +28,12 @@
 // (the in-flight circuit finishes with its best-so-far), the JSON array is
 // closed validly, and the partial results are reported.
 //
+// -metrics embeds a per-circuit observability snapshot in each bench
+// record: heap allocations per search iteration and the full metric
+// registry of that circuit's run (engine cache hit/miss counters, per-rule
+// accept series), each circuit against a fresh registry — with -json this
+// yields machine-readable cache-hit trajectories across the suite.
+//
 // Custom targets: -gateset-file registers a gate set from a JSON
 // description (guoq.ParseGateSetJSON), after which -gateset can name it —
 // the suite is translated into the custom basis like any built-in target.
@@ -62,6 +68,7 @@ func main() {
 		gateSet = flag.String("gateset", "ibmq20", "target gate set for bench (built-in or loaded via -gateset-file)")
 		gsFile  = flag.String("gateset-file", "", "register a custom gate set from a JSON description (guoq.ParseGateSetJSON) before resolving -gateset")
 		workers = flag.Int("workers", 1, "per-circuit portfolio size for bench")
+		metrics = flag.Bool("metrics", false, "embed a per-circuit metrics snapshot (allocs/iter, cache hits, per-rule accepts) in bench results")
 		queue   = flag.String("queue", "bench", "work queue name on the coordinator")
 		fpGates = flag.Int("fixpoint-gates", 10000, "generated circuit size for the fixpoint experiment")
 		ttl     = flag.Duration("lease-ttl", 60*time.Second, "job lease duration in remote mode")
@@ -114,7 +121,7 @@ func main() {
 	}()
 
 	runBench := func() error {
-		bo := experiments.BenchOptions{GateSet: *gateSet, Workers: *workers, Context: ctx}
+		bo := experiments.BenchOptions{GateSet: *gateSet, Workers: *workers, Context: ctx, Metrics: *metrics}
 		if host, err := os.Hostname(); err == nil {
 			bo.Worker = fmt.Sprintf("%s-%d", host, os.Getpid())
 		}

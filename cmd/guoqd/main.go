@@ -6,10 +6,18 @@
 //
 //	guoqd -listen :7077 [-token secret] [-lease-ttl 60s] [-max-attempts 3]
 //	      [-seed-bench] [-limit 40] [-queue bench] [-grace 5s] [-quiet]
+//	      [-pprof-addr :6060]
+//
+// -addr is an alias for -listen and overrides it when set.
 //
 // With -token (or the GUOQD_TOKEN environment variable) every exchange and
 // queue endpoint requires "Authorization: Bearer <token>"; workers pass the
-// same value via guoq/guoqbench -token. /healthz stays open.
+// same value via guoq/guoqbench -token. /healthz and /metrics stay open:
+// the metrics endpoint serves the coordinator's registry (request counts
+// and latency, queue depths, lease retries, exchange adoptions, live
+// sessions, uptime) in Prometheus text format, so a stock Prometheus
+// scrape config needs no credentials. -pprof-addr additionally serves
+// net/http/pprof on its own listener for live profiling.
 //
 // SIGINT/SIGTERM shuts the daemon down gracefully: the listener stops
 // accepting, in-flight requests get up to -grace to finish, and request
@@ -34,6 +42,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +58,8 @@ import (
 func main() {
 	var (
 		listen      = flag.String("listen", ":7077", "address to serve on")
+		addr        = flag.String("addr", "", "alias for -listen; overrides it when set")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		leaseTTL    = flag.Duration("lease-ttl", 60*time.Second, "default job lease duration (dead workers' jobs requeue after this)")
 		maxAttempts = flag.Int("max-attempts", 3, "lease attempts before a job is marked failed")
 		seedBench   = flag.Bool("seed-bench", false, "seed the work queue with the benchmark suite")
@@ -63,6 +75,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: guoqd [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if *addr != "" {
+		*listen = *addr
 	}
 
 	logger := log.New(os.Stderr, "guoqd: ", log.LstdFlags)
@@ -105,6 +120,18 @@ func main() {
 		<-ctx.Done()
 		stopSig()
 	}()
+
+	if *pprofAddr != "" {
+		// pprof gets its own listener (default mux), never the public port:
+		// profiling endpoints stay reachable only where the operator binds
+		// them, regardless of -token.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
+		logger.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -38,8 +38,22 @@ import (
 	"github.com/guoq-dev/guoq/internal/gate"
 	"github.com/guoq-dev/guoq/internal/gateset"
 	"github.com/guoq-dev/guoq/internal/linalg"
+	"github.com/guoq-dev/guoq/internal/obs"
 	"github.com/guoq-dev/guoq/internal/opt"
 )
+
+// MetricsRegistry is a set of named metric series — counters, gauges, and
+// latency histograms — that an optimization run reports into: iterations,
+// per-transformation accept/reject attribution, rewrite-engine cache
+// statistics, resynthesis queue depth, proposal and synthesis latency.
+// Registries are safe for concurrent use and cheap to scrape; one registry
+// may be shared by many runs (series accumulate) or created per run.
+// WritePrometheus emits the standard text exposition format, so the same
+// registry that feeds Session.Metrics can back an HTTP /metrics endpoint.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry for Options.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Circuit is an ordered list of gate applications on a fixed number of
 // qubits. Build one with NewCircuit and the gate constructors, or parse
@@ -205,6 +219,14 @@ type Options struct {
 	// Extensions compose with the default portfolio; they never replace
 	// it. Empty leaves the portfolio exactly as in previous releases.
 	Transformations []Transformation
+	// Metrics, when set, is the registry this run reports its metric
+	// series into — share one registry across runs to aggregate, or expose
+	// it over HTTP with WritePrometheus. Nil gives the session a private
+	// registry (Session.Metrics still works); the search loop itself stays
+	// free of instrumentation cost beyond a pointer check either way, and
+	// instrumented runs remain bit-identical to uninstrumented ones for
+	// equal seeds (metrics consume no randomness).
+	Metrics *MetricsRegistry
 }
 
 // Exchanger is a shared best-so-far store connecting concurrent searches;
@@ -262,6 +284,21 @@ type Result struct {
 	// solution from Options.Exchanger (0 without one).
 	Migrations int
 	Elapsed    time.Duration
+	// Rules is the per-transformation attribution table: how often each
+	// transformation in the portfolio was attempted, accepted, and
+	// rejected, sorted by accepts (ties by name). Only the final Result of
+	// a finished run carries it; mid-run Best snapshots leave it nil.
+	Rules []RuleStat
+}
+
+// RuleStat is one row of Result.Rules: the attempt/accept/reject counts of
+// a single named transformation (rewrite rules as "rule:<name>",
+// resynthesis as "resynth:<name>").
+type RuleStat struct {
+	Name     string
+	Attempts int
+	Accepted int
+	Rejected int
 }
 
 // Validate reports the first configuration error in o, with the silently

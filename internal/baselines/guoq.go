@@ -61,6 +61,11 @@ type GUOQ struct {
 	// hook behind the public Session's Events stream. Must be safe for
 	// concurrent use in parallel modes.
 	OnEvent func(opt.Event)
+	// Metrics, when set, mirrors the search's counters into an obs
+	// registry (iterations, per-rule accept/reject attribution, engine
+	// cache statistics, resynthesis pool depth); nil keeps the hot loop
+	// instrumentation-free. Build one with opt.NewMetrics.
+	Metrics *opt.Metrics
 }
 
 // GUOQMode selects among the paper's search variants.
@@ -189,6 +194,7 @@ func (g *GUOQ) OptimizeStatsContext(ctx context.Context, c *circuit.Circuit, gs 
 	opts.Exchanger = g.Exchanger
 	opts.MaxIters = g.MaxIters
 	opts.OnEvent = g.OnEvent
+	opts.Metrics = g.Metrics
 	opts.UpstreamSyncEvery = g.UpstreamSyncEvery
 	if ctx != nil {
 		opts.Context = ctx

@@ -64,6 +64,11 @@ type Client struct {
 	// context.Background().
 	Context context.Context
 
+	// m mirrors the stats into a registry when Instrument was called; its
+	// nil handles are no-ops otherwise. Written once before the first
+	// request, read without the lock thereafter.
+	m clientMetrics
+
 	mu       sync.Mutex
 	stats    ClientStats
 	lastSent time.Time
@@ -161,11 +166,13 @@ func (c *Client) Exchange(best *circuit.Circuit, bestErr, bestCost float64) (*ci
 	if !improved && interval > 0 && time.Since(c.lastSent) < interval {
 		c.stats.Throttled++
 		c.mu.Unlock()
+		c.m.throttled.Inc()
 		return nil, 0, false
 	}
 	c.sentAny, c.lastCost, c.lastSent = true, bestCost, time.Now()
 	c.stats.Exchanges++
 	c.mu.Unlock()
+	c.m.exchanges.Inc()
 	req := ExchangeRequest{
 		Session: c.Session,
 		Worker:  c.Worker,
@@ -194,6 +201,7 @@ func (c *Client) Exchange(best *circuit.Circuit, bestErr, bestCost float64) (*ci
 	c.mu.Lock()
 	c.stats.Adoptions++
 	c.mu.Unlock()
+	c.m.adoptions.Inc()
 	return adopted, adoptErr, true
 }
 
@@ -201,6 +209,7 @@ func (c *Client) fail() {
 	c.mu.Lock()
 	c.stats.Errors++
 	c.mu.Unlock()
+	c.m.errors.Inc()
 }
 
 // Push enqueues jobs onto a named queue, returning how many were new.
@@ -254,6 +263,9 @@ func (c *Client) Queue(queue string) (QueueStatus, error) {
 }
 
 func (c *Client) post(path string, req, into any) error {
+	if h := c.m.requestSeconds.With(path); h != nil {
+		defer h.Time()()
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/guoq-dev/guoq/internal/obs"
 )
 
 // maxBodyBytes bounds a request body: a QASM circuit of ~100k gates is a
@@ -42,14 +44,22 @@ type ServerOptions struct {
 	Token string
 	// Logf, when set, receives one line per state-changing request.
 	Logf func(format string, args ...any)
+	// Metrics, when set, is the registry behind GET /metrics; the server
+	// registers its families on it, so a caller can share one registry
+	// across subsystems. Nil creates a private registry — /metrics works
+	// either way.
+	Metrics *obs.Registry
 }
 
 // Server is the guoqd coordinator: best-so-far exchange sessions plus
 // sharded work queues. It is safe for concurrent use; expose it over HTTP
 // with Handler.
 type Server struct {
-	opts ServerOptions
-	now  func() time.Time // injectable clock for tests
+	opts  ServerOptions
+	now   func() time.Time // injectable clock for tests
+	start time.Time
+	reg   *obs.Registry
+	sm    *serverMetrics
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -79,13 +89,25 @@ func NewServer(opts ServerOptions) *Server {
 	if opts.SessionTTL == 0 {
 		opts.SessionTTL = 30 * time.Minute
 	}
-	return &Server{
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
 		opts:     opts,
 		now:      time.Now,
+		start:    time.Now(),
+		reg:      reg,
 		sessions: map[string]*session{},
 		queues:   map[string]*workQueue{},
 	}
+	s.sm = newServerMetrics(reg, s)
+	return s
 }
+
+// Registry returns the server's metrics registry (the one behind GET
+// /metrics) so embedding processes can add their own families to it.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
@@ -151,20 +173,22 @@ func (s *Server) lookupQueue(name string) *workQueue {
 // behind it. The budget check is what preserves BestError ≤ Epsilon across
 // migration — a worker can only ever adopt a solution whose bound another
 // worker already proved admissible.
-func (ss *session) exchange(req ExchangeRequest) ExchangeResponse {
+func (ss *session) exchange(req ExchangeRequest) (ExchangeResponse, bool) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	ss.exchanges++
+	stored := false
 	if req.Best.QASM != "" && req.Best.Err <= ss.epsilon && (!ss.has || req.Best.Cost < ss.best.Cost) {
 		if _, _, err := req.Best.Open(); err == nil {
 			ss.best, ss.has = req.Best, true
 			ss.improvements++
+			stored = true
 		}
 	}
 	if ss.has && ss.best.Cost < req.Best.Cost {
-		return ExchangeResponse{Adopt: true, Best: ss.best}
+		return ExchangeResponse{Adopt: true, Best: ss.best}, stored
 	}
-	return ExchangeResponse{}
+	return ExchangeResponse{}, stored
 }
 
 func (ss *session) status() SessionStatus {
@@ -200,7 +224,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	return s.withAuth(mux)
+	// /metrics sits outside /v1/ so it stays token-free like /healthz:
+	// scrapers and load balancers get fleet state without the shared
+	// secret, and the payload carries no circuit data.
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.withMetrics(s.withAuth(mux))
 }
 
 // withAuth gates the API surface behind the shared token when one is
@@ -276,7 +304,13 @@ func (s *Server) handleExchange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ss := s.session(req.Session, req.Epsilon)
-	resp := ss.exchange(req)
+	resp, stored := ss.exchange(req)
+	if stored {
+		s.sm.publishes.Inc()
+	}
+	if resp.Adopt {
+		s.sm.adoptions.Inc()
+	}
 	writeJSON(w, resp)
 }
 
@@ -310,6 +344,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	if req.TTLMillis > 0 {
 		ttl = time.Duration(req.TTLMillis) * time.Millisecond
 	}
+	s.sm.leases.Inc()
 	q := s.lookupQueue(req.Queue)
 	if q == nil {
 		// The queue has not been seeded yet (a worker can start before
@@ -320,7 +355,19 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	job, ok, drained := q.lease(req.Worker, ttl, s.now())
+	// A handout whose job was leased before is a retry: its earlier lease
+	// expired (dead worker) and the queue re-issued it. Read under the same
+	// lock as the lease so the attempt count is the handout's own.
+	retry := false
+	if ok {
+		if j := q.leased[job.ID]; j != nil && j.attempts > 1 {
+			retry = true
+		}
+	}
 	s.mu.Unlock()
+	if retry {
+		s.sm.leaseRetries.Inc()
+	}
 	if ok {
 		s.logf("queue %s: leased %q to %s (ttl %v)", req.Queue, job.ID, req.Worker, ttl)
 	}
@@ -348,6 +395,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, err.Error())
 		return
 	}
+	s.sm.completed.Inc()
 	s.logf("queue %s: %s completed %q", req.Queue, req.Worker, req.ID)
 	writeJSON(w, CompleteResponse{OK: true})
 }
@@ -365,12 +413,17 @@ func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	st := Status{Sessions: map[string]SessionStatus{}, Queues: map[string]QueueStatus{}}
+	st := Status{
+		Sessions:      map[string]SessionStatus{},
+		Queues:        map[string]QueueStatus{},
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
 	now := s.now()
 	s.mu.Lock()
 	// Status polling sweeps but does not refresh lastUsed: a dashboard
 	// watching an abandoned session must not keep it alive forever.
 	s.sweepSessionsLocked(now)
+	st.LiveSessions = len(s.sessions)
 	sessions := make(map[string]*session, len(s.sessions))
 	for id, ss := range s.sessions {
 		sessions[id] = ss

@@ -123,8 +123,16 @@ type SessionStatus struct {
 	Improvements int     `json:"improvements"`
 }
 
-// Status is the coordinator-wide view returned by GET /v1/status.
+// Status is the coordinator-wide view returned by GET /v1/status. Queues
+// carries every queue's depths in one response, so fleet operators need no
+// per-queue requests. LiveSessions and UptimeSeconds were added after the
+// first release; older servers simply omit them (new fields only, the wire
+// struct stays backward-compatible).
 type Status struct {
 	Sessions map[string]SessionStatus `json:"sessions"`
 	Queues   map[string]QueueStatus   `json:"queues"`
+	// LiveSessions counts exchange sessions within their idle TTL.
+	LiveSessions int `json:"live_sessions,omitempty"`
+	// UptimeSeconds is the time since the coordinator started.
+	UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
 }

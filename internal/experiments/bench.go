@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"github.com/guoq-dev/guoq/internal/baselines"
 	"github.com/guoq-dev/guoq/internal/benchmarks"
 	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/obs"
 	"github.com/guoq-dev/guoq/internal/opt"
 )
 
@@ -37,6 +39,17 @@ type CircuitResult struct {
 	Iters      int     `json:"iters"`
 	Migrations int     `json:"migrations,omitempty"`
 	Worker     string  `json:"worker,omitempty"`
+
+	// AllocsPerIter is the heap allocations per search iteration across
+	// this circuit's run (BenchOptions.Metrics only) — the cheapest
+	// regression signal for hot-loop allocation creep.
+	AllocsPerIter float64 `json:"allocs_per_iter,omitempty"`
+	// Metrics is the circuit's full metric snapshot (BenchOptions.Metrics
+	// only): each circuit runs against a fresh registry, so counters such
+	// as guoq_engine_cache_hits_total and per-rule accept series are
+	// per-circuit, letting a reader chart cache-hit trajectories across
+	// the suite.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // JobSource leases benchmark names from a remote work queue (a guoqd
@@ -73,6 +86,11 @@ type BenchOptions struct {
 	// completed so far without error — cancellation is a normal anytime
 	// outcome, not a failure. Nil means context.Background().
 	Context context.Context
+	// Metrics adds a per-circuit observability snapshot to every result:
+	// AllocsPerIter (heap allocations per search iteration) and the full
+	// metric registry of that circuit's run. Each circuit gets a fresh
+	// registry, so the series are per-circuit, not cumulative.
+	Metrics bool
 }
 
 // jsonArrayStream incrementally writes a JSON array, one element per emit,
@@ -146,6 +164,16 @@ func Bench(cfg Config, bo BenchOptions) ([]CircuitResult, error) {
 	}
 
 	runOne := func(b benchmarks.Named) CircuitResult {
+		// Fresh registry per circuit (the sweep is sequential, so swapping
+		// the runner's bundle between circuits is race-free): each result
+		// carries its own counters instead of a running total.
+		var reg *obs.Registry
+		var ms0 runtime.MemStats
+		if bo.Metrics {
+			reg = obs.NewRegistry()
+			runner.Metrics = opt.NewMetrics(reg)
+			runtime.ReadMemStats(&ms0)
+		}
 		start := time.Now()
 		out, stats := runner.OptimizeStatsContext(ctx, b.Circuit, gs, cost, cfg.Budget, cfg.Seed)
 		wall := time.Since(start)
@@ -165,6 +193,14 @@ func Bench(cfg Config, bo BenchOptions) ([]CircuitResult, error) {
 			Iters:          stats.Iters,
 			Migrations:     stats.Migrations,
 			Worker:         bo.Worker,
+		}
+		if bo.Metrics {
+			var ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms1)
+			if stats.Iters > 0 {
+				r.AllocsPerIter = float64(ms1.Mallocs-ms0.Mallocs) / float64(stats.Iters)
+			}
+			r.Metrics = reg.Snapshot()
 		}
 		fmt.Fprintf(cfg.Out, "%-24s gates %5d -> %5d  2q %5d -> %5d  ε=%.3g  %7.1fms\n",
 			r.Name, r.GatesBefore, r.GatesAfter, r.TwoQubitBefore, r.TwoQubitAfter, r.Err, r.WallMillis)

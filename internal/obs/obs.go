@@ -1,0 +1,264 @@
+// Package obs is the repo's dependency-free metrics subsystem: atomic
+// Counter/Gauge/Histogram instruments, labeled vectors, and a
+// concurrent-safe Registry with Prometheus text-format exposition.
+//
+// Design constraints, in order:
+//
+//   - Hot-path cost. Instruments are single atomics; a nil instrument is a
+//     no-op, so instrumented code needs no "is metrics enabled" branches —
+//     the nil check is the branch, and it is free enough for the GUOQ inner
+//     loop. Handles are resolved once (at registration), never per
+//     observation.
+//   - No dependencies. The exposition format is the stable Prometheus text
+//     format (version 0.0.4), small enough to emit by hand; pulling in a
+//     client library for it would be the only third-party dependency of the
+//     whole module.
+//   - Concurrency. Every instrument and the Registry are safe for
+//     concurrent use, including WritePrometheus racing live updates (it
+//     reads atomics, so it sees a torn-free point-in-time-ish view without
+//     stopping writers).
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// atomicFloat is a float64 updated with compare-and-swap on its bit
+// pattern — the standard lock-free float accumulator.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (a *atomicFloat) Add(v float64) {
+	for {
+		old := a.bits.Load()
+		nb := math.Float64bits(math.Float64frombits(old) + v)
+		if a.bits.CompareAndSwap(old, nb) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicFloat) Load() float64   { return math.Float64frombits(a.bits.Load()) }
+
+// Counter is a monotonically increasing count. All methods are no-ops on a
+// nil receiver, so optional instrumentation never needs guards.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (n must be ≥ 0; counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down (queue depth, ε spend, best
+// cost). All methods are no-ops on a nil receiver.
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds v (which may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(v)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution (latencies, sizes). Buckets are
+// upper bounds in ascending order; an implicit +Inf bucket catches the
+// rest. Observation is one linear scan over the (few) buckets plus three
+// atomics. All methods are no-ops on a nil receiver.
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Int64 // len(upper)+1; non-cumulative, summed at exposition
+	sum    atomicFloat
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveSince records the seconds elapsed since t0 — the span-timer fast
+// path: t0 := time.Now(); ...; h.ObserveSince(t0). No allocation.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Time returns a stop function observing the elapsed seconds when called —
+// the convenient form for phase timing (defer h.Time()()). It allocates a
+// closure; inner loops should use ObserveSince.
+func (h *Histogram) Time() func() {
+	if h == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { h.ObserveSince(t0) }
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// ExpBuckets returns n bucket upper bounds growing geometrically from
+// start by factor — the usual shape for latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// DefLatencyBuckets spans 1 µs to ~4 s in ×4 steps: wide enough for both
+// sub-millisecond rewrite proposals and multi-second synthesis calls.
+var DefLatencyBuckets = ExpBuckets(1e-6, 4, 12)
+
+// kind is a metric family's type, fixed at first registration.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric: a scalar, or a set of labeled children.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string
+	buckets []float64
+	fn      func() float64 // kindCounterFunc/kindGaugeFunc
+
+	mu       sync.RWMutex
+	children map[string]any // label-value key -> *Counter/*Gauge/*Histogram
+	keys     []string       // insertion order; sorted at exposition
+	vals     map[string][]string
+}
+
+const labelSep = "\x1f"
+
+func (f *family) child(values []string) any {
+	key := ""
+	for i, v := range values {
+		if i > 0 {
+			key += labelSep
+		}
+		key += v
+	}
+	f.mu.RLock()
+	m, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.children[key]; ok {
+		return m
+	}
+	var nm any
+	switch f.kind {
+	case kindCounter:
+		nm = &Counter{}
+	case kindGauge:
+		nm = &Gauge{}
+	case kindHistogram:
+		nm = &Histogram{upper: f.buckets, counts: make([]atomic.Int64, len(f.buckets)+1)}
+	}
+	f.children[key] = nm
+	f.keys = append(f.keys, key)
+	vals := make([]string, len(values))
+	copy(vals, values)
+	f.vals[key] = vals
+	return nm
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", nil)
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(2)
+	g.Inc()
+	g.Dec()
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	h.Time()()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	var cv *CounterVec
+	cv.With("a").Inc()
+	r.CounterVec("v", "", "l").With("a").Inc()
+	r.GaugeVec("w", "", "l").With("a").Set(1)
+	r.HistogramVec("u", "", nil, "l").With("a").Observe(1)
+	r.GaugeFunc("f", "", func() float64 { return 1 })
+	r.CounterFunc("f2", "", func() float64 { return 1 })
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+}
+
+func TestGetOrCreateIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits", "h")
+	b := r.Counter("hits", "h")
+	if a != b {
+		t.Fatal("same name must return same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("shared counter not shared")
+	}
+	h1 := r.Histogram("lat", "", []float64{1, 2})
+	h2 := r.Histogram("lat", "", []float64{5, 6, 7}) // buckets fixed at first registration
+	if h1 != h2 {
+		t.Fatal("same histogram name must return same histogram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("hits", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", "", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 5, 100} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`d_bucket{le="1"} 2`,  // 0.5 and 1 (le is inclusive)
+		`d_bucket{le="10"} 3`, // cumulative
+		`d_bucket{le="+Inf"} 4`,
+		`d_sum 106.5`,
+		`d_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+}
+
+// TestGolden locks the Prometheus text exposition format: family order is
+// registration order, children sort by label values, floats render in
+// shortest form, label values escape backslash/quote/newline.
+func TestGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "Total requests.").Add(42)
+	r.Gauge("queue_depth", "Jobs pending.").Set(3.5)
+	v := r.CounterVec("accepts_total", "Accepts per rule.", "rule")
+	v.With("b_cancel").Add(7)
+	v.With("a_fuse").Add(2)
+	v.With(`we"ird\nm`).Inc()
+	h := r.Histogram("latency_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	r.GaugeFunc("uptime_seconds", "Uptime.", func() float64 { return 12.25 })
+
+	want := `# HELP requests_total Total requests.
+# TYPE requests_total counter
+requests_total 42
+# HELP queue_depth Jobs pending.
+# TYPE queue_depth gauge
+queue_depth 3.5
+# HELP accepts_total Accepts per rule.
+# TYPE accepts_total counter
+accepts_total{rule="a_fuse"} 2
+accepts_total{rule="b_cancel"} 7
+accepts_total{rule="we\"ird\\nm"} 1
+# HELP latency_seconds Request latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="1"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 2.55
+latency_seconds_count 3
+# HELP uptime_seconds Uptime.
+# TYPE uptime_seconds gauge
+uptime_seconds 12.25
+`
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "").Add(3)
+	r.GaugeVec("g", "", "k").With("v").Set(1.5)
+	h := r.Histogram("h", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+	r.GaugeFunc("f", "", func() float64 { return 9 })
+	s := r.Snapshot()
+	for k, want := range map[string]float64{
+		"c": 3, `g{k="v"}`: 1.5, "h_sum": 2.5, "h_count": 2, "f": 9,
+	} {
+		if s[k] != want {
+			t.Fatalf("Snapshot[%q] = %v, want %v (full: %v)", k, s[k], want, s)
+		}
+	}
+}
+
+// TestConcurrency hammers registration, labeled-vector creation, updates,
+// and exposition from many goroutines at once; run with -race.
+func TestConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			labels := []string{"a", "b", "c", "d"}
+			for i := 0; i < iters; i++ {
+				r.Counter("shared_total", "").Inc()
+				r.CounterVec("labeled_total", "", "l").With(labels[(w+i)%len(labels)]).Inc()
+				r.Gauge("g", "").Add(1)
+				r.Histogram("h", "", []float64{1e-9, 1}).ObserveSince(time.Now())
+				if i%100 == 0 {
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Error(err)
+					}
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "").Value(); got != workers*iters {
+		t.Fatalf("shared_total = %d, want %d", got, workers*iters)
+	}
+	total := int64(0)
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += r.CounterVec("labeled_total", "", "l").With(l).Value()
+	}
+	if total != workers*iters {
+		t.Fatalf("labeled_total sum = %d, want %d", total, workers*iters)
+	}
+	if got := r.Gauge("g", "").Value(); got != float64(workers*iters) {
+		t.Fatalf("gauge = %v, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("h", "", nil).Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}

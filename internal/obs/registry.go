@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds named metric families and renders them in Prometheus text
+// format. Registration is get-or-create and idempotent: asking twice for
+// the same name returns the same instrument, so independent components can
+// share counters without coordination. Registering a name with a different
+// type or label set than before panics — that is a programming error, not
+// a runtime condition.
+//
+// A nil *Registry is valid and returns nil instruments (which are
+// themselves no-ops), so "no metrics" needs no special-casing anywhere.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, k kind, labels []string, buckets []float64, fn func() float64) *family {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		f, ok = r.families[name]
+		if !ok {
+			f = &family{
+				name: name, help: help, kind: k, labels: labels,
+				buckets:  buckets,
+				fn:       fn,
+				children: make(map[string]any),
+				vals:     make(map[string][]string),
+			}
+			r.families[name] = f
+			r.order = append(r.order, name)
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, k, f.kind))
+	}
+	if len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("obs: metric %q re-registered with %d labels (was %d)", name, len(labels), len(f.labels)))
+	}
+	for i := range labels {
+		if f.labels[i] != labels[i] {
+			panic(fmt.Sprintf("obs: metric %q re-registered with label %q (was %q)", name, labels[i], f.labels[i]))
+		}
+	}
+	return f
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.family(name, help, kindCounter, nil, nil, nil).child(nil).(*Counter)
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.family(name, help, kindGauge, nil, nil, nil).child(nil).(*Gauge)
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds if needed (nil buckets =
+// DefLatencyBuckets). Buckets are fixed at first registration.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	return r.family(name, help, kindHistogram, nil, buckets, nil).child(nil).(*Histogram)
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — for values some other subsystem already tracks.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.family(name, help, kindCounterFunc, nil, nil, fn)
+}
+
+// GaugeFunc registers a gauge read from fn at exposition time (queue
+// depths, uptimes — anything owned elsewhere). fn must be safe to call
+// from any goroutine and must not call back into this registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.family(name, help, kindGaugeFunc, nil, nil, fn)
+}
+
+// CounterVec is a family of counters split by label values.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (one per label name,
+// in registration order). Nil-safe.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return v.f.child(values).(*Counter)
+}
+
+// GaugeVec is a family of gauges split by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values. Nil-safe.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return v.f.child(values).(*Gauge)
+}
+
+// HistogramVec is a family of histograms split by label values.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values. Nil-safe.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return v.f.child(values).(*Histogram)
+}
+
+// CounterVec returns the labeled counter family registered under name.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{r.family(name, help, kindCounter, labels, nil, nil)}
+}
+
+// GaugeVec returns the labeled gauge family registered under name.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{r.family(name, help, kindGauge, labels, nil, nil)}
+}
+
+// HistogramVec returns the labeled histogram family registered under name
+// (nil buckets = DefLatencyBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	return &HistogramVec{r.family(name, help, kindHistogram, labels, buckets, nil)}
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// labelString renders {k1="v1",k2="v2"}; extra appends one more pair
+// (used for histogram le). Empty input renders "" or {le="..."}.
+func labelString(names, values []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(values[i]))
+		b.WriteByte('"')
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(extraV)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every family in Prometheus text format 0.0.4.
+// Families appear in registration order; labeled children are sorted by
+// label values so the output is stable for golden tests and diffing.
+// Safe to call while other goroutines keep updating the instruments.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	order := make([]string, len(r.order))
+	copy(order, r.order)
+	fams := make([]*family, len(order))
+	for i, n := range order {
+		fams[i] = r.families[n]
+	}
+	r.mu.RUnlock()
+
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		if f.fn != nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n", f.name, fmtFloat(f.fn())); err != nil {
+				return err
+			}
+			continue
+		}
+		f.mu.RLock()
+		keys := make([]string, len(f.keys))
+		copy(keys, f.keys)
+		f.mu.RUnlock()
+		sort.Strings(keys)
+		for _, key := range keys {
+			f.mu.RLock()
+			m := f.children[key]
+			vals := f.vals[key]
+			f.mu.RUnlock()
+			ls := labelString(f.labels, vals, "", "")
+			var err error
+			switch m := m.(type) {
+			case *Counter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, ls, m.Value())
+			case *Gauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, ls, fmtFloat(m.Value()))
+			case *Histogram:
+				cum := int64(0)
+				for i := range m.counts {
+					cum += m.counts[i].Load()
+					le := "+Inf"
+					if i < len(m.upper) {
+						le = fmtFloat(m.upper[i])
+					}
+					if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, vals, "le", le), cum); err != nil {
+						return err
+					}
+				}
+				_, err = fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+					f.name, ls, fmtFloat(m.Sum()), f.name, ls, m.Count())
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot flattens the registry into a name→value map: plain metrics
+// under their name, labeled children under name{l="v",...}, histograms as
+// name_sum and name_count (buckets omitted — snapshots feed dashboards
+// and JSON reports, not scrapes). Nil registry returns nil.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.order))
+	for _, n := range r.order {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		if f.fn != nil {
+			out[f.name] = f.fn()
+			continue
+		}
+		f.mu.RLock()
+		keys := make([]string, len(f.keys))
+		copy(keys, f.keys)
+		f.mu.RUnlock()
+		for _, key := range keys {
+			f.mu.RLock()
+			m := f.children[key]
+			vals := f.vals[key]
+			f.mu.RUnlock()
+			ls := labelString(f.labels, vals, "", "")
+			switch m := m.(type) {
+			case *Counter:
+				out[f.name+ls] = float64(m.Value())
+			case *Gauge:
+				out[f.name+ls] = m.Value()
+			case *Histogram:
+				out[f.name+"_sum"+ls] = m.Sum()
+				out[f.name+"_count"+ls] = float64(m.Count())
+			}
+		}
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/obs"
 	"github.com/guoq-dev/guoq/internal/rewrite"
 )
 
@@ -92,6 +93,15 @@ type Options struct {
 	// unproductive syncs back off adaptively up to 16× this base. Only
 	// meaningful for Portfolio/PartitionParallel runs with an Exchanger.
 	UpstreamSyncEvery time.Duration
+	// Metrics, when set, receives live instrumentation: iteration and
+	// accept/reject counters attributed per transformation, proposal- and
+	// synthesis-latency histograms, ε spend and best cost, and the
+	// engine's cache counters (flushed at run end). One Metrics may back
+	// any number of concurrent searches; nil disables instrumentation at
+	// zero hot-path cost. Reading the clock for the latency histograms
+	// consumes no randomness, so instrumented runs stay bit-identical to
+	// uninstrumented ones.
+	Metrics *Metrics
 }
 
 // Event is a point-in-time progress report from a running search, emitted
@@ -164,6 +174,11 @@ type Result struct {
 	// Exchanger (0 without one).
 	Migrations int
 	Elapsed    time.Duration
+	// Rules attributes the run's applications per transformation name:
+	// how often each was attempted and how its candidates fared. Parallel
+	// modes sum their workers' tables. Transformations sharing a name
+	// (the resynthesis ε classes) share one line.
+	Rules map[string]*RuleStats
 }
 
 // GUOQ runs Alg. 1: repeatedly sample a transformation and a random
@@ -191,6 +206,20 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	start := time.Now()
 	deadline := start.Add(opts.TimeBudget)
+
+	// Metrics handles are resolved once up front; nil handles are no-ops,
+	// so the loop below instruments unconditionally without branching on
+	// "is metrics enabled" (except where it would pay for a clock read).
+	m := opts.Metrics
+	tally, tallyByName := newTally(ts, m)
+	var iterC, migrC *obs.Counter
+	var epsG, bestG *obs.Gauge
+	var propH, synthH *obs.Histogram
+	if m != nil {
+		iterC, migrC = m.Iterations, m.Migrations
+		epsG, bestG = m.EpsilonSpent, m.BestCost
+		propH, synthH = m.ProposalSeconds, m.SynthSeconds
+	}
 
 	var fast, slow []Transformation
 	for _, t := range ts {
@@ -255,10 +284,27 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 	improve := func() {
 		if currCost < bestCost {
 			best, bestErr, bestCost = eng.Snapshot(), currErr, currCost
+			bestG.Set(bestCost)
 			if opts.OnImprove != nil {
 				opts.OnImprove(time.Since(start), best)
 			}
 			emit(best)
+		}
+	}
+
+	// finish seals the result: the attribution table, the final gauge
+	// values, and the engine's cumulative counters flushed into the shared
+	// metrics (once per run — putting atomics inside FullPass would tax
+	// the hot path for nothing).
+	finish := func() {
+		res.Rules = make(map[string]*RuleStats, len(tallyByName))
+		for name, e := range tallyByName {
+			res.Rules[name] = e.stats
+		}
+		if m != nil {
+			m.AddEngineStats(eng.Stats())
+			epsG.Set(bestErr)
+			bestG.Set(bestCost)
 		}
 	}
 
@@ -308,6 +354,8 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		for round := 0; round < 8; round++ {
 			roundStart := currCost
 			for _, t := range fast {
+				e := tally[t]
+				e.attempt()
 				eps, ok := applyAny(t, 0, warmRng)
 				if !ok {
 					continue
@@ -317,8 +365,10 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 					currCost = candCost
 					currErr += eps
 					res.Accepted++
+					e.accept()
 				} else {
 					eng.Rollback(0)
+					e.reject()
 				}
 			}
 			if opts.TimeBudget > 0 && time.Now().After(deadline) {
@@ -368,6 +418,7 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 			emit(nil)
 		}
 		res.Iters++
+		iterC.Inc()
 
 		// Portfolio migration: publish our best, and adopt the coordinator's
 		// best-so-far when it strictly beats our current search point. The
@@ -381,6 +432,8 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 					eng.Reset(adopt)
 					currErr, currCost = adoptErr, candCost
 					res.Migrations++
+					migrC.Inc()
+					epsG.Set(currErr)
 					improve()
 				}
 			}
@@ -395,6 +448,14 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		// currErr, which an exchange adoption may have replaced meanwhile.
 		if worker != nil {
 			if r, ready := worker.poll(); ready {
+				// Attribution and timing come back with the result: the job
+				// ran off-loop, so its latency was measured where it ran.
+				e := tally[r.t]
+				e.attempt()
+				if r.dur > 0 {
+					synthH.Observe(r.dur.Seconds())
+				}
+				accepted := false
 				if r.ok && r.baseErr+r.eps <= opts.Epsilon {
 					candCost := opts.Cost(r.out)
 					if accept(candCost) {
@@ -402,8 +463,15 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 						currCost = candCost
 						currErr = r.baseErr + r.eps
 						res.Accepted++
+						accepted = true
+						epsG.Set(currErr)
 						improve()
 					}
+				}
+				if accepted {
+					e.accept()
+				} else if r.ok {
+					e.reject()
 				}
 			}
 			if !worker.inFlight() {
@@ -418,6 +486,7 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		switch {
 		case len(fast) == 0 && len(slow) == 0:
 			res.Best, res.BestError, res.Elapsed = best, bestErr, time.Since(start)
+			finish()
 			emit(nil)
 			return res
 		case len(fast) == 0:
@@ -437,7 +506,25 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		}
 		allowed := opts.Epsilon - currErr
 
+		e := tally[t]
+		e.attempt()
+		// The clock reads exist only when a histogram wants them; they
+		// consume no randomness either way, so instrumented and plain runs
+		// stay bit-identical.
+		var latH *obs.Histogram
+		var t0 time.Time
+		if m != nil {
+			if t.Slow() {
+				latH = synthH
+			} else {
+				latH = propH
+			}
+			t0 = time.Now()
+		}
 		eps, ok := applyAny(t, allowed, rng)
+		if latH != nil {
+			latH.ObserveSince(t0)
+		}
 		if !ok {
 			continue
 		}
@@ -447,15 +534,19 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 			currCost = candCost
 			currErr += eps
 			res.Accepted++
+			e.accept()
+			epsG.Set(currErr)
 			improve()
 		} else {
 			eng.Rollback(0)
+			e.reject()
 		}
 	}
 
 	res.Best = best
 	res.BestError = bestErr
 	res.Elapsed = time.Since(start)
+	finish()
 	emit(nil)
 	return res
 }
@@ -477,6 +568,7 @@ type slowRunner interface {
 // cancellation-aware path so stop() returns as soon as the synthesizer
 // notices the context, instead of after a full synthesis deadline.
 func runAsyncJob(job asyncJob) asyncResult {
+	t0 := time.Now()
 	rng := rand.New(rand.NewSource(job.seed))
 	var (
 		o   *circuit.Circuit
@@ -488,7 +580,7 @@ func runAsyncJob(job asyncJob) asyncResult {
 	} else {
 		o, eps, ok = job.t.Apply(job.c, job.allowed, rng)
 	}
-	return asyncResult{out: o, baseErr: job.baseErr, eps: eps, ok: ok}
+	return asyncResult{t: job.t, out: o, baseErr: job.baseErr, eps: eps, ok: ok, dur: time.Since(t0)}
 }
 
 // asyncWorker runs at most one slow transformation at a time in a separate
@@ -510,10 +602,12 @@ type asyncJob struct {
 }
 
 type asyncResult struct {
+	t       Transformation // the launched transformation, for attribution
 	out     *circuit.Circuit
 	baseErr float64
 	eps     float64
 	ok      bool
+	dur     time.Duration // wall time of the job where it ran
 }
 
 func newAsyncWorker() *asyncWorker {

@@ -23,7 +23,23 @@ type ResynthPool struct {
 
 // NewResynthPool starts a pool with size workers (at least one).
 func NewResynthPool(size int) *ResynthPool {
-	return &ResynthPool{pool: synth.NewPool(size)}
+	return NewResynthPoolMetrics(size, nil)
+}
+
+// NewResynthPoolMetrics starts a pool whose queue depth, task count,
+// steals, and task latency report into m's pool handles; nil m (or nil
+// handles) disables instrumentation.
+func NewResynthPoolMetrics(size int, m *Metrics) *ResynthPool {
+	var pm *synth.PoolMetrics
+	if m != nil {
+		pm = &synth.PoolMetrics{
+			QueueDepth:  m.PoolQueueDepth,
+			Tasks:       m.PoolTasks,
+			Steals:      m.PoolSteals,
+			TaskSeconds: m.PoolTaskSeconds,
+		}
+	}
+	return &ResynthPool{pool: synth.NewPoolMetrics(size, pm)}
 }
 
 // Close drains queued jobs and stops the workers. Callers must first stop

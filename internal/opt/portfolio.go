@@ -190,7 +190,7 @@ func Portfolio(c *circuit.Circuit, ts []Transformation, opts Options, workers in
 	// synthesis goroutine. A caller-supplied pool (a fixpoint run sharing
 	// with its fallback portfolio) is reused as-is.
 	if opts.Async && opts.Pool == nil && len(FilterSlow(ts)) > 0 && len(FilterFast(ts)) > 0 {
-		pool := NewResynthPool(workers)
+		pool := NewResynthPoolMetrics(workers, opts.Metrics)
 		defer pool.Close()
 		opts.Pool = pool
 	}
@@ -232,6 +232,7 @@ func Portfolio(c *circuit.Circuit, ts []Transformation, opts Options, workers in
 		merged.Iters += r.Iters
 		merged.Accepted += r.Accepted
 		merged.Migrations += r.Migrations
+		merged.MergeRules(r)
 		cost := opts.Cost(r.Best)
 		if cost < bestCost || (cost == bestCost && r.BestError < merged.BestError) {
 			merged.Best, merged.BestError, bestCost = r.Best, r.BestError, cost
@@ -280,7 +281,7 @@ func PartitionParallel(c *circuit.Circuit, ts []Transformation, opts Options, wo
 	start := time.Now()
 	// Window workers share one resynthesis pool, exactly as in Portfolio.
 	if opts.Async && opts.Pool == nil && len(FilterSlow(ts)) > 0 && len(FilterFast(ts)) > 0 {
-		pool := NewResynthPool(workers)
+		pool := NewResynthPoolMetrics(workers, opts.Metrics)
 		defer pool.Close()
 		opts.Pool = pool
 	}
@@ -325,6 +326,7 @@ func PartitionParallel(c *circuit.Circuit, ts []Transformation, opts Options, wo
 		wr := outs[i]
 		res.Iters += wr.res.Iters
 		res.Accepted += wr.res.Accepted
+		res.MergeRules(wr.res)
 		if opts.Cost(wr.res.Best) >= opts.Cost(wr.sub) {
 			continue // no win: keep the window's original gates, spend no ε
 		}

@@ -126,7 +126,7 @@ func Fixpoint(c *circuit.Circuit, ts []opt.Transformation, o Options) *opt.Resul
 		}
 	}
 	if so.Async && hasFast && hasSlow && pool == nil {
-		pool = opt.NewResynthPool(workers)
+		pool = opt.NewResynthPoolMetrics(workers, so.Metrics)
 		defer pool.Close()
 	}
 
@@ -178,6 +178,9 @@ func Fixpoint(c *circuit.Circuit, ts []opt.Transformation, o Options) *opt.Resul
 		wins := partition.SizedWindows(curr, window, minWin, offset)
 		if wins == nil {
 			break // the circuit shrank below two windows
+		}
+		if m := so.Metrics; m != nil {
+			m.FixpointWindows.Add(int64(len(wins)))
 		}
 		remaining := so.Epsilon - totalErr
 		if remaining < 0 {
@@ -231,6 +234,7 @@ func Fixpoint(c *circuit.Circuit, ts []opt.Transformation, o Options) *opt.Resul
 			wo := outs[i]
 			res.Iters += wo.out.Iters
 			res.Accepted += wo.out.Accepted
+			res.MergeRules(wo.out)
 			if so.Cost(wo.out.Best) < wo.base {
 				regs = append(regs, w)
 				repls = append(repls, wo.out.Best)
@@ -252,6 +256,11 @@ func Fixpoint(c *circuit.Circuit, ts []opt.Transformation, o Options) *opt.Resul
 		}
 		if improved {
 			dry = 0
+			if m := so.Metrics; m != nil {
+				m.FixpointAdopted.Add(int64(len(regs)))
+				m.BestCost.Set(currCost)
+				m.EpsilonSpent.Set(totalErr)
+			}
 			best := eng.Snapshot()
 			if so.OnImprove != nil {
 				so.OnImprove(time.Since(start), best)
@@ -259,10 +268,16 @@ func Fixpoint(c *circuit.Circuit, ts []opt.Transformation, o Options) *opt.Resul
 			emit(best)
 		} else {
 			dry++
+			if m := so.Metrics; m != nil {
+				m.FixpointDryRounds.Inc()
+			}
 			emit(nil)
 		}
 	}
 
+	// The stitch engine's cache counters join the windows' own (each
+	// window search flushed its private engine when it returned).
+	so.Metrics.AddEngineStats(eng.Stats())
 	res.Best = eng.Snapshot()
 	res.BestError = totalErr
 	if so.Cost(res.Best) > so.Cost(c) {

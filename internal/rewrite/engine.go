@@ -90,6 +90,8 @@ type EngineStats struct {
 	Splices     int // window replacements applied (including rollbacks)
 	Invalidated int // cache entries cleared by halo invalidation
 	Resets      int // full invalidations (SetCircuit, Reset, their rollbacks)
+	Commits     int // accepted transactions (Commit calls)
+	Rollbacks   int // reverted transactions (Rollback calls that undid work)
 }
 
 type undoKind uint8
@@ -142,6 +144,7 @@ func (e *Engine) Mark() int { return len(e.log) }
 
 // Commit accepts every logged mutation, discarding the undo state.
 func (e *Engine) Commit() {
+	e.stats.Commits++
 	for i := range e.log {
 		e.log[i] = undoRec{}
 	}
@@ -159,6 +162,7 @@ func (e *Engine) Rollback(mark int) {
 	if mark >= len(e.log) {
 		return
 	}
+	e.stats.Rollbacks++
 	clean := e.scanCount == e.log[mark].scan
 	for i := len(e.log) - 1; i >= mark; i-- {
 		rec := e.log[i]

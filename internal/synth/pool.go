@@ -1,6 +1,27 @@
 package synth
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/obs"
+)
+
+// PoolMetrics carries the pool's optional instrumentation handles. All
+// fields may be nil (nil instruments are no-ops), so a partially filled
+// struct is fine.
+type PoolMetrics struct {
+	// QueueDepth tracks jobs accepted but not yet picked up by a worker.
+	QueueDepth *obs.Gauge
+	// Tasks counts jobs executed to completion.
+	Tasks *obs.Counter
+	// Steals counts jobs submitted while every worker was busy: they sat
+	// in the shared queue until whichever worker freed first took them —
+	// the work-stealing case, as opposed to a job that started immediately.
+	Steals *obs.Counter
+	// TaskSeconds observes each job's execution wall time.
+	TaskSeconds *obs.Histogram
+}
 
 // Pool is a fixed-size worker pool for slow synthesis jobs. The optimizer
 // historically gave every search worker a private background goroutine; on
@@ -18,15 +39,26 @@ type Pool struct {
 	cond   *sync.Cond
 	queue  []func()
 	closed bool
+	idle   int // workers currently waiting for a job
+	m      PoolMetrics
 	wg     sync.WaitGroup
 }
 
 // NewPool starts a pool with size workers (at least one).
 func NewPool(size int) *Pool {
+	return NewPoolMetrics(size, nil)
+}
+
+// NewPoolMetrics starts a pool with size workers (at least one) reporting
+// into m; a nil m disables instrumentation.
+func NewPoolMetrics(size int, m *PoolMetrics) *Pool {
 	if size < 1 {
 		size = 1
 	}
 	p := &Pool{}
+	if m != nil {
+		p.m = *m
+	}
 	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(size)
 	for i := 0; i < size; i++ {
@@ -39,17 +71,23 @@ func (p *Pool) worker() {
 	defer p.wg.Done()
 	for {
 		p.mu.Lock()
+		p.idle++
 		for len(p.queue) == 0 && !p.closed {
 			p.cond.Wait()
 		}
+		p.idle--
 		if len(p.queue) == 0 { // closed and drained
 			p.mu.Unlock()
 			return
 		}
 		job := p.queue[0]
 		p.queue = p.queue[1:]
+		p.m.QueueDepth.Set(float64(len(p.queue)))
 		p.mu.Unlock()
+		t0 := time.Now()
 		job()
+		p.m.TaskSeconds.ObserveSince(t0)
+		p.m.Tasks.Inc()
 	}
 }
 
@@ -62,7 +100,11 @@ func (p *Pool) Submit(job func()) bool {
 	if p.closed {
 		return false
 	}
+	if p.idle == 0 {
+		p.m.Steals.Inc()
+	}
 	p.queue = append(p.queue, job)
+	p.m.QueueDepth.Set(float64(len(p.queue)))
 	p.cond.Signal()
 	return true
 }

@@ -4,11 +4,14 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/guoq-dev/guoq/internal/baselines"
 	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/obs"
 	"github.com/guoq-dev/guoq/internal/opt"
 )
 
@@ -42,6 +45,12 @@ type ProgressEvent struct {
 	// Improved marks events emitted because a new global best was found;
 	// heartbeat events leave it false.
 	Improved bool
+	// Dropped is the cumulative number of progress events discarded so far
+	// because the consumer lagged behind the stream's buffer. A reader that
+	// sees Dropped grow between events knows its history has gaps (Best and
+	// Wait always carry the current truth); 0 means the stream is complete
+	// up to this event.
+	Dropped int
 }
 
 // Session is a running optimization started with Start: a cancellable,
@@ -55,6 +64,13 @@ type Session struct {
 	start  time.Time
 	events chan ProgressEvent
 	done   chan struct{}
+	reg    *obs.Registry // the run's registry (caller's or private)
+
+	// dropped counts progress events discarded because the consumer
+	// lagged; the next delivered event reports the cumulative total, so
+	// the loss is never silent. droppedC mirrors it into the registry.
+	dropped  atomic.Int64
+	droppedC *obs.Counter
 
 	mu       sync.Mutex
 	best     *Circuit
@@ -115,6 +131,14 @@ func Start(ctx context.Context, c *Circuit, o Options) (*Session, error) {
 		ctx, cancel = context.WithCancel(ctx)
 	}
 
+	// The session always has a registry: the caller's when supplied (so
+	// several runs can aggregate into one scrape target), a private one
+	// otherwise (so Session.Metrics works unconditionally).
+	reg := o.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
 	model := gateset.ModelFor(gs)
 	s := &Session{
 		base: Result{
@@ -136,6 +160,8 @@ func Start(ctx context.Context, c *Circuit, o Options) (*Session, error) {
 		bestCost: cost(c),
 		workers:  map[int]opt.Event{},
 		resynth:  map[int]int{},
+		reg:      reg,
+		droppedC: reg.Counter("guoq_events_dropped_total", "Progress events dropped because the consumer lagged."),
 	}
 
 	runner := baselines.NewGUOQ(o.Epsilon)
@@ -146,6 +172,7 @@ func Start(ctx context.Context, c *Circuit, o Options) (*Session, error) {
 	runner.Exchanger = o.Exchanger
 	runner.MaxIters = o.MaxIters
 	runner.OnEvent = s.onEvent
+	runner.Metrics = opt.NewMetrics(reg)
 	// With no extensions the runner keeps its nil registry — the default
 	// portfolio, bit-identical to previous releases for seeded runs.
 	if len(extras) > 0 {
@@ -155,6 +182,7 @@ func Start(ctx context.Context, c *Circuit, o Options) (*Session, error) {
 	go func() {
 		out, stats := runner.OptimizeStatsContext(ctx, c, gs, cost, o.Budget, o.Seed)
 		res := s.resultFor(out, stats.BestError, stats.Iters, stats.Accepted, stats.Migrations, time.Since(s.start))
+		res.Rules = publicRules(stats.Rules)
 		s.mu.Lock()
 		s.finalC, s.finalRes = out, res
 		s.mu.Unlock()
@@ -205,9 +233,14 @@ func (s *Session) onEvent(e opt.Event) {
 		pe.AcceptanceRate = float64(pe.Accepted) / float64(pe.Iters)
 	}
 	s.mu.Unlock()
+	// Report any loss so far on this event; if this one does not fit
+	// either, count it so the next delivered event carries the total.
+	pe.Dropped = int(s.dropped.Load())
 	select {
 	case s.events <- pe:
 	default: // consumer lagging: drop; Best()/Wait() carry the state
+		s.dropped.Add(1)
+		s.droppedC.Inc()
 	}
 }
 
@@ -282,6 +315,36 @@ func (s *Session) Events() <-chan ProgressEvent {
 // it to multiplex a session with other work without blocking in Wait.
 func (s *Session) Done() <-chan struct{} {
 	return s.done
+}
+
+// Metrics returns a point-in-time snapshot of the session's metric series
+// as flat "name" or `name{label="value"}` keys — iterations, per-rule
+// accepts and rejects, engine cache hits and misses, resynthesis queue
+// depth, dropped progress events, and the rest. Histograms appear as their
+// _sum and _count series. Safe to call at any moment, including after the
+// session finished; when Options.Metrics supplied a shared registry the
+// snapshot covers everything reported into it.
+func (s *Session) Metrics() map[string]float64 {
+	return s.reg.Snapshot()
+}
+
+// publicRules converts the internal attribution map into the public,
+// deterministically ordered table: accepts descending, ties by name.
+func publicRules(src map[string]*opt.RuleStats) []RuleStat {
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]RuleStat, 0, len(src))
+	for name, st := range src {
+		out = append(out, RuleStat{Name: name, Attempts: st.Attempts, Accepted: st.Accepted, Rejected: st.Rejected})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Accepted != out[j].Accepted {
+			return out[i].Accepted > out[j].Accepted
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }
 
 // Resume continues optimization from a previous run's output — a stopped
