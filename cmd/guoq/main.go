@@ -4,7 +4,7 @@
 //
 //	guoq -gateset ibm-eagle -budget 2s [-objective 2q|t|fidelity|gates]
 //	     [-epsilon 1e-8] [-seed 1] [-async] [-parallel N] [-partition]
-//	     [-fixpoint] [-gateset-file set.json] [-coordinator addr]
+//	     [-adaptive] [-fixpoint] [-gateset-file set.json] [-coordinator addr]
 //	     [-session id] [-token secret] [-progress] [-metrics]
 //	     [-pprof-addr :6060] [-o out.qasm] input.qasm
 //	guoq -list-gatesets
@@ -65,6 +65,7 @@ func main() {
 		async     = flag.Bool("async", false, "apply resynthesis asynchronously")
 		parallel  = flag.Int("parallel", 1, "concurrent search workers (0 = one per CPU, capped at 8)")
 		part      = flag.Bool("partition", false, "with -parallel ≥ 2, optimize disjoint time windows of large circuits concurrently")
+		adaptive  = flag.Bool("adaptive", false, "with -parallel ≥ 2, retarget worker temperatures from live acceptance rates and park stalled workers")
 		fixpoint  = flag.Bool("fixpoint", false, "parallel local fixpoint optimization: iterated concurrent window searches for huge circuits")
 		coord     = flag.String("coordinator", "", "guoqd coordinator address for distributed best-so-far exchange")
 		session   = flag.String("session", "", "exchange session id (default: derived from circuit+objective+epsilon)")
@@ -161,6 +162,7 @@ func main() {
 		Async:             *async,
 		Parallelism:       workers,
 		PartitionParallel: *part,
+		AdaptivePortfolio: *adaptive,
 		Fixpoint:          *fixpoint,
 	}
 	var reg *guoq.MetricsRegistry
@@ -216,9 +218,10 @@ func main() {
 	}
 	if *metrics {
 		snap := sess.Metrics()
-		fmt.Fprintf(os.Stderr, "engine     %.0f cache hits, %.0f misses, %.0f splices, %.0f invalidated\n",
-			snap["guoq_engine_cache_hits_total"], snap["guoq_engine_cache_misses_total"],
-			snap["guoq_engine_splices_total"], snap["guoq_engine_invalidated_total"])
+		fmt.Fprintf(os.Stderr, "engine     %.0f cache hits, %.0f positive replays, %.0f misses, %.0f splices, %.0f invalidated (halo depth %.0f)\n",
+			snap["guoq_engine_cache_hits_total"], snap["guoq_engine_positive_hits_total"],
+			snap["guoq_engine_cache_misses_total"], snap["guoq_engine_splices_total"],
+			snap["guoq_engine_invalidated_total"], snap["guoq_engine_halo_depth"])
 		if len(res.Rules) > 0 {
 			fmt.Fprintf(os.Stderr, "%-40s %9s %9s %9s\n", "transformation", "attempts", "accepted", "rejected")
 			for _, r := range res.Rules {

@@ -32,6 +32,11 @@ type GUOQ struct {
 	// windows optimized concurrently (ε split across windows, Thm 4.2);
 	// circuits too small to window fall back to the portfolio.
 	Partition bool
+	// Adaptive enables the portfolio's feedback controller: worker
+	// temperatures retarget from their acceptance-rate streams and stalled
+	// workers park until the global best improves. No effect with
+	// Parallelism ≤ 1.
+	Adaptive bool
 	// Fixpoint selects the parallel local fixpoint strategy (internal/popt):
 	// iterated rounds of concurrent bounded window searches with alternating
 	// seam offsets, committed only on whole-circuit improvement — the
@@ -195,6 +200,7 @@ func (g *GUOQ) OptimizeStatsContext(ctx context.Context, c *circuit.Circuit, gs 
 	opts.MaxIters = g.MaxIters
 	opts.OnEvent = g.OnEvent
 	opts.Metrics = g.Metrics
+	opts.AdaptivePortfolio = g.Adaptive
 	opts.UpstreamSyncEvery = g.UpstreamSyncEvery
 	if ctx != nil {
 		opts.Context = ctx

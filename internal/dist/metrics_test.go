@@ -14,6 +14,7 @@ import (
 	"github.com/guoq-dev/guoq/internal/gateset"
 	"github.com/guoq-dev/guoq/internal/obs"
 	"github.com/guoq-dev/guoq/internal/opt"
+	"github.com/guoq-dev/guoq/internal/rewrite"
 )
 
 // /metrics serves the Prometheus text format and reflects real traffic:
@@ -56,6 +57,14 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("re-lease after expiry: ok=%v err=%v", ok, err)
 	}
 
+	// A guoq worker colocated with the daemon shares the registry: engine
+	// counters — including the positive-cache and halo families — surface
+	// through the same scrape.
+	em := opt.NewMetrics(reg)
+	em.AddEngineStats(rewrite.EngineStats{
+		CacheSkips: 5, PositiveHits: 7, Reinstalls: 3, HaloGates: 11, HaloDepth: 4,
+	})
+
 	// Unauthenticated scrape must succeed despite -token.
 	resp, err := http.Get(hs.URL + "/metrics")
 	if err != nil {
@@ -84,6 +93,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		`guoqd_requests_total{path="/v1/exchange",code="200"} 3`,
 		`guoqd_request_seconds_count{path="/v1/exchange"} 3`,
 		"guoqd_uptime_seconds",
+		"guoq_engine_cache_hits_total 5",
+		"guoq_engine_positive_hits_total 7",
+		"guoq_engine_reinstalls_total 3",
+		"guoq_engine_halo_gates_total 11",
+		"guoq_engine_halo_depth 4",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q\n%s", want, text)

@@ -10,6 +10,13 @@ import "fmt"
 // BitPos returns the bit position of qubit q in an n-qubit index.
 func BitPos(n, q int) int { return n - 1 - q }
 
+// maxStackGate bounds the gate arity served by stack scratch in the apply
+// kernels: masks and the local amplitude vector for gates up to this many
+// qubits live in fixed-size arrays instead of per-call heap slices. Every
+// gate the optimizer synthesizes is ≤ 3 qubits, so the hot paths never
+// allocate; wider gates (tests, exotic callers) fall back to make.
+const maxStackGate = 5
+
 // ApplyGateLeft left-multiplies the expanded operator of an m-qubit gate g
 // (2^m × 2^m) acting on qubits qs of an n-qubit system onto the 2^n × 2^n
 // matrix M, in place: M ← Expand(g, qs)·M.
@@ -26,7 +33,16 @@ func ApplyGateLeft(g Matrix, qs []int, n int, M Matrix) {
 	if g.N != 1<<m {
 		panic(fmt.Sprintf("linalg: ApplyGateLeft: gate dim %d for %d qubits", g.N, m))
 	}
-	masks := make([]int, m) // masks[j] = bit mask of gate-local bit j in the global index
+	// masks[j] = bit mask of gate-local bit j in the global index. Stack
+	// scratch for the (universal) small-gate case; see maxStackGate.
+	gdim := 1 << m
+	var masksArr [maxStackGate]int
+	var inArr [1 << maxStackGate]complex128
+	masks, in := masksArr[:], inArr[:gdim:gdim]
+	if m > maxStackGate {
+		masks = make([]int, m)
+		in = make([]complex128, gdim)
+	}
 	var tmask int
 	for j, q := range qs {
 		if q < 0 || q >= n {
@@ -35,8 +51,7 @@ func ApplyGateLeft(g Matrix, qs []int, n int, M Matrix) {
 		masks[j] = 1 << BitPos(n, q)
 		tmask |= masks[j]
 	}
-	gdim := 1 << m
-	in := make([]complex128, gdim)
+	gd := g.Data
 	// Enumerate every base index whose target bits are all zero; the 2^m
 	// amplitudes at base|pattern form one local vector per column.
 	for col := 0; col < dim; col++ {
@@ -55,7 +70,7 @@ func ApplyGateLeft(g Matrix, qs []int, n int, M Matrix) {
 			}
 			for l := 0; l < gdim; l++ {
 				var acc complex128
-				grow := g.Data[l*gdim : (l+1)*gdim]
+				grow := gd[l*gdim : (l+1)*gdim]
 				for k := 0; k < gdim; k++ {
 					acc += grow[k] * in[k]
 				}
@@ -91,14 +106,22 @@ func ApplyGateVec(g Matrix, qs []int, n int, v []complex128) {
 		apply2QVec(g, qs[0], qs[1], n, v)
 		return
 	}
-	masks := make([]int, m)
+	// Stack scratch for small gates — the m ≥ 3 path still runs inside
+	// synthesis workers' fidelity checks, so it must not allocate per gate.
+	gdim := 1 << m
+	var masksArr [maxStackGate]int
+	var inArr [1 << maxStackGate]complex128
+	masks, in := masksArr[:], inArr[:gdim:gdim]
+	if m > maxStackGate {
+		masks = make([]int, m)
+		in = make([]complex128, gdim)
+	}
 	var tmask int
 	for j, q := range qs {
 		masks[j] = 1 << BitPos(n, q)
 		tmask |= masks[j]
 	}
-	gdim := 1 << m
-	in := make([]complex128, gdim)
+	gd := g.Data
 	for base := 0; base < dim; base++ {
 		if base&tmask != 0 {
 			continue
@@ -114,7 +137,7 @@ func ApplyGateVec(g Matrix, qs []int, n int, v []complex128) {
 		}
 		for l := 0; l < gdim; l++ {
 			var acc complex128
-			grow := g.Data[l*gdim : (l+1)*gdim]
+			grow := gd[l*gdim : (l+1)*gdim]
 			for k := 0; k < gdim; k++ {
 				acc += grow[k] * in[k]
 			}
@@ -151,6 +174,14 @@ func apply2QVec(g Matrix, qa, qb, n int, v []complex128) {
 	ma := 1 << uint(BitPos(n, qa))
 	mb := 1 << uint(BitPos(n, qb))
 	dim := len(v)
+	// Hoist the 16 coefficients into registers; one bounds check up front
+	// replaces 16 per quadruple.
+	gd := g.Data
+	_ = gd[15]
+	g00, g01, g02, g03 := gd[0], gd[1], gd[2], gd[3]
+	g10, g11, g12, g13 := gd[4], gd[5], gd[6], gd[7]
+	g20, g21, g22, g23 := gd[8], gd[9], gd[10], gd[11]
+	g30, g31, g32, g33 := gd[12], gd[13], gd[14], gd[15]
 	var in [4]complex128
 	for base := 0; base < dim; base++ {
 		if base&ma != 0 || base&mb != 0 {
@@ -161,10 +192,10 @@ func apply2QVec(g Matrix, qa, qb, n int, v []complex128) {
 		i10 := base | ma
 		i11 := base | ma | mb
 		in[0], in[1], in[2], in[3] = v[i00], v[i01], v[i10], v[i11]
-		v[i00] = g.Data[0]*in[0] + g.Data[1]*in[1] + g.Data[2]*in[2] + g.Data[3]*in[3]
-		v[i01] = g.Data[4]*in[0] + g.Data[5]*in[1] + g.Data[6]*in[2] + g.Data[7]*in[3]
-		v[i10] = g.Data[8]*in[0] + g.Data[9]*in[1] + g.Data[10]*in[2] + g.Data[11]*in[3]
-		v[i11] = g.Data[12]*in[0] + g.Data[13]*in[1] + g.Data[14]*in[2] + g.Data[15]*in[3]
+		v[i00] = g00*in[0] + g01*in[1] + g02*in[2] + g03*in[3]
+		v[i01] = g10*in[0] + g11*in[1] + g12*in[2] + g13*in[3]
+		v[i10] = g20*in[0] + g21*in[1] + g22*in[2] + g23*in[3]
+		v[i11] = g30*in[0] + g31*in[1] + g32*in[2] + g33*in[3]
 	}
 }
 

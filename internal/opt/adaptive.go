@@ -1,0 +1,184 @@
+package opt
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Adaptive portfolio control (Options.AdaptivePortfolio): instead of the
+// static temperature rungs, a controller consumes each worker's event
+// stream — the acceptance-rate signal already carried by Event — and
+// steers the portfolio while it runs:
+//
+//   - Temperature retargeting. Each worker's effective temperature is its
+//     configured rung times a per-worker scale. A worker whose windowed
+//     acceptance rate falls below adaptiveLowRate is rejecting everything —
+//     its effective temperature is too high for the local landscape — so
+//     the scale halves (hotter, more uphill moves); above adaptiveHighRate
+//     it is random-walking, so the scale doubles (colder, stricter). The
+//     scale is clamped to [1/adaptiveScaleMax, adaptiveScaleMax].
+//   - Parking. A worker (never worker 0, which holds the caller's
+//     configuration) that goes adaptiveStallWindows consecutive heartbeat
+//     windows with zero accepts and no best-cost improvement is parked:
+//     each iteration then sleeps up to adaptiveParkSlice before
+//     proceeding, releasing its CPU to productive workers. Any global
+//     improvement wakes every parked worker (fresh migration targets make
+//     stalled searches worth re-running); a parked worker also self-wakes
+//     after one slice and re-earns its parking, so no worker is ever
+//     starved and the run's termination conditions are checked at least
+//     once per slice.
+//
+// The controller reads only the event stream and steers only through the
+// unexported Options hooks (tempScale, parkPoint), so with
+// AdaptivePortfolio off nothing is wired and seeded runs are bit-identical
+// to the static ladder. Portfolio runs are not reproducible across runs
+// either way (exchange points depend on wall-clock interleaving), which is
+// why steering from wall-clock-paced heartbeats is admissible there and
+// deliberately unavailable in the deterministic single-worker mode.
+const (
+	adaptiveLowRate      = 1.0 / 64
+	adaptiveHighRate     = 0.25
+	adaptiveScaleMax     = 16.0
+	adaptiveStallWindows = 4
+	adaptiveParkSlice    = 20 * time.Millisecond
+)
+
+// adaptiveWorker is one worker's controller slot. The heartbeat bookkeeping
+// fields are touched only from the owning worker's goroutine (events are
+// emitted synchronously from the search loop); parked and wake are the
+// cross-worker wake channel and are therefore atomic.
+type adaptiveWorker struct {
+	scaleBits atomic.Uint64 // float64 bits of the temperature multiplier
+	parked    atomic.Bool
+	wake      chan struct{}
+
+	lastIters    int
+	lastAccepted int
+	lastBest     float64
+	stalled      int
+}
+
+// adaptiveController steers one Portfolio run; see the package comment
+// above for the policy. All methods are safe for concurrent use by the
+// portfolio's workers.
+type adaptiveController struct {
+	workers []adaptiveWorker
+	// bestBits is the cost of the best improvement seen on any worker's
+	// stream, as float64 bits, for cross-worker improvement detection.
+	bestBits atomic.Uint64
+}
+
+func newAdaptiveController(workers int) *adaptiveController {
+	c := &adaptiveController{workers: make([]adaptiveWorker, workers)}
+	c.bestBits.Store(math.Float64bits(math.Inf(1)))
+	for i := range c.workers {
+		c.workers[i].scaleBits.Store(math.Float64bits(1))
+		c.workers[i].lastBest = math.Inf(1)
+		c.workers[i].wake = make(chan struct{}, 1)
+	}
+	return c
+}
+
+// scale returns worker w's current temperature multiplier (the tempScale
+// hook).
+func (c *adaptiveController) scale(w int) float64 {
+	return math.Float64frombits(c.workers[w].scaleBits.Load())
+}
+
+// parkPoint is worker w's per-iteration throttle hook: a parked worker
+// sleeps up to one slice (woken early by any global improvement), then
+// unparks itself — it runs at full speed again until the stall detector
+// re-parks it, so parking degrades a stalled worker to duty-cycling
+// instead of stopping it.
+func (c *adaptiveController) parkPoint(w int) {
+	aw := &c.workers[w]
+	if !aw.parked.Load() {
+		return
+	}
+	t := time.NewTimer(adaptiveParkSlice)
+	select {
+	case <-aw.wake:
+	case <-t.C:
+	}
+	t.Stop()
+	aw.parked.Store(false)
+}
+
+// observe consumes one event from worker e.Worker's stream (called from
+// that worker's goroutine). Improvement events update the global best and
+// wake parked workers; heartbeats drive the acceptance-band steering and
+// the stall detector.
+func (c *adaptiveController) observe(e Event) {
+	aw := &c.workers[e.Worker]
+	if e.Best != nil {
+		// A new worker-local best. If it beats the best any worker has
+		// reported, parked searches get fresh migration targets: wake them.
+		for {
+			old := c.bestBits.Load()
+			if e.BestCost >= math.Float64frombits(old) {
+				break
+			}
+			if c.bestBits.CompareAndSwap(old, math.Float64bits(e.BestCost)) {
+				c.wakeAll()
+				break
+			}
+		}
+		return
+	}
+	dIters := e.Iters - aw.lastIters
+	if dIters <= 0 {
+		return
+	}
+	dAccepted := e.Accepted - aw.lastAccepted
+	rate := float64(dAccepted) / float64(dIters)
+	s := math.Float64frombits(aw.scaleBits.Load())
+	switch {
+	case rate < adaptiveLowRate && s > 1/adaptiveScaleMax:
+		aw.scaleBits.Store(math.Float64bits(s / 2))
+	case rate > adaptiveHighRate && s < adaptiveScaleMax:
+		aw.scaleBits.Store(math.Float64bits(s * 2))
+	}
+	if dAccepted == 0 && e.BestCost >= aw.lastBest {
+		aw.stalled++
+		if aw.stalled >= adaptiveStallWindows && e.Worker != 0 {
+			aw.parked.Store(true)
+		}
+	} else {
+		aw.stalled = 0
+	}
+	aw.lastIters, aw.lastAccepted, aw.lastBest = e.Iters, e.Accepted, e.BestCost
+}
+
+// wakeAll releases every parked worker (non-blocking: a worker already
+// signalled keeps exactly one pending wake).
+func (c *adaptiveController) wakeAll() {
+	for i := range c.workers {
+		aw := &c.workers[i]
+		if aw.parked.Load() {
+			aw.parked.Store(false)
+			select {
+			case aw.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// tempRung returns worker w's temperature multiplier: worker 0 keeps the
+// caller's configuration, odd workers explore (2^-1, 2^-2, …: accepting
+// more uphill moves), even workers exploit (2^1, 2^2, …: stricter). The
+// first seven rungs reproduce the historical fixed ladder exactly; beyond
+// that the progression continues instead of wrapping — the old table's
+// trailing rung silently repeated worker 0's multiplier for the eighth
+// worker and then cycled, so large portfolios ran duplicate
+// configurations.
+func tempRung(w int) float64 {
+	if w <= 0 {
+		return 1
+	}
+	if w%2 == 1 {
+		return math.Exp2(-float64((w + 1) / 2))
+	}
+	return math.Exp2(float64(w / 2))
+}

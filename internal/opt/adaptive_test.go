@@ -1,0 +1,143 @@
+package opt
+
+import (
+	"testing"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/verify"
+)
+
+// TestTempRung pins the portfolio temperature ladder: the first seven
+// workers reproduce the historical fixed table exactly (so existing tuned
+// deployments keep their configurations), and beyond that the progression
+// keeps generating distinct rungs instead of wrapping — the old table
+// repeated worker 0's multiplier at worker 7 and then cycled, so portfolios
+// with ≥ 8 workers burned CPU on duplicate configurations.
+func TestTempRung(t *testing.T) {
+	legacy := []float64{1, 0.5, 2, 0.25, 4, 0.125, 8}
+	for w, want := range legacy {
+		if got := tempRung(w); got != want {
+			t.Errorf("tempRung(%d) = %v, want legacy rung %v", w, got, want)
+		}
+	}
+	seen := map[float64]int{}
+	for w := 0; w < 16; w++ {
+		r := tempRung(w)
+		if r <= 0 {
+			t.Fatalf("tempRung(%d) = %v, want > 0", w, r)
+		}
+		if prev, dup := seen[r]; dup {
+			t.Errorf("tempRung wraps: workers %d and %d share rung %v", prev, w, r)
+		}
+		seen[r] = w
+	}
+}
+
+// TestAdaptiveSteering drives the controller with synthetic heartbeats and
+// checks the acceptance-band policy: an all-reject window halves the scale
+// (hotter), a high-accept window doubles it (stricter), and both directions
+// clamp at 1/adaptiveScaleMax and adaptiveScaleMax.
+func TestAdaptiveSteering(t *testing.T) {
+	c := newAdaptiveController(2)
+	if s := c.scale(1); s != 1 {
+		t.Fatalf("initial scale %v, want 1", s)
+	}
+	// Eight consecutive all-reject windows: halve until the floor.
+	for i := 1; i <= 8; i++ {
+		c.observe(Event{Worker: 1, Iters: i * 256, Accepted: 0, BestCost: 100})
+	}
+	if s := c.scale(1); s != 1/adaptiveScaleMax {
+		t.Errorf("scale after sustained rejection = %v, want floor %v", s, 1/adaptiveScaleMax)
+	}
+	// Now sustained random-walking: double until the ceiling.
+	iters, accepted := 8*256, 0
+	for i := 0; i < 20; i++ {
+		iters += 256
+		accepted += 200 // rate ≈ 0.78 > adaptiveHighRate
+		c.observe(Event{Worker: 1, Iters: iters, Accepted: accepted, BestCost: 100})
+	}
+	if s := c.scale(1); s != adaptiveScaleMax {
+		t.Errorf("scale after sustained acceptance = %v, want ceiling %v", s, adaptiveScaleMax)
+	}
+	// Worker 0 was never touched.
+	if s := c.scale(0); s != 1 {
+		t.Errorf("worker 0 scale drifted to %v", s)
+	}
+}
+
+// TestAdaptiveParking pins the stall detector: adaptiveStallWindows
+// consecutive zero-accept, no-improvement heartbeats park a worker — but
+// never worker 0 — and a global improvement on any stream wakes it.
+func TestAdaptiveParking(t *testing.T) {
+	c := newAdaptiveController(2)
+	// The first heartbeat only establishes the best-cost baseline, so a park
+	// takes adaptiveStallWindows+1 windows of no accepts and no improvement.
+	for w := 0; w < 2; w++ {
+		for i := 1; i <= adaptiveStallWindows+1; i++ {
+			c.observe(Event{Worker: w, Iters: i * 256, Accepted: 0, BestCost: 50})
+		}
+	}
+	if c.workers[0].parked.Load() {
+		t.Fatal("worker 0 must never park")
+	}
+	if !c.workers[1].parked.Load() {
+		t.Fatal("worker 1 not parked after sustained stall")
+	}
+	// An improvement event from worker 0 wakes the parked worker.
+	c.observe(Event{Worker: 0, Iters: 9 * 256, Accepted: 1, BestCost: 40, Best: &circuit.Circuit{}})
+	if c.workers[1].parked.Load() {
+		t.Fatal("global improvement did not wake the parked worker")
+	}
+	// A parked worker's parkPoint self-unparks within one slice even with
+	// no improvement (liveness: termination checks keep running).
+	c.workers[1].parked.Store(true)
+	done := make(chan struct{})
+	go func() { c.parkPoint(1); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * adaptiveParkSlice):
+		t.Fatal("parkPoint did not return within its slice")
+	}
+	if c.workers[1].parked.Load() {
+		t.Fatal("parkPoint did not self-unpark")
+	}
+	// An accepting window resets the stall counter.
+	c2 := newAdaptiveController(2)
+	for i := 1; i <= adaptiveStallWindows-1; i++ {
+		c2.observe(Event{Worker: 1, Iters: i * 256, Accepted: 0, BestCost: 50})
+	}
+	c2.observe(Event{Worker: 1, Iters: adaptiveStallWindows * 256, Accepted: 30, BestCost: 49})
+	for i := 1; i < adaptiveStallWindows; i++ {
+		c2.observe(Event{Worker: 1, Iters: (adaptiveStallWindows + i) * 256, Accepted: 30, BestCost: 49})
+	}
+	if c2.workers[1].parked.Load() {
+		t.Fatal("stall counter was not reset by an accepting window")
+	}
+}
+
+// TestAdaptivePortfolioSmoke runs a real multi-worker portfolio with the
+// controller wired in (fast heartbeats so steering actually engages) and
+// checks the anytime contract still holds: the run completes and never
+// returns something worse than its input.
+func TestAdaptivePortfolioSmoke(t *testing.T) {
+	c, ts := eagleSetup(t, 8, 60)
+	opts := DefaultOptions()
+	opts.Cost = TwoQubitCost()
+	opts.Seed = 7
+	opts.Async = false
+	opts.TimeBudget = 0
+	opts.MaxIters = 400
+	opts.EventEvery = 16
+	opts.AdaptivePortfolio = true
+	res := Portfolio(c, ts, opts, 3)
+	if res.Best == nil {
+		t.Fatal("adaptive portfolio returned no circuit")
+	}
+	if got, in := opts.Cost(res.Best), opts.Cost(c); got > in {
+		t.Fatalf("adaptive portfolio regressed: cost %v from %v", got, in)
+	}
+	if err := verify.MustBeEquivalent(c, res.Best, 1e-6, 3); err != nil {
+		t.Fatal(err)
+	}
+}

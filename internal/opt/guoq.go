@@ -102,6 +102,24 @@ type Options struct {
 	// consumes no randomness, so instrumented runs stay bit-identical to
 	// uninstrumented ones.
 	Metrics *Metrics
+	// AdaptivePortfolio replaces the portfolio's static temperature rungs
+	// with a feedback controller: each worker's acceptance-rate stream
+	// (the Event heartbeats) retargets its effective temperature, and
+	// workers whose searches stall are parked — throttled to a duty cycle —
+	// until any worker improves the global best. Only meaningful for
+	// Portfolio/PartitionParallel runs; off (the default) keeps the static
+	// rungs, and single-worker seeded runs are bit-identical either way.
+	AdaptivePortfolio bool
+
+	// tempScale and parkPoint are the adaptive controller's steering hooks,
+	// wired by Portfolio (never by callers — package-private so the
+	// deterministic single-worker contract cannot be broken from outside).
+	// tempScale returns the current multiplier applied to Temperature in
+	// the acceptance rule; parkPoint runs once per iteration and may block
+	// briefly to throttle a parked worker. Nil hooks cost nothing and
+	// change nothing.
+	tempScale func() float64
+	parkPoint func()
 }
 
 // Event is a point-in-time progress report from a running search, emitted
@@ -384,7 +402,11 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		improve()
 	}
 
-	// accept decides per Alg. 1 lines 10-15.
+	// accept decides per Alg. 1 lines 10-15. The adaptive portfolio's
+	// controller, when wired, scales the temperature between calls; the
+	// rng draw happens either way, so steering never shifts the random
+	// stream (and a nil hook reproduces the static-temperature run
+	// bit-for-bit).
 	accept := func(candCost float64) bool {
 		if candCost <= currCost {
 			return true
@@ -392,7 +414,11 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		if currCost <= 0 {
 			return false
 		}
-		return rng.Float64() < math.Exp(-opts.Temperature*candCost/currCost)
+		t := opts.Temperature
+		if opts.tempScale != nil {
+			t *= opts.tempScale()
+		}
+		return rng.Float64() < math.Exp(-t*candCost/currCost)
 	}
 
 	exchangeEvery := opts.ExchangeEvery
@@ -413,6 +439,12 @@ func GUOQ(c *circuit.Circuit, ts []Transformation, opts Options) *Result {
 		}
 		if cancelled() {
 			break
+		}
+		if opts.parkPoint != nil {
+			// Adaptive throttle: a parked worker sleeps here (bounded by
+			// one slice, woken early by global improvement) after the
+			// termination checks above, so parking never delays shutdown.
+			opts.parkPoint()
 		}
 		if eventEvery > 0 && it > 0 && it%eventEvery == 0 {
 			emit(nil)

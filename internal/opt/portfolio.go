@@ -10,8 +10,8 @@ import (
 )
 
 // AutoWorkers is the default portfolio size when the caller does not pick
-// one: one worker per available CPU, capped at 8 (beyond that the
-// temperature ladder repeats and exchange contention outweighs diversity).
+// one: one worker per available CPU, capped at 8 (beyond that exchange
+// contention outweighs the extra diversity).
 func AutoWorkers() int {
 	w := runtime.GOMAXPROCS(0)
 	if w > 8 {
@@ -19,13 +19,6 @@ func AutoWorkers() int {
 	}
 	return w
 }
-
-// tempLadder diversifies the portfolio: worker w runs at
-// Temperature × tempLadder[w % len]. Worker 0 keeps the caller's
-// configuration, the others trade acceptance strictness for exploration
-// (larger multipliers reject worse moves more aggressively, smaller ones
-// accept more uphill moves).
-var tempLadder = []float64{1, 0.5, 2, 0.25, 4, 0.125, 8, 1}
 
 // upstreamSyncDefault bounds how often an idle coordinator polls its
 // upstream exchanger when Options.UpstreamSyncEvery is unset: local
@@ -196,12 +189,20 @@ func Portfolio(c *circuit.Circuit, ts []Transformation, opts Options, workers in
 	}
 	co := newCoordinator(c, opts.Cost, opts.OnImprove, opts.Exchanger, opts.UpstreamSyncEvery)
 
+	// The adaptive controller taps every worker's event stream and steers
+	// through the unexported Options hooks; without AdaptivePortfolio no
+	// hook is wired and the static temperature rungs stand alone.
+	var ctrl *adaptiveController
+	if opts.AdaptivePortfolio {
+		ctrl = newAdaptiveController(workers)
+	}
+
 	results := make([]*Result, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wOpts := opts
 		wOpts.Seed = opts.Seed + int64(w)*0x9E3779B9
-		wOpts.Temperature *= tempLadder[w%len(tempLadder)]
+		wOpts.Temperature *= tempRung(w)
 		wOpts.Exchanger = nil
 		if opts.ExchangeEvery >= 0 {
 			wOpts.Exchanger = co
@@ -217,6 +218,22 @@ func Portfolio(c *circuit.Circuit, ts []Transformation, opts Options, workers in
 				e.Worker = wid
 				ev(e)
 			}
+		}
+		if ctrl != nil {
+			// Feed the controller ahead of the caller's consumer, and give
+			// this worker its steering hooks. The wrapper keeps OnEvent
+			// non-nil even without a caller hook, so heartbeats — the
+			// controller's clock — always flow.
+			ev, wid := wOpts.OnEvent, w
+			wOpts.OnEvent = func(e Event) {
+				e.Worker = wid
+				ctrl.observe(e)
+				if ev != nil {
+					ev(e)
+				}
+			}
+			wOpts.tempScale = func() float64 { return ctrl.scale(wid) }
+			wOpts.parkPoint = func() { ctrl.parkPoint(wid) }
 		}
 		wg.Add(1)
 		go func(w int, o Options) {

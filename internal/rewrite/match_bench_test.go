@@ -1,0 +1,52 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gateset"
+)
+
+// BenchmarkMatchScan{Stateless,Cached} isolate raw match throughput over
+// the full nam rule library on a fixed 16-qubit, 600-gate circuit — the
+// same workload as BenchmarkEngineFullPass minus splicing. Stateless
+// re-runs matchAt at every anchor each scan; Cached answers anchors from
+// the engine's warm per-anchor verdict index (negative skips + positive
+// replays), which is the steady state of the annealing loop's dominant
+// reject path. The cached scan must stay ≥ 1.2× the stateless one — the
+// ratio is pinned in BENCH_hotloop.json and checked by the perf gate.
+func BenchmarkMatchScanStateless(b *testing.B) { benchMatchScan(b, false) }
+func BenchmarkMatchScanCached(b *testing.B)    { benchMatchScan(b, true) }
+
+func benchMatchScan(b *testing.B, cached bool) {
+	rng := rand.New(rand.NewSource(2))
+	c := circuit.Random(16, 600, gateset.Nam.Gates, rng)
+	rules := namRules()
+	e := NewEngine(c)
+	if cached {
+		// Warm pass: record a verdict at (nearly) every (rule, anchor).
+		for _, r := range rules {
+			used := make([]bool, len(e.c.Gates))
+			findMatches(e.c, e.dag, r, 0, e.scratch, used, e.cacheFor(r), nil, &e.stats)
+		}
+	}
+	d := circuit.BuildDAG(c)
+	s := newMatchScratch()
+	used := make([]bool, len(c.Gates))
+	var out []*Match
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range rules {
+			for j := range used {
+				used[j] = false
+			}
+			if cached {
+				out = findMatches(e.c, e.dag, r, 0, e.scratch, used, e.cacheFor(r), out[:0], &e.stats)
+			} else {
+				out = findMatches(c, d, r, 0, s, used, nil, out[:0], nil)
+			}
+		}
+	}
+}

@@ -8,9 +8,10 @@
 // and returns a fresh circuit — the right tool for one-shot rewrites and
 // for callers that need value semantics. Engine is the incremental API for
 // iterated search: it owns a mutable circuit whose DAG is maintained by
-// in-place window splices, caches per-rule negative match verdicts that
-// survive across calls (invalidated only inside a wire-adjacency halo of
-// the gates a transformation touched), and exposes a transaction log
+// in-place window splices, caches per-rule three-state match verdicts —
+// known failures are skipped, known matches replayed without rematching —
+// that survive across calls (invalidated only inside a wire-adjacency halo
+// of the gates a transformation touched), and exposes a transaction log
 // (Mark/Rollback/Commit) so speculative candidates — a rejected GUOQ move,
 // a lookahead branch — are reverted without copying circuits. Engine and
 // FullPass produce bit-for-bit identical results for identical inputs; the
@@ -114,7 +115,27 @@ type Rule struct {
 	prevPat    [][]int
 	nextPat    [][]int
 	matchOrder []int
+
+	// Per-wire pattern extents, also precomputed: wireExtent[q] counts the
+	// pattern gates on pattern wire q, and haloDepth is the invalidation
+	// radius derived from them — one more than the deepest wire-adjacency
+	// step the matcher can take from the anchor. Both feed the Engine's
+	// per-rule halo sizing (see Engine's invalidation contract).
+	wireExtent []int
+	haloDepth  int
 }
+
+// WireExtents returns, per pattern-local wire, how many pattern gates act
+// on it — the rule's per-wire footprint, computed once at compile time.
+func (r *Rule) WireExtents() []int { return r.wireExtent }
+
+// HaloDepth is the rule's cache-invalidation radius: a match attempt
+// anchored at gate a only ever inspects gates within HaloDepth wire-
+// adjacency steps of a (the pattern's BFS eccentricity from the anchor,
+// plus one step for the window-purity scan and candidate probes). It is
+// never larger than len(Pattern)+1, the global bound it replaces, and is
+// much smaller for long narrow patterns.
+func (r *Rule) HaloDepth() int { return r.haloDepth }
 
 // Delta returns the gate-count change of applying the rule (negative is a
 // reduction). The GUOQ instantiation excludes size-increasing rules (§6).
@@ -206,16 +227,24 @@ func (r *Rule) buildPlan() error {
 			lastOn[q] = gi
 		}
 	}
-	// BFS from gate 0 over wire adjacency (prev/next neighbours).
+	// BFS from gate 0 over wire adjacency (prev/next neighbours), tracking
+	// each gate's depth: the deepest gate bounds how far the matcher walks
+	// from the anchor.
 	visited := make([]bool, n)
+	depth := make([]int, n)
 	r.matchOrder = []int{0}
 	visited[0] = true
+	maxDepth := 0
 	for head := 0; head < len(r.matchOrder); head++ {
 		gi := r.matchOrder[head]
 		for k := range r.Pattern[gi].Qubits {
 			for _, nb := range []int{r.prevPat[gi][k], r.nextPat[gi][k]} {
 				if nb >= 0 && !visited[nb] {
 					visited[nb] = true
+					depth[nb] = depth[gi] + 1
+					if depth[nb] > maxDepth {
+						maxDepth = depth[nb]
+					}
 					r.matchOrder = append(r.matchOrder, nb)
 				}
 			}
@@ -224,6 +253,17 @@ func (r *Rule) buildPlan() error {
 	if len(r.matchOrder) != n {
 		return fmt.Errorf("rewrite: rule %s: pattern is not wire-connected", r.Name)
 	}
+	// Per-wire extents and the halo radius they imply. The extra +1 covers
+	// the one-step probes beyond matched gates: failed candidates and the
+	// window-purity scan, both of which only ever look at immediate wire
+	// neighbours of matched gates.
+	r.wireExtent = make([]int, r.NumQubits)
+	for _, pg := range r.Pattern {
+		for _, q := range pg.Qubits {
+			r.wireExtent[q]++
+		}
+	}
+	r.haloDepth = maxDepth + 1
 	return nil
 }
 

@@ -1,0 +1,139 @@
+package guoq
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestPerfTrajectory is the CI perf gate: it re-measures the hot-loop
+// benchmarks and fails if they regress past the pinned snapshot in
+// BENCH_hotloop.json plus the documented noise tolerance. It is opt-in —
+// benchmarks are meaningless under `go test ./...` parallelism — and runs
+// as its own serial CI step:
+//
+//	GUOQ_PERF_CHECK=1  go test -run TestPerfTrajectory -count=1 .   # gate
+//	GUOQ_PERF_UPDATE=1 go test -run TestPerfTrajectory -count=1 .   # refresh snapshot
+//
+// Three gates, strictest first:
+//
+//   - allocs/op is machine-independent and near-deterministic, so it gets
+//     the tight tolerance (AllocsFrac) plus a hard absolute ceiling
+//     (MaxAllocs) that holds even if someone refreshes the snapshot past it.
+//   - the engine-vs-stateless speedup ratio is measured in-process, so it
+//     cancels out machine speed; it must not fall below the snapshot ratio
+//     by more than RatioFrac, and never below MinSpeedup.
+//   - raw ns/op is machine-dependent; it is gated loosely (NsFrac) to catch
+//     order-of-magnitude slips, and snapshots must be refreshed on the CI
+//     runner class (see BENCH_hotloop.json's note).
+type perfSnapshot struct {
+	Note       string               `json:"note"`
+	Updated    string               `json:"updated"`
+	Tolerance  perfTolerance        `json:"tolerance"`
+	MaxAllocs  float64              `json:"max_allocs_engine_full_pass"`
+	MinSpeedup float64              `json:"min_speedup_engine_vs_stateless"`
+	Benchmarks map[string]perfEntry `json:"benchmarks"`
+}
+
+type perfTolerance struct {
+	AllocsFrac float64 `json:"allocs_frac"`
+	NsFrac     float64 `json:"ns_frac"`
+	RatioFrac  float64 `json:"ratio_frac"`
+}
+
+type perfEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+const perfSnapshotPath = "BENCH_hotloop.json"
+
+func TestPerfTrajectory(t *testing.T) {
+	update := os.Getenv("GUOQ_PERF_UPDATE") != ""
+	if os.Getenv("GUOQ_PERF_CHECK") == "" && !update {
+		t.Skip("perf gate is opt-in: set GUOQ_PERF_CHECK=1 (gate) or GUOQ_PERF_UPDATE=1 (refresh)")
+	}
+	run := func(f func(*testing.B)) perfEntry {
+		r := testing.Benchmark(f)
+		return perfEntry{NsPerOp: float64(r.NsPerOp()), AllocsPerOp: float64(r.AllocsPerOp())}
+	}
+	got := map[string]perfEntry{
+		"EngineFullPass": run(BenchmarkEngineFullPass),
+		"RuleFullPass":   run(BenchmarkRuleFullPass),
+	}
+	for name, e := range got {
+		t.Logf("%-16s %10.0f ns/op %6.0f allocs/op", name, e.NsPerOp, e.AllocsPerOp)
+	}
+
+	if update {
+		snap := perfSnapshot{
+			Note: "Hot-loop perf snapshot for the CI perf gate (TestPerfTrajectory). " +
+				"Refresh on the CI runner class with GUOQ_PERF_UPDATE=1; ns/op from " +
+				"other machines makes the loose ns gate meaningless.",
+			Updated: time.Now().UTC().Format("2006-01-02"),
+			Tolerance: perfTolerance{
+				AllocsFrac: 0.10, // allocs/op are near-deterministic
+				NsFrac:     0.60, // shared-runner noise; catches big slips only
+				RatioFrac:  0.25, // machine-independent speedup ratio
+			},
+			MaxAllocs:  84,  // acceptance floor for the zero-allocation hot loop work
+			MinSpeedup: 1.2, // engine must beat the stateless pipeline by ≥ this
+			Benchmarks: got,
+		}
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(perfSnapshotPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", perfSnapshotPath)
+		return
+	}
+
+	data, err := os.ReadFile(perfSnapshotPath)
+	if err != nil {
+		t.Fatalf("no perf snapshot (run with GUOQ_PERF_UPDATE=1 to create): %v", err)
+	}
+	var snap perfSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("corrupt %s: %v", perfSnapshotPath, err)
+	}
+
+	var failures []string
+	for name, want := range snap.Benchmarks {
+		have, ok := got[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: pinned in snapshot but no longer measured", name))
+			continue
+		}
+		if limit := want.AllocsPerOp*(1+snap.Tolerance.AllocsFrac) + 0.5; have.AllocsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op, snapshot %.0f (+%d%% tolerance = %.1f)",
+				name, have.AllocsPerOp, want.AllocsPerOp, int(snap.Tolerance.AllocsFrac*100), limit))
+		}
+		if limit := want.NsPerOp * (1 + snap.Tolerance.NsFrac); have.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op, snapshot %.0f (+%d%% tolerance = %.0f)",
+				name, have.NsPerOp, want.NsPerOp, int(snap.Tolerance.NsFrac*100), limit))
+		}
+	}
+	if have := got["EngineFullPass"].AllocsPerOp; snap.MaxAllocs > 0 && have > snap.MaxAllocs {
+		failures = append(failures, fmt.Sprintf("EngineFullPass: %.0f allocs/op breaches the hard ceiling %.0f", have, snap.MaxAllocs))
+	}
+	ratio := got["RuleFullPass"].NsPerOp / got["EngineFullPass"].NsPerOp
+	t.Logf("engine vs stateless speedup: %.2fx", ratio)
+	if se, sr := snap.Benchmarks["EngineFullPass"], snap.Benchmarks["RuleFullPass"]; se.NsPerOp > 0 {
+		snapRatio := sr.NsPerOp / se.NsPerOp
+		if floor := snapRatio * (1 - snap.Tolerance.RatioFrac); ratio < floor {
+			failures = append(failures, fmt.Sprintf("speedup ratio %.2fx below snapshot %.2fx - %d%% = %.2fx",
+				ratio, snapRatio, int(snap.Tolerance.RatioFrac*100), floor))
+		}
+	}
+	if snap.MinSpeedup > 0 && ratio < snap.MinSpeedup {
+		failures = append(failures, fmt.Sprintf("speedup ratio %.2fx below the hard floor %.2fx", ratio, snap.MinSpeedup))
+	}
+	for _, f := range failures {
+		t.Error(f)
+	}
+}

@@ -168,6 +168,7 @@ func Start(ctx context.Context, c *Circuit, o Options) (*Session, error) {
 	runner.Async = o.Async
 	runner.Parallelism = o.Parallelism
 	runner.Partition = o.PartitionParallel
+	runner.Adaptive = o.AdaptivePortfolio
 	runner.Fixpoint = o.Fixpoint
 	runner.Exchanger = o.Exchanger
 	runner.MaxIters = o.MaxIters
