@@ -24,12 +24,19 @@
 // -progress streams live search statistics to stderr.
 //
 // With -coordinator addr the run joins a distributed search through a
-// guoqd daemon: it periodically publishes its best solution (with its
-// accumulated ε bound) and adopts strictly better solutions found by other
-// machines. Runs started on the same input with the same objective and
-// epsilon share a session automatically; pass -session to pin one
-// explicitly. The signal context propagates into the coordinator client,
-// so an interrupt also aborts in-flight exchange requests.
+// guoqd daemon. The circuit is first submitted: if the coordinator's
+// content-addressed result cache already holds an optimized circuit for
+// this exact (circuit, target, ε, objective), it is emitted immediately
+// without spending any search time; otherwise the run joins the exchange
+// session the coordinator assigns, periodically publishing its best
+// solution (with its accumulated ε bound) and adopting strictly better
+// solutions found by other machines. Runs started on the same input with
+// the same objective and epsilon share a session automatically; pass
+// -session to pin one explicitly (which skips the submit/cache step).
+// -wire selects the transport codec: gzip compression and/or the binary
+// envelope framing, both negotiated per request. The signal context
+// propagates into the coordinator client, so an interrupt also aborts
+// in-flight exchange requests.
 //
 // -metrics dumps the run's metric series to stderr after the run: the
 // per-transformation attribution table (attempts/accepts/rejects per rule
@@ -68,8 +75,9 @@ func main() {
 		adaptive  = flag.Bool("adaptive", false, "with -parallel ≥ 2, retarget worker temperatures from live acceptance rates and park stalled workers")
 		fixpoint  = flag.Bool("fixpoint", false, "parallel local fixpoint optimization: iterated concurrent window searches for huge circuits")
 		coord     = flag.String("coordinator", "", "guoqd coordinator address for distributed best-so-far exchange")
-		session   = flag.String("session", "", "exchange session id (default: derived from circuit+objective+epsilon)")
+		session   = flag.String("session", "", "exchange session id (default: negotiated via submit, falling back to local derivation)")
 		token     = flag.String("token", os.Getenv("GUOQD_TOKEN"), "bearer token for a -coordinator started with -token (default $GUOQD_TOKEN)")
+		wire      = flag.String("wire", "json", "coordinator wire format: json|gzip|bin|bin+gzip")
 		progress  = flag.Bool("progress", false, "stream live search progress to stderr")
 		metrics   = flag.Bool("metrics", false, "dump per-rule attribution and the full metric registry (Prometheus text) to stderr after the run")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
@@ -135,22 +143,54 @@ func main() {
 	}
 	var client *dist.Client
 	if *coord != "" {
-		id := *session
-		if id == "" {
-			id = dist.SessionID(native, string(obj), *epsilon)
-		}
 		worker := fmt.Sprintf("pid-%d", os.Getpid())
 		if host, herr := os.Hostname(); herr == nil {
 			worker = fmt.Sprintf("%s-%d", host, os.Getpid())
 		}
-		client, err = dist.Dial(*coord, id, worker)
+		client, err = dist.Dial(*coord, *session, worker)
 		if err != nil {
 			fatal(err)
 		}
 		client.Epsilon = *epsilon
 		client.Context = ctx
 		client.Token = *token
-		fmt.Fprintf(os.Stderr, "coordinator %s, session %s\n", *coord, id)
+		switch *wire {
+		case "json":
+		case "gzip":
+			client.Gzip = true
+		case "bin":
+			client.Binary = true
+		case "bin+gzip", "gzip+bin":
+			client.Gzip, client.Binary = true, true
+		default:
+			fatal(fmt.Errorf("unknown -wire format %q (want json|gzip|bin|bin+gzip)", *wire))
+		}
+		if *session == "" {
+			// Submit first: the coordinator canonicalizes the circuit and
+			// either answers from its result cache — done, no search — or
+			// assigns the session bound to that cache slot.
+			resp, serr := client.Submit(native, *gateSet, string(obj), *epsilon)
+			switch {
+			case serr == nil && resp.Cached:
+				cached, cachedErr, oerr := resp.Best.Open()
+				if oerr != nil {
+					fatal(oerr)
+				}
+				fmt.Fprintf(os.Stderr, "coordinator %s: cache hit — optimized circuit served without search (cost %.3f, ε=%.3g)\n",
+					*coord, resp.Best.Cost, cachedErr)
+				emitQASM(cached.WriteQASM(), *outPath)
+				return
+			case serr == nil:
+				client.Session = resp.Session
+			default:
+				// Older coordinator without /v1/submit (or a transient
+				// failure past retries): fall back to the local derivation
+				// every worker computes identically.
+				client.Session = dist.SessionID(native, string(obj), *epsilon)
+				fmt.Fprintf(os.Stderr, "coordinator submit unavailable (%v); using derived session\n", serr)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "coordinator %s, session %s\n", *coord, client.Session)
 	}
 
 	o := guoq.Options{
@@ -232,12 +272,16 @@ func main() {
 		_ = reg.WritePrometheus(os.Stderr)
 	}
 
-	qasm := out.WriteQASM()
-	if *outPath == "" {
+	emitQASM(out.WriteQASM(), *outPath)
+}
+
+// emitQASM writes the result to -o, or stdout when unset.
+func emitQASM(qasm, outPath string) {
+	if outPath == "" {
 		fmt.Print(qasm)
 		return
 	}
-	if err := os.WriteFile(*outPath, []byte(qasm), 0o644); err != nil {
+	if err := os.WriteFile(outPath, []byte(qasm), 0o644); err != nil {
 		fatal(err)
 	}
 }

@@ -6,9 +6,22 @@
 //
 //	guoqd -listen :7077 [-token secret] [-lease-ttl 60s] [-max-attempts 3]
 //	      [-seed-bench] [-limit 40] [-queue bench] [-grace 5s] [-quiet]
-//	      [-pprof-addr :6060]
+//	      [-pprof-addr :6060] [-data-dir /var/lib/guoqd] [-sync 25ms]
+//	      [-checkpoint 1m] [-cache-entries 4096] [-cache-size 256]
+//	      [-quota rate[:burst]]
 //
 // -addr is an alias for -listen and overrides it when set.
+//
+// With -data-dir the coordinator is durable: exchange sessions and the
+// work queue are logged to a write-ahead log and periodically snapshotted
+// under that directory (-checkpoint sets the snapshot interval, -sync the
+// fsync batching window; -sync 0 fsyncs every append), and a restart with
+// the same -data-dir replays them — sessions keep their ε budgets and
+// best-so-far, leased jobs keep their leases. The directory also spills
+// the content-addressed result cache (served on POST /v1/submit), so
+// optimized circuits survive restarts too. -quota rate[:burst] enables a per-token (or per-client
+// host, when unauthenticated) token-bucket rate limit on /v1/ endpoints;
+// rejected requests get 429 with Retry-After.
 //
 // With -token (or the GUOQD_TOKEN environment variable) every exchange and
 // queue endpoint requires "Authorization: Bearer <token>"; workers pass the
@@ -46,6 +59,8 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,18 +72,24 @@ import (
 
 func main() {
 	var (
-		listen      = flag.String("listen", ":7077", "address to serve on")
-		addr        = flag.String("addr", "", "alias for -listen; overrides it when set")
-		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
-		leaseTTL    = flag.Duration("lease-ttl", 60*time.Second, "default job lease duration (dead workers' jobs requeue after this)")
-		maxAttempts = flag.Int("max-attempts", 3, "lease attempts before a job is marked failed")
-		seedBench   = flag.Bool("seed-bench", false, "seed the work queue with the benchmark suite")
-		gateSet     = flag.String("gateset", "ibmq20", "gate set whose suite seeds the queue (must match the workers' -gateset)")
-		limit       = flag.Int("limit", 40, "suite subsample size for -seed-bench (0 = full suite)")
-		queue       = flag.String("queue", "bench", "work queue name for -seed-bench")
-		grace       = flag.Duration("grace", 5*time.Second, "drain deadline for in-flight requests on shutdown")
-		quiet       = flag.Bool("quiet", false, "suppress per-request logging")
-		token       = flag.String("token", os.Getenv("GUOQD_TOKEN"), "shared bearer token required on /v1/ endpoints (default $GUOQD_TOKEN; empty = open)")
+		listen       = flag.String("listen", ":7077", "address to serve on")
+		addr         = flag.String("addr", "", "alias for -listen; overrides it when set")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		leaseTTL     = flag.Duration("lease-ttl", 60*time.Second, "default job lease duration (dead workers' jobs requeue after this)")
+		maxAttempts  = flag.Int("max-attempts", 3, "lease attempts before a job is marked failed")
+		seedBench    = flag.Bool("seed-bench", false, "seed the work queue with the benchmark suite")
+		gateSet      = flag.String("gateset", "ibmq20", "gate set whose suite seeds the queue (must match the workers' -gateset)")
+		limit        = flag.Int("limit", 40, "suite subsample size for -seed-bench (0 = full suite)")
+		queue        = flag.String("queue", "bench", "work queue name for -seed-bench")
+		grace        = flag.Duration("grace", 5*time.Second, "drain deadline for in-flight requests on shutdown")
+		quiet        = flag.Bool("quiet", false, "suppress per-request logging")
+		token        = flag.String("token", os.Getenv("GUOQD_TOKEN"), "shared bearer token required on /v1/ endpoints (default $GUOQD_TOKEN; empty = open; comma-separate multiple tokens)")
+		dataDir      = flag.String("data-dir", "", "durable state directory: WAL + snapshots + cache spill (empty = in-memory only)")
+		cacheEntries = flag.Int("cache-entries", 4096, "result-cache capacity in entries (negative = cache disabled)")
+		cacheSize    = flag.Int("cache-size", 256, "result-cache capacity in MB")
+		quota        = flag.String("quota", "", "per-token rate limit as rate[:burst] requests/sec (empty = unlimited)")
+		syncEvery    = flag.Duration("sync", 25*time.Millisecond, "WAL fsync batching interval with -data-dir (0 = fsync every append)")
+		checkpoint   = flag.Duration("checkpoint", time.Minute, "snapshot interval with -data-dir (WAL is compacted at each checkpoint)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -81,13 +102,38 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "guoqd: ", log.LstdFlags)
-	opts := dist.ServerOptions{LeaseTTL: *leaseTTL, MaxAttempts: *maxAttempts, Token: *token}
+	opts := dist.ServerOptions{
+		LeaseTTL:        *leaseTTL,
+		MaxAttempts:     *maxAttempts,
+		Token:           *token,
+		DataDir:         *dataDir,
+		CacheEntries:    *cacheEntries,
+		CacheBytes:      int64(*cacheSize) << 20,
+		SyncEvery:       *syncEvery,
+		CheckpointEvery: *checkpoint,
+	}
+	if *syncEvery == 0 {
+		opts.SyncEvery = -1 // flag 0 means "fsync every append"
+	}
 	if !*quiet {
 		opts.Logf = logger.Printf
 	}
-	srv := dist.NewServer(opts)
+	if *quota != "" {
+		rate, burst, err := parseQuota(*quota)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		opts.QuotaRate, opts.QuotaBurst = rate, burst
+	}
+	srv, err := dist.OpenServer(opts)
+	if err != nil {
+		logger.Fatal(err)
+	}
 	if *token != "" {
 		logger.Printf("token auth enabled on /v1/ endpoints")
+	}
+	if *dataDir != "" {
+		logger.Printf("durable state in %s", *dataDir)
 	}
 
 	if *seedBench {
@@ -141,5 +187,24 @@ func main() {
 	if err := srv.ServeContext(ctx, l, *grace); err != nil {
 		logger.Fatal(err)
 	}
+	// Final checkpoint + WAL close, so the next boot replays a compact
+	// snapshot instead of the whole log.
+	if err := srv.Close(); err != nil {
+		logger.Printf("close: %v", err)
+	}
 	logger.Printf("coordinator drained, shutting down")
+}
+
+// parseQuota parses the -quota flag: "rate" or "rate:burst".
+func parseQuota(s string) (rate, burst float64, err error) {
+	rs, bs, hasBurst := strings.Cut(s, ":")
+	if rate, err = strconv.ParseFloat(rs, 64); err != nil || rate <= 0 {
+		return 0, 0, fmt.Errorf("guoqd: bad -quota rate %q", rs)
+	}
+	if hasBurst {
+		if burst, err = strconv.ParseFloat(bs, 64); err != nil || burst <= 0 {
+			return 0, 0, fmt.Errorf("guoqd: bad -quota burst %q", bs)
+		}
+	}
+	return rate, burst, nil
 }

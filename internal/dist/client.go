@@ -2,12 +2,17 @@ package dist
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -63,6 +68,20 @@ type Client struct {
 	// request (or a lease poll loop) dangling. Nil means
 	// context.Background().
 	Context context.Context
+	// Gzip compresses request bodies past a size floor and asks for
+	// gzip-compressed responses. Off by default; any guoqd with this
+	// code understands it, and it only pays off on slow links.
+	Gzip bool
+	// Binary switches the envelope-heavy endpoints (exchange, submit) to
+	// the length-prefixed binary codec. Opt-in: an older coordinator
+	// rejects the content type, so enable it only against a current one.
+	Binary bool
+	// Retries bounds the extra attempts made when an idempotent request
+	// (exchange, submit, push, complete — never lease) fails with a
+	// transient error: a network fault or a 429/502/503/504. Each retry
+	// backs off exponentially with jitter, honoring Retry-After on 429.
+	// 0 means the default of 2; negative disables retrying.
+	Retries int
 
 	// m mirrors the stats into a registry when Instrument was called; its
 	// nil handles are no-ops otherwise. Written once before the first
@@ -88,6 +107,8 @@ type ClientStats struct {
 	Throttled int
 	// Errors counts failed round trips (network, HTTP, or decode).
 	Errors int
+	// Retries counts retried attempts on idempotent requests.
+	Retries int
 }
 
 // Dial builds a client for a coordinator address ("host:port" or a full
@@ -180,7 +201,7 @@ func (c *Client) Exchange(best *circuit.Circuit, bestErr, bestCost float64) (*ci
 		Best:    Solution{Envelope: circuit.Seal(best, bestErr), Cost: bestCost},
 	}
 	var resp ExchangeResponse
-	if err := c.post("/v1/exchange", req, &resp); err != nil {
+	if err := c.postIdem("/v1/exchange", req, &resp); err != nil {
 		c.fail()
 		return nil, 0, false
 	}
@@ -212,10 +233,27 @@ func (c *Client) fail() {
 	c.m.errors.Inc()
 }
 
+// Submit registers an optimization request with the coordinator. A cache
+// hit returns the previously computed best directly (Cached=true); a miss
+// returns the exchange session to join, which the caller should store in
+// c.Session before exchanging.
+func (c *Client) Submit(circ *circuit.Circuit, target, objective string, epsilon float64) (SubmitResponse, error) {
+	req := SubmitRequest{
+		QASM:      circ.WriteQASM(),
+		Target:    target,
+		Objective: objective,
+		Epsilon:   epsilon,
+		Worker:    c.Worker,
+	}
+	var resp SubmitResponse
+	err := c.postIdem("/v1/submit", req, &resp)
+	return resp, err
+}
+
 // Push enqueues jobs onto a named queue, returning how many were new.
 func (c *Client) Push(queue string, jobs []Job) (int, error) {
 	var resp PushResponse
-	err := c.post("/v1/jobs/push", PushRequest{Queue: queue, Jobs: jobs}, &resp)
+	err := c.postIdem("/v1/jobs/push", PushRequest{Queue: queue, Jobs: jobs}, &resp)
 	return resp.Added, err
 }
 
@@ -238,7 +276,7 @@ func (c *Client) Complete(queue, id string, result any) error {
 		return err
 	}
 	var resp CompleteResponse
-	return c.post("/v1/jobs/complete", CompleteRequest{
+	return c.postIdem("/v1/jobs/complete", CompleteRequest{
 		Queue: queue, Worker: c.Worker, ID: id, Result: raw,
 	}, &resp)
 }
@@ -262,11 +300,81 @@ func (c *Client) Queue(queue string) (QueueStatus, error) {
 	return st, json.NewDecoder(resp.Body).Decode(&st)
 }
 
+// encodeRequest marshals req per the client's codec settings and returns
+// the body plus the Content-Type and Content-Encoding headers to send.
+func (c *Client) encodeRequest(req any) (body []byte, contentType, contentEncoding string, err error) {
+	contentType = contentTypeJSON
+	if bm, ok := req.(binaryMessage); ok && c.Binary {
+		body = bm.appendBinary(nil)
+		contentType = contentTypeBinary
+	} else if body, err = json.Marshal(req); err != nil {
+		return nil, "", "", err
+	}
+	if c.Gzip && len(body) >= gzipMinBytes {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err = zw.Write(body); err == nil {
+			err = zw.Close()
+		}
+		if err != nil {
+			return nil, "", "", err
+		}
+		body, contentEncoding = buf.Bytes(), "gzip"
+	}
+	return body, contentType, contentEncoding, nil
+}
+
+// decodeResponse reads a 200 body, reversing whatever encoding the server
+// chose (it only ever picks codecs this request advertised).
+func (c *Client) decodeResponse(resp *http.Response, into any) error {
+	body := io.Reader(resp.Body)
+	if strings.Contains(resp.Header.Get("Content-Encoding"), "gzip") {
+		// Manually negotiated Accept-Encoding disables the transport's
+		// transparent decompression, so inflate here.
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			return err
+		}
+		defer zr.Close()
+		body = zr
+	}
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), contentTypeBinary) {
+		bm, ok := into.(binaryMessage)
+		if !ok {
+			return fmt.Errorf("dist: unexpected binary response")
+		}
+		data, err := io.ReadAll(body)
+		if err != nil {
+			return err
+		}
+		return bm.decodeBinary(data)
+	}
+	return json.NewDecoder(body).Decode(into)
+}
+
+// httpStatusError is a non-200 reply; it keeps the code (and any
+// Retry-After hint) so the retry loop can classify it.
+type httpStatusError struct {
+	path       string
+	code       int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *httpStatusError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("dist: %s: %s", e.path, e.msg)
+	}
+	return fmt.Sprintf("dist: %s returned %d", e.path, e.code)
+}
+
+// post performs one request/response cycle with codec negotiation. No
+// retrying — see postIdem for that.
 func (c *Client) post(path string, req, into any) error {
 	if h := c.m.requestSeconds.With(path); h != nil {
 		defer h.Time()()
 	}
-	body, err := json.Marshal(req)
+	body, ct, ce, err := c.encodeRequest(req)
 	if err != nil {
 		return err
 	}
@@ -274,7 +382,16 @@ func (c *Client) post(path string, req, into any) error {
 	if err != nil {
 		return err
 	}
-	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Content-Type", ct)
+	if ce != "" {
+		hreq.Header.Set("Content-Encoding", ce)
+	}
+	if c.Gzip {
+		hreq.Header.Set("Accept-Encoding", "gzip")
+	}
+	if _, ok := into.(binaryMessage); ok && c.Binary {
+		hreq.Header.Set("Accept", contentTypeBinary)
+	}
 	c.authorize(hreq)
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
@@ -282,16 +399,81 @@ func (c *Client) post(path string, req, into any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var e struct {
+		e := &httpStatusError{path: path, code: resp.StatusCode}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			e.retryAfter = time.Duration(secs) * time.Second
+		}
+		var env struct {
 			Error string `json:"error"`
 		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		if e.Error != "" {
-			return fmt.Errorf("dist: %s: %s", path, e.Error)
-		}
-		return fmt.Errorf("dist: %s returned %s", path, resp.Status)
+		_ = json.NewDecoder(resp.Body).Decode(&env)
+		e.msg = env.Error
+		return e
 	}
-	return json.NewDecoder(resp.Body).Decode(into)
+	return c.decodeResponse(resp, into)
+}
+
+// transient reports whether an attempt failed in a way a retry can fix:
+// a network fault (but not the caller's own cancellation) or a
+// coordinator answering 429/502/503/504. A 429's Retry-After overrides
+// the backoff when longer.
+func transient(err error) (bool, time.Duration) {
+	var se *httpStatusError
+	if errors.As(err, &se) {
+		switch se.code {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true, se.retryAfter
+		}
+		return false, 0
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false, 0
+	}
+	return true, 0
+}
+
+// postIdem is post with bounded retry, for idempotent endpoints only:
+// exchange, submit, push, and complete all tolerate duplicate delivery
+// (publishing is monotone, push dedups by job ID, complete is
+// first-writer-wins), but lease is NOT here — a retried lease can strand
+// a job with a ghost worker until its TTL expires.
+func (c *Client) postIdem(path string, req, into any) error {
+	retries := c.Retries
+	if retries == 0 {
+		retries = 2
+	} else if retries < 0 {
+		retries = 0
+	}
+	backoff := 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		err := c.post(path, req, into)
+		if err == nil {
+			return nil
+		}
+		retry, hint := transient(err)
+		if !retry || attempt >= retries {
+			return err
+		}
+		// Exponential backoff with full jitter; a 429's Retry-After wins
+		// when it asks for more patience than the schedule.
+		delay := time.Duration(rand.Int63n(int64(backoff))) + backoff/2
+		if hint > delay {
+			delay = hint
+		}
+		backoff *= 2
+		c.mu.Lock()
+		c.stats.Retries++
+		c.mu.Unlock()
+		c.m.retries.Inc()
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-c.ctx().Done():
+			timer.Stop()
+			return err
+		}
+	}
 }
 
 // JobSource adapts a Client to a single named queue with a fixed lease

@@ -1,0 +1,255 @@
+package dist
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gateset"
+)
+
+func TestBinaryCodecRoundTrips(t *testing.T) {
+	sol := Solution{Envelope: circuit.Envelope{QASM: "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\n", Err: 3.5e-9}, Cost: 17.25}
+	msgs := []binaryMessage{
+		&ExchangeRequest{Session: "s", Worker: "w", Epsilon: 1e-8, Best: sol},
+		&ExchangeResponse{Adopt: true, Best: sol},
+		&SubmitRequest{QASM: sol.QASM, Target: "ibm-eagle", Objective: "2q", Epsilon: 1e-8, Worker: "w"},
+		&SubmitResponse{Cached: true, Session: "abc", Best: sol},
+	}
+	for _, m := range msgs {
+		b := m.appendBinary(nil)
+		fresh := reflect.New(reflect.TypeOf(m).Elem()).Interface().(binaryMessage)
+		if err := fresh.decodeBinary(b); err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, fresh) {
+			t.Fatalf("%T round trip:\n got %+v\nwant %+v", m, fresh, m)
+		}
+	}
+}
+
+func TestBinaryCodecRejectsGarbage(t *testing.T) {
+	var req ExchangeRequest
+	if err := req.decodeBinary([]byte("not binary at all")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncate a valid message at every prefix: never a panic, always a
+	// clean error (except the empty-payload fields of a lucky prefix).
+	full := (&ExchangeRequest{Session: "session", Worker: "worker", Epsilon: 1, Best: Solution{Envelope: circuit.Envelope{QASM: "q", Err: 1}, Cost: 1}}).appendBinary(nil)
+	for i := len(binMagic); i < len(full); i++ {
+		var m ExchangeRequest
+		if err := m.decodeBinary(full[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+}
+
+// A client speaking gzip + binary gets byte-identical semantics over the
+// wire: exchanges and submissions work end to end with both upgrades on.
+func TestWireNegotiation(t *testing.T) {
+	for _, mode := range []struct {
+		name      string
+		gzip, bin bool
+	}{
+		{"json", false, false},
+		{"gzip", true, false},
+		{"bin", false, true},
+		{"bin+gzip", true, true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			srv := NewServer(ServerOptions{})
+			hs := httptest.NewServer(srv.Handler())
+			defer hs.Close()
+			rng := rand.New(rand.NewSource(21))
+			// Big enough that gzip's response floor (1 KB) is exercised.
+			input := circuit.Random(5, 200, gateset.IBMEagle.Gates, rng)
+
+			c := NewClient(hs.URL, "", "w")
+			c.Epsilon = 1e-8
+			c.MinInterval = -1
+			c.Gzip, c.Binary = mode.gzip, mode.bin
+
+			resp, err := c.Submit(input, "ibm-eagle", "2q", 1e-8)
+			if err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+			c.Session = resp.Session
+			if _, _, ok := c.Exchange(input, 0, 100); ok {
+				t.Fatal("fresh session offered an adoption")
+			}
+			// Second worker behind the best adopts it through the same codec.
+			c2 := NewClient(hs.URL, resp.Session, "w2")
+			c2.Epsilon = 1e-8
+			c2.MinInterval = -1
+			c2.Gzip, c2.Binary = mode.gzip, mode.bin
+			adopted, _, ok := c2.Exchange(circuit.New(5), 0, 999)
+			if !ok {
+				t.Fatal("no adoption over negotiated codec")
+			}
+			if adopted.WriteQASM() != input.WriteQASM() {
+				t.Fatal("adopted circuit corrupted in transit")
+			}
+		})
+	}
+}
+
+// A stock JSON client is untouched by the upgrades existing: no
+// Content-Encoding, no binary, plain JSON replies.
+func TestWireDefaultsToPlainJSON(t *testing.T) {
+	srv := NewServer(ServerOptions{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	body := strings.NewReader(`{"session":"s","epsilon":1e-8,"best":{"qasm":"","err":0,"cost":0}}`)
+	req, _ := http.NewRequest(http.MethodPost, hs.URL+"/v1/exchange", body)
+	req.Header.Set("Content-Type", "application/json")
+	// Explicitly refuse alternate encodings like a minimal client would.
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	if ce := resp.Header.Get("Content-Encoding"); ce != "" {
+		t.Fatalf("uninvited Content-Encoding %q", ce)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("Content-Type = %q, want JSON", ct)
+	}
+}
+
+// Idempotent requests retry through transient failures; leases never do.
+func TestClientRetry(t *testing.T) {
+	var pushSeen, leaseSeen int
+	srv := NewServer(ServerOptions{})
+	inner := srv.Handler()
+	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/jobs/push":
+			pushSeen++
+			if pushSeen <= 2 {
+				httpError(w, http.StatusServiceUnavailable, "warming up")
+				return
+			}
+		case "/v1/jobs/lease":
+			leaseSeen++
+			httpError(w, http.StatusServiceUnavailable, "warming up")
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	hs := httptest.NewServer(flaky)
+	defer hs.Close()
+
+	c := NewClient(hs.URL, "", "w")
+	c.MinInterval = -1
+	added, err := c.Push("q", []Job{{ID: "a"}})
+	if err != nil || added != 1 {
+		t.Fatalf("Push through flaky server = (%d, %v), want (1, nil)", added, err)
+	}
+	if pushSeen != 3 {
+		t.Fatalf("push attempts = %d, want 3 (2 failures + success)", pushSeen)
+	}
+	if st := c.Stats(); st.Retries != 2 {
+		t.Fatalf("stats.Retries = %d, want 2", st.Retries)
+	}
+	// Lease fails immediately: not idempotent, never retried.
+	if _, _, _, err := c.Lease("q", time.Minute); err == nil {
+		t.Fatal("lease through 503 succeeded")
+	}
+	if leaseSeen != 1 {
+		t.Fatalf("lease attempts = %d, want exactly 1 (no retry)", leaseSeen)
+	}
+}
+
+// Retries are bounded and non-transient failures are not retried at all.
+func TestClientRetryBounds(t *testing.T) {
+	var seen int
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen++
+		httpError(w, http.StatusBadRequest, "never valid")
+	}))
+	defer hs.Close()
+	c := NewClient(hs.URL, "", "w")
+	if _, err := c.Push("q", []Job{{ID: "a"}}); err == nil {
+		t.Fatal("400 reported as success")
+	}
+	if seen != 1 {
+		t.Fatalf("400 retried: %d attempts", seen)
+	}
+
+	seen = 0
+	hs2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen++
+		httpError(w, http.StatusServiceUnavailable, "down")
+	}))
+	defer hs2.Close()
+	c2 := NewClient(hs2.URL, "", "w")
+	c2.Retries = 1
+	if _, err := c2.Push("q", []Job{{ID: "a"}}); err == nil {
+		t.Fatal("permanently down server reported success")
+	}
+	if seen != 2 {
+		t.Fatalf("attempts = %d, want 2 (1 try + 1 retry)", seen)
+	}
+}
+
+// The quota middleware answers over-rate requests with 429 + Retry-After
+// and keeps /healthz and /metrics exempt.
+func TestQuotaRejectsWith429(t *testing.T) {
+	srv := NewServer(ServerOptions{QuotaRate: 0.5, QuotaBurst: 2})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	status := func() *http.Response {
+		resp, err := http.Get(hs.URL + "/v1/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if r := status(); r.StatusCode != http.StatusOK {
+		t.Fatalf("first request = %d", r.StatusCode)
+	}
+	if r := status(); r.StatusCode != http.StatusOK {
+		t.Fatalf("burst request = %d", r.StatusCode)
+	}
+	r := status()
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate request = %d, want 429", r.StatusCode)
+	}
+	if r.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+	// Health and metrics stay open regardless.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s throttled: %d", path, resp.StatusCode)
+		}
+	}
+	// The rejection is visible in metrics.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "guoqd_quota_rejections_total 1") {
+		t.Fatal("quota rejection not counted")
+	}
+}

@@ -15,13 +15,19 @@ import (
 // server's state under its lock at scrape time, so they need no
 // bookkeeping on the request paths.
 type serverMetrics struct {
-	requests       *obs.CounterVec   // {path, code}
-	requestSeconds *obs.HistogramVec // {path}
-	publishes      *obs.Counter
-	adoptions      *obs.Counter
-	leases         *obs.Counter
-	leaseRetries   *obs.Counter
-	completed      *obs.Counter
+	requests          *obs.CounterVec   // {path, code}
+	requestSeconds    *obs.HistogramVec // {path}
+	publishes         *obs.Counter
+	adoptions         *obs.Counter
+	leases            *obs.Counter
+	leaseRetries      *obs.Counter
+	completed         *obs.Counter
+	cacheHits         *obs.Counter
+	cacheMisses       *obs.Counter
+	quotaRejections   *obs.Counter
+	storeErrors       *obs.Counter
+	sessionsRecovered *obs.Counter
+	jobsRecovered     *obs.Counter
 }
 
 // newServerMetrics registers the coordinator families on reg and installs
@@ -36,7 +42,23 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		leases:         reg.Counter("guoqd_lease_requests_total", "Job lease requests."),
 		leaseRetries:   reg.Counter("guoqd_lease_retries_total", "Leases handed out for a job whose previous lease expired."),
 		completed:      reg.Counter("guoqd_jobs_completed_total", "Jobs completed with a result."),
+		cacheHits:      reg.Counter("guoqd_cache_hits_total", "Submissions answered from the content-addressed result cache."),
+		cacheMisses:    reg.Counter("guoqd_cache_misses_total", "Submissions that had to open a search session."),
+		quotaRejections: reg.Counter("guoqd_quota_rejections_total",
+			"Requests rejected with 429 by the per-token rate limit."),
+		storeErrors: reg.Counter("guoqd_store_errors_total",
+			"Write-ahead log append or checkpoint failures (state kept in memory)."),
+		sessionsRecovered: reg.Counter("guoqd_sessions_recovered_total",
+			"Exchange sessions restored from the durable store at boot."),
+		jobsRecovered: reg.Counter("guoqd_jobs_recovered_total",
+			"Pending or leased jobs restored from the durable store at boot."),
 	}
+	reg.GaugeFunc("guoqd_cache_entries", "Entries resident in the result cache.", func() float64 {
+		return float64(s.cache.Len())
+	})
+	reg.GaugeFunc("guoqd_cache_hit_rate", "Result-cache hits / (hits + misses).", func() float64 {
+		return s.cache.HitRate()
+	})
 	reg.GaugeFunc("guoqd_uptime_seconds", "Seconds since the coordinator started.", func() float64 {
 		return time.Since(s.start).Seconds()
 	})
@@ -81,7 +103,7 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 // the registry.
 func metricPath(p string) string {
 	switch p {
-	case "/v1/exchange", "/v1/jobs/push", "/v1/jobs/lease", "/v1/jobs/complete",
+	case "/v1/submit", "/v1/exchange", "/v1/jobs/push", "/v1/jobs/lease", "/v1/jobs/complete",
 		"/v1/status", "/healthz", "/metrics":
 		return p
 	}
@@ -127,6 +149,7 @@ type clientMetrics struct {
 	adoptions      *obs.Counter
 	throttled      *obs.Counter
 	errors         *obs.Counter
+	retries        *obs.Counter
 	requestSeconds *obs.HistogramVec // {path}
 }
 
@@ -142,6 +165,7 @@ func (c *Client) Instrument(reg *obs.Registry) {
 		adoptions:      reg.Counter("guoq_exchange_adoptions_total", "Remote solutions adopted from the coordinator."),
 		throttled:      reg.Counter("guoq_exchange_throttled_total", "Exchange calls answered locally by the rate limit."),
 		errors:         reg.Counter("guoq_exchange_errors_total", "Failed coordinator round trips (network, HTTP, or decode)."),
+		retries:        reg.Counter("guoq_coordinator_retries_total", "Retried attempts on idempotent coordinator requests."),
 		requestSeconds: reg.HistogramVec("guoq_coordinator_request_seconds", "Coordinator request latency.", nil, "path"),
 	}
 }

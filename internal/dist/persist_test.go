@@ -1,0 +1,225 @@
+package dist
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gateset"
+)
+
+// openDurable builds a durable coordinator over dir with per-append fsync
+// (deterministic tests) and serves it over a loopback listener.
+func openDurable(t *testing.T, dir string, opts ServerOptions) (*Server, *httptest.Server) {
+	t.Helper()
+	opts.DataDir = dir
+	opts.SyncEvery = -1
+	srv, err := OpenServer(opts)
+	if err != nil {
+		t.Fatalf("OpenServer: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() { srv.Close() })
+	return srv, hs
+}
+
+func testClient(t *testing.T, url, session, worker string, eps float64) *Client {
+	t.Helper()
+	c := NewClient(url, session, worker)
+	c.Epsilon = eps
+	c.MinInterval = -1
+	return c
+}
+
+// The acceptance-criteria test: kill a durable guoqd mid-run, restart on
+// the same data dir, and the restarted daemon serves the pre-restart
+// session's best-so-far, keeps unexpired leases out of circulation, and
+// retains completed results.
+func TestRestartRecoversSessionsAndLeases(t *testing.T) {
+	dir := t.TempDir()
+	const eps = 1e-8
+	rng := rand.New(rand.NewSource(7))
+	best := circuit.Random(4, 30, gateset.IBMEagle.Gates, rng)
+
+	srv, hs := openDurable(t, dir, ServerOptions{})
+	w1 := testClient(t, hs.URL, "crash-session", "w1", eps)
+	// Publish a best-so-far into the session.
+	if _, _, ok := w1.Exchange(best, 2e-9, 10); ok {
+		t.Fatal("fresh session offered an adoption")
+	}
+	// Seed a queue, lease one job, complete another.
+	if added, err := w1.Push("bench", []Job{{ID: "a"}, {ID: "b"}, {ID: "c"}}); err != nil || added != 3 {
+		t.Fatalf("Push = (%d, %v)", added, err)
+	}
+	job, ok, _, err := w1.Lease("bench", time.Hour)
+	if err != nil || !ok {
+		t.Fatalf("Lease = (%+v, %v, %v)", job, ok, err)
+	}
+	if err := w1.Complete("bench", "b", map[string]int{"gates": 42}); err != nil {
+		// "b" may be the leased job; complete whichever is still pending.
+		t.Fatalf("Complete: %v", err)
+	}
+	// Simulate a crash: close the HTTP side and reopen WITHOUT srv.Close()
+	// — no final checkpoint, everything must come back from the WAL alone.
+	hs.Close()
+	if err := srv.store.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	srv.store.Close()
+
+	srv2, hs2 := openDurable(t, dir, ServerOptions{})
+	if srv2.recoveredSessions != 1 {
+		t.Fatalf("recovered %d sessions, want 1", srv2.recoveredSessions)
+	}
+	if srv2.recoveredJobs != 2 {
+		t.Fatalf("recovered %d live jobs, want 2 (1 pending + 1 leased)", srv2.recoveredJobs)
+	}
+	// The session kept its ε budget and best-so-far: a worker that is
+	// behind adopts the pre-restart best.
+	srv2.mu.Lock()
+	ss := srv2.sessions["crash-session"]
+	srv2.mu.Unlock()
+	if ss == nil {
+		t.Fatal("session lost across restart")
+	}
+	if st := ss.status(); st.Epsilon != eps || st.BestCost != 10 || st.BestErr != 2e-9 {
+		t.Fatalf("recovered session = %+v, want ε=%g cost=10 err=2e-9", st, eps)
+	}
+	w2 := testClient(t, hs2.URL, "crash-session", "w2", eps)
+	worse := circuit.Random(4, 40, gateset.IBMEagle.Gates, rng)
+	adopted, adoptErr, ok := w2.Exchange(worse, 0, 99)
+	if !ok {
+		t.Fatal("restarted coordinator did not offer the pre-restart best")
+	}
+	if adoptErr != 2e-9 || adopted.WriteQASM() != best.WriteQASM() {
+		t.Fatalf("adopted (err=%g) is not the pre-restart best", adoptErr)
+	}
+	// The unexpired lease survives: w2 gets the remaining pending job, and
+	// a further lease finds nothing (one job still leased to w1, not two).
+	job2, ok, drained, err := w2.Lease("bench", time.Hour)
+	if err != nil || !ok || job2.ID == job.ID {
+		t.Fatalf("post-restart lease = (%+v, %v, %v, %v); must not re-issue %q", job2, ok, drained, err, job.ID)
+	}
+	if _, ok, drained, _ := w2.Lease("bench", time.Hour); ok || drained {
+		t.Fatalf("third lease = ok=%v drained=%v, want empty but not drained (two live leases)", ok, drained)
+	}
+	// The completed result survives too.
+	st, err := w2.Queue("bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res map[string]int
+	if err := json.Unmarshal(st.Results["b"], &res); err != nil || res["gates"] != 42 {
+		t.Fatalf("completed result lost: %s (%v)", st.Results["b"], err)
+	}
+}
+
+// An expired lease is re-issued after restart with its attempt count
+// intact, so dead-worker recovery works across coordinator restarts.
+func TestRestartReleasesExpiredLease(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	srv, hs := openDurable(t, dir, ServerOptions{})
+	srv.now = clock.Now
+	w := testClient(t, hs.URL, "", "w1", 1e-8)
+	if _, err := w.Push("q", []Job{{ID: "j"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _, err := w.Lease("q", time.Minute); err != nil || !ok {
+		t.Fatalf("lease failed: %v", err)
+	}
+	hs.Close()
+	srv.store.Sync()
+	srv.store.Close()
+
+	srv2, hs2 := openDurable(t, dir, ServerOptions{})
+	clock.Advance(2 * time.Minute) // past the lease TTL
+	srv2.now = clock.Now
+	w2 := testClient(t, hs2.URL, "", "w2", 1e-8)
+	job, ok, _, err := w2.Lease("q", time.Minute)
+	if err != nil || !ok || job.ID != "j" {
+		t.Fatalf("expired lease not re-issued: (%+v, %v, %v)", job, ok, err)
+	}
+	srv2.mu.Lock()
+	attempts := srv2.queues["q"].leased["j"].attempts
+	srv2.mu.Unlock()
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (count survived the restart)", attempts)
+	}
+}
+
+// A torn WAL tail — the half-written record a crash mid-append leaves —
+// is truncated away and everything before it replays.
+func TestRestartSurvivesTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	srv, hs := openDurable(t, dir, ServerOptions{})
+	w := testClient(t, hs.URL, "torn", "w1", 1e-4)
+	rng := rand.New(rand.NewSource(9))
+	c := circuit.Random(3, 20, gateset.IBMEagle.Gates, rng)
+	if _, _, ok := w.Exchange(c, 0, 5); ok {
+		t.Fatal("unexpected adoption")
+	}
+	hs.Close()
+	srv.store.Sync()
+	srv.store.Close()
+
+	// Crash mid-append: garbage at the WAL tail.
+	wal := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv2, _ := openDurable(t, dir, ServerOptions{})
+	if srv2.recoveredSessions != 1 {
+		t.Fatalf("recovered %d sessions, want 1 (intact prefix must replay)", srv2.recoveredSessions)
+	}
+	srv2.mu.Lock()
+	ss := srv2.sessions["torn"]
+	srv2.mu.Unlock()
+	if ss == nil || ss.status().Epsilon != 1e-4 {
+		t.Fatal("session state lost to the torn tail")
+	}
+}
+
+// A graceful Close checkpoints: the next boot replays from the snapshot
+// with an empty WAL, and state still matches.
+func TestCloseCheckpointsAndReopens(t *testing.T) {
+	dir := t.TempDir()
+	srv, hs := openDurable(t, dir, ServerOptions{})
+	w := testClient(t, hs.URL, "snap", "w1", 1e-8)
+	rng := rand.New(rand.NewSource(5))
+	c := circuit.Random(3, 20, gateset.IBMEagle.Gates, rng)
+	if _, _, ok := w.Exchange(c, 0, 7); ok {
+		t.Fatal("unexpected adoption")
+	}
+	if _, err := w.Push("q", []Job{{ID: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	hs.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "wal.log")); err != nil || fi.Size() != 0 {
+		t.Fatalf("WAL not compacted at Close: size=%v err=%v", fi.Size(), err)
+	}
+
+	srv2, hs2 := openDurable(t, dir, ServerOptions{})
+	if srv2.recoveredSessions != 1 || srv2.recoveredJobs != 1 {
+		t.Fatalf("recovered (%d sessions, %d jobs), want (1, 1)", srv2.recoveredSessions, srv2.recoveredJobs)
+	}
+	w2 := testClient(t, hs2.URL, "", "w2", 1e-8)
+	if job, ok, _, err := w2.Lease("q", time.Minute); err != nil || !ok || job.ID != "x" {
+		t.Fatalf("snapshot-recovered job not leasable: (%+v, %v, %v)", job, ok, err)
+	}
+}

@@ -7,11 +7,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"github.com/guoq-dev/guoq/internal/circuit"
 	"github.com/guoq-dev/guoq/internal/obs"
+	"github.com/guoq-dev/guoq/internal/store"
 )
 
 // maxBodyBytes bounds a request body: a QASM circuit of ~100k gates is a
@@ -40,8 +44,30 @@ type ServerOptions struct {
 	// requests without it get 401. /healthz stays open so load balancers
 	// and Dial's reachability probe keep working. The comparison is
 	// constant-time. Empty leaves the coordinator open (trusted networks,
-	// tests).
+	// tests). Multiple acceptable tokens may be given comma-separated —
+	// one per tenant — which is what makes per-token quotas meaningful.
 	Token string
+	// DataDir, when non-empty, makes coordinator state durable (use
+	// OpenServer): sessions and queues are write-ahead logged under this
+	// directory, snapshotted periodically, and replayed on boot; the
+	// result cache spills there too. Empty keeps everything in memory.
+	DataDir string
+	// SyncEvery is the WAL fsync batching cadence (see store.Options).
+	SyncEvery time.Duration
+	// CheckpointEvery is the snapshot/compaction timer (default 1 min);
+	// record volume can trigger checkpoints earlier.
+	CheckpointEvery time.Duration
+	// CacheEntries / CacheBytes bound the content-addressed result cache
+	// behind /v1/submit (0 = 4096 entries / 256 MB). A negative
+	// CacheEntries disables the cache entirely.
+	CacheEntries int
+	CacheBytes   int64
+	// QuotaRate, when positive, rate-limits /v1/ requests per token (or
+	// per remote address on an open server) with a token bucket: QuotaRate
+	// requests/second with bursts of QuotaBurst (0 = 2×rate). Rejections
+	// get 429 with Retry-After.
+	QuotaRate  float64
+	QuotaBurst float64
 	// Logf, when set, receives one line per state-changing request.
 	Logf func(format string, args ...any)
 	// Metrics, when set, is the registry behind GET /metrics; the server
@@ -61,6 +87,20 @@ type Server struct {
 	reg   *obs.Registry
 	sm    *serverMetrics
 
+	// Durability and admission layers; any of these may be nil (memory-only
+	// server, cache disabled, no quota).
+	store *store.Log
+	cache *store.Cache
+	quota *store.Limiter
+
+	recoveredSessions int
+	recoveredJobs     int
+
+	checkpointCh   chan struct{}
+	checkpointDone chan struct{}
+	closeCh        chan struct{}
+	closeOnce      sync.Once
+
 	mu       sync.Mutex
 	sessions map[string]*session
 	queues   map[string]*workQueue
@@ -75,6 +115,9 @@ type session struct {
 	has          bool
 	exchanges    int
 	improvements int
+	// cacheKey, when non-empty, is the content address this session's
+	// best feeds (bound by /v1/submit).
+	cacheKey string
 
 	// lastUsed is the time of the last exchange touch, guarded by the
 	// owning Server's mu (not the session's own).
@@ -98,8 +141,17 @@ func NewServer(opts ServerOptions) *Server {
 		now:      time.Now,
 		start:    time.Now(),
 		reg:      reg,
+		quota:    store.NewLimiter(opts.QuotaRate, opts.QuotaBurst),
+		closeCh:  make(chan struct{}),
 		sessions: map[string]*session{},
 		queues:   map[string]*workQueue{},
+	}
+	if opts.CacheEntries >= 0 {
+		spillDir := ""
+		if opts.DataDir != "" {
+			spillDir = filepath.Join(opts.DataDir, "cache")
+		}
+		s.cache = store.NewCache(opts.CacheEntries, opts.CacheBytes, spillDir)
 	}
 	s.sm = newServerMetrics(reg, s)
 	return s
@@ -116,17 +168,27 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 func (s *Server) session(id string, epsilon float64) *session {
+	return s.sessionWithKey(id, epsilon, "")
+}
+
+// sessionWithKey gets or creates a session; cacheKey (from /v1/submit)
+// binds a new session to its result-cache slot. New sessions are
+// persisted immediately so even a best-less session survives a restart
+// with its ε budget.
+func (s *Server) sessionWithKey(id string, epsilon float64, cacheKey string) *session {
 	now := s.now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.sweepSessionsLocked(now)
 	if ss, ok := s.sessions[id]; ok {
 		ss.lastUsed = now
+		s.mu.Unlock()
 		return ss
 	}
-	ss := &session{epsilon: epsilon, lastUsed: now}
+	ss := &session{epsilon: epsilon, lastUsed: now, cacheKey: cacheKey}
 	s.sessions[id] = ss
+	s.mu.Unlock()
 	s.logf("session %s created (ε=%g)", id, epsilon)
+	s.persistSession(id, ss)
 	return ss
 }
 
@@ -208,13 +270,18 @@ func (ss *session) status() SessionStatus {
 func (s *Server) Push(queue string, jobs []Job) int {
 	q := s.queue(queue)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return q.push(jobs)
+	added := q.push(jobs)
+	s.mu.Unlock()
+	if added > 0 {
+		s.persist(recPush, pushRecord{Queue: queue, Jobs: jobs})
+	}
+	return added
 }
 
 // Handler returns the coordinator's HTTP surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
 	mux.HandleFunc("POST /v1/exchange", s.handleExchange)
 	mux.HandleFunc("POST /v1/jobs/push", s.handlePush)
 	mux.HandleFunc("POST /v1/jobs/lease", s.handleLease)
@@ -228,21 +295,65 @@ func (s *Server) Handler() http.Handler {
 	// scrapers and load balancers get fleet state without the shared
 	// secret, and the payload carries no circuit data.
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.withMetrics(s.withAuth(mux))
+	// Quota sits inside auth: an invalid token is a 401 (and never spends
+	// quota budget), a valid one over its rate gets 429 + Retry-After.
+	return s.withMetrics(s.withAuth(s.withQuota(mux)))
 }
 
-// withAuth gates the API surface behind the shared token when one is
+// withAuth gates the API surface behind the shared token(s) when any are
 // configured; /healthz (everything outside /v1/) stays open.
 func (s *Server) withAuth(next http.Handler) http.Handler {
 	if s.opts.Token == "" {
 		return next
 	}
-	want := []byte(s.opts.Token)
+	var want [][]byte
+	for _, t := range strings.Split(s.opts.Token, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			want = append(want, []byte(t))
+		}
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if strings.HasPrefix(r.URL.Path, "/v1/") {
 			got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
-			if !ok || subtle.ConstantTimeCompare([]byte(got), want) != 1 {
+			pass := false
+			for _, t := range want {
+				// Compare against every configured token so timing never
+				// reveals which one matched.
+				if subtle.ConstantTimeCompare([]byte(got), t) == 1 {
+					pass = true
+				}
+			}
+			if !ok || !pass {
 				httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withQuota applies the per-token token-bucket rate limit to the /v1/
+// surface. Keys are the presented bearer token, or the remote host on an
+// open server. Nil limiter (no -quota) passes everything through.
+func (s *Server) withQuota(next http.Handler) http.Handler {
+	if s.quota == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			key, _ := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if key == "" {
+				if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+					key = host
+				} else {
+					key = r.RemoteAddr
+				}
+			}
+			if ok, retry := s.quota.Allow(key); !ok {
+				s.sm.quotaRejections.Inc()
+				secs := int(retry/time.Second) + 1
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				httpError(w, http.StatusTooManyRequests, "rate limit exceeded")
 				return
 			}
 		}
@@ -294,9 +405,59 @@ func (s *Server) ServeContext(ctx context.Context, l net.Listener, grace time.Du
 	return err
 }
 
+// handleSubmit is the cache-aware front door: normalize the circuit, hash
+// the request, answer instantly on a cache hit, open the bound exchange
+// session otherwise.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if req.QASM == "" || req.Target == "" || req.Objective == "" {
+		httpError(w, http.StatusBadRequest, "missing qasm, target, or objective")
+		return
+	}
+	c, err := circuit.ParseQASM(req.QASM)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad circuit: "+err.Error())
+		return
+	}
+	// The QASM round trip is the canonicalizer: whitespace, comments, and
+	// parameter formatting collapse, so textual variants of one circuit
+	// share a cache slot.
+	key := store.CacheKey(c.WriteQASM(), req.Target, req.Objective, req.Epsilon)
+	sid := key[:16]
+	if e, ok := s.cache.Get(key); ok {
+		s.sm.cacheHits.Inc()
+		s.logf("submit %s: cache hit (cost %g)", sid, e.Cost)
+		writeReply(w, r, &SubmitResponse{
+			Cached:  true,
+			Session: sid,
+			Best:    Solution{Envelope: circuit.Envelope{QASM: e.QASM, Err: e.Err}, Cost: e.Cost},
+		})
+		return
+	}
+	if s.cache != nil {
+		s.sm.cacheMisses.Inc()
+	}
+	ss := s.sessionWithKey(sid, req.Epsilon, key)
+	// A session created before the cache binding existed (plain exchange
+	// traffic, or a pre-cache guoqd's replayed state) adopts the key now.
+	ss.mu.Lock()
+	rebind := ss.cacheKey == "" && s.cache != nil
+	if rebind {
+		ss.cacheKey = key
+	}
+	ss.mu.Unlock()
+	if rebind {
+		s.persistSession(sid, ss)
+	}
+	writeReply(w, r, &SubmitResponse{Session: sid})
+}
+
 func (s *Server) handleExchange(w http.ResponseWriter, r *http.Request) {
 	var req ExchangeRequest
-	if !readJSON(w, r, &req) {
+	if !readBody(w, r, &req) {
 		return
 	}
 	if req.Session == "" {
@@ -307,16 +468,33 @@ func (s *Server) handleExchange(w http.ResponseWriter, r *http.Request) {
 	resp, stored := ss.exchange(req)
 	if stored {
 		s.sm.publishes.Inc()
+		s.persistSession(req.Session, ss)
+		// Feed the result cache: the session best is by construction the
+		// cheapest ε-admissible solution seen for the bound request.
+		if key, e, ok := ss.cacheEntry(); ok {
+			s.cache.Put(key, e)
+		}
 	}
 	if resp.Adopt {
 		s.sm.adoptions.Inc()
 	}
-	writeJSON(w, resp)
+	writeReply(w, r, &resp)
+}
+
+// cacheEntry snapshots the session best as a cache entry when the session
+// is cache-bound and has one.
+func (ss *session) cacheEntry() (string, store.CacheEntry, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.cacheKey == "" || !ss.has {
+		return "", store.CacheEntry{}, false
+	}
+	return ss.cacheKey, store.CacheEntry{QASM: ss.best.QASM, Err: ss.best.Err, Cost: ss.best.Cost}, true
 }
 
 func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	var req PushRequest
-	if !readJSON(w, r, &req) {
+	if !readBody(w, r, &req) {
 		return
 	}
 	if req.Queue == "" {
@@ -327,13 +505,16 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	added := q.push(req.Jobs)
 	s.mu.Unlock()
+	if added > 0 {
+		s.persist(recPush, pushRecord{Queue: req.Queue, Jobs: req.Jobs})
+	}
 	s.logf("queue %s: pushed %d/%d jobs", req.Queue, added, len(req.Jobs))
-	writeJSON(w, PushResponse{Added: added})
+	writeReply(w, r, PushResponse{Added: added})
 }
 
 func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req LeaseRequest
-	if !readJSON(w, r, &req) {
+	if !readBody(w, r, &req) {
 		return
 	}
 	if req.Queue == "" {
@@ -350,7 +531,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		// The queue has not been seeded yet (a worker can start before
 		// the pusher): nothing to hand out, but not drained either — the
 		// worker should poll again.
-		writeJSON(w, LeaseResponse{})
+		writeReply(w, r, LeaseResponse{})
 		return
 	}
 	s.mu.Lock()
@@ -359,9 +540,13 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	// expired (dead worker) and the queue re-issued it. Read under the same
 	// lock as the lease so the attempt count is the handout's own.
 	retry := false
+	var lr leaseRecord
 	if ok {
-		if j := q.leased[job.ID]; j != nil && j.attempts > 1 {
-			retry = true
+		if j := q.leased[job.ID]; j != nil {
+			if j.attempts > 1 {
+				retry = true
+			}
+			lr = leaseRecord{Queue: req.Queue, ID: job.ID, Worker: req.Worker, Attempts: j.attempts, Expires: j.expires}
 		}
 	}
 	s.mu.Unlock()
@@ -369,14 +554,15 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		s.sm.leaseRetries.Inc()
 	}
 	if ok {
+		s.persist(recLease, lr)
 		s.logf("queue %s: leased %q to %s (ttl %v)", req.Queue, job.ID, req.Worker, ttl)
 	}
-	writeJSON(w, LeaseResponse{OK: ok, Job: job, Drained: drained})
+	writeReply(w, r, LeaseResponse{OK: ok, Job: job, Drained: drained})
 }
 
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var req CompleteRequest
-	if !readJSON(w, r, &req) {
+	if !readBody(w, r, &req) {
 		return
 	}
 	if req.Queue == "" || req.ID == "" {
@@ -395,9 +581,10 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, err.Error())
 		return
 	}
+	s.persist(recComplete, completeRecord{Queue: req.Queue, ID: req.ID, Result: req.Result})
 	s.sm.completed.Inc()
 	s.logf("queue %s: %s completed %q", req.Queue, req.Worker, req.ID)
-	writeJSON(w, CompleteResponse{OK: true})
+	writeReply(w, r, CompleteResponse{OK: true})
 }
 
 func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
@@ -409,10 +596,10 @@ func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	st := q.status(s.now(), true)
 	s.mu.Unlock()
-	writeJSON(w, st)
+	writeReply(w, r, st)
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := Status{
 		Sessions:      map[string]SessionStatus{},
 		Queues:        map[string]QueueStatus{},
@@ -435,21 +622,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	for id, ss := range sessions {
 		st.Sessions[id] = ss.status()
 	}
-	writeJSON(w, st)
-}
-
-func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err := dec.Decode(into); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
-		return false
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.CacheEntries = s.cache.Len()
+		st.CacheHits = cs.Hits
+		st.CacheMisses = cs.Misses
+		st.CacheHitRate = s.cache.HitRate()
 	}
-	return true
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	writeReply(w, r, st)
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {

@@ -1,0 +1,146 @@
+package dist_test
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/dist"
+	"github.com/guoq-dev/guoq/internal/gateset"
+)
+
+// Submit → optimize → resubmit: the second submission of the identical
+// (circuit, target, ε, objective) is answered from the result cache
+// without opening a session, and the metrics surface reports the hit.
+func TestSubmitCacheRoundTrip(t *testing.T) {
+	_, hs := newLoopback(t, dist.ServerOptions{})
+	const eps = 1e-8
+	rng := rand.New(rand.NewSource(11))
+	input := circuit.Random(4, 30, gateset.IBMEagle.Gates, rng)
+	optimized := circuit.Random(4, 12, gateset.IBMEagle.Gates, rng)
+
+	w1 := client(t, hs, "", "w1", eps)
+	resp, err := w1.Submit(input, "ibm-eagle", "2q", eps)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if resp.Cached {
+		t.Fatal("first submission reported a cache hit")
+	}
+	if resp.Session == "" {
+		t.Fatal("miss did not assign a session")
+	}
+	// Join the assigned session and publish the "optimized" result.
+	w1.Session = resp.Session
+	if _, _, ok := w1.Exchange(optimized, 3e-9, 12); ok {
+		t.Fatal("fresh session offered an adoption")
+	}
+
+	// A second submitter with the same request is served from the cache.
+	w2 := client(t, hs, "", "w2", eps)
+	resp2, err := w2.Submit(input, "ibm-eagle", "2q", eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Cached {
+		t.Fatal("identical resubmission missed the cache")
+	}
+	if resp2.Best.Cost != 12 || resp2.Best.Err != 3e-9 {
+		t.Fatalf("cached best = %+v, want cost 12, err 3e-9", resp2.Best)
+	}
+	got, gotErr, err := resp2.Best.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotErr != 3e-9 || got.WriteQASM() != optimized.WriteQASM() {
+		t.Fatal("cached circuit does not round-trip to the published best")
+	}
+
+	// A different ε is a different request: no hit.
+	resp3, err := w2.Submit(input, "ibm-eagle", "2q", 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp3.Cached {
+		t.Fatal("different epsilon hit the cache")
+	}
+
+	// Metrics and status expose the traffic.
+	body := get(t, hs.URL+"/metrics")
+	if !strings.Contains(body, "guoqd_cache_hits_total 1") {
+		t.Fatalf("metrics missing cache hit:\n%s", body)
+	}
+	if !strings.Contains(body, "guoqd_cache_misses_total 2") {
+		t.Fatalf("metrics missing cache misses:\n%s", body)
+	}
+	var st dist.Status
+	if err := json.Unmarshal([]byte(get(t, hs.URL+"/v1/status")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits != 1 || st.CacheMisses != 2 || st.CacheEntries != 1 {
+		t.Fatalf("status cache fields = hits %d misses %d entries %d, want 1/2/1", st.CacheHits, st.CacheMisses, st.CacheEntries)
+	}
+	if st.CacheHitRate <= 0 || st.CacheHitRate >= 1 {
+		t.Fatalf("status hit rate = %v, want in (0,1)", st.CacheHitRate)
+	}
+}
+
+// Textual variants of the same circuit share a cache slot: the server
+// canonicalizes via a QASM parse + re-emit round trip before hashing.
+func TestSubmitNormalizesQASM(t *testing.T) {
+	srv, hs := newLoopback(t, dist.ServerOptions{})
+	_ = srv
+	rng := rand.New(rand.NewSource(13))
+	input := circuit.Random(3, 15, gateset.IBMEagle.Gates, rng)
+	qasm := input.WriteQASM()
+	// Reformat: extra blank lines and comments parse to the same circuit.
+	variant := "// a comment\n" + strings.ReplaceAll(qasm, "\n", "\n\n")
+	reparsed, err := circuit.ParseQASM(variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := client(t, hs, "", "w1", 1e-8)
+	r1, err := w.Submit(input, "ibm-eagle", "2q", 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := w.Submit(reparsed, "ibm-eagle", "2q", 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Session != r2.Session {
+		t.Fatalf("formatting changed the session: %s vs %s", r1.Session, r2.Session)
+	}
+}
+
+// A server with the cache disabled still answers submissions (always a
+// session, never a hit).
+func TestSubmitCacheDisabled(t *testing.T) {
+	_, hs := newLoopback(t, dist.ServerOptions{CacheEntries: -1})
+	rng := rand.New(rand.NewSource(17))
+	input := circuit.Random(3, 10, gateset.IBMEagle.Gates, rng)
+	w := client(t, hs, "", "w1", 1e-8)
+	resp, err := w.Submit(input, "ibm-eagle", "2q", 1e-8)
+	if err != nil || resp.Cached || resp.Session == "" {
+		t.Fatalf("Submit with cache disabled = (%+v, %v)", resp, err)
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}

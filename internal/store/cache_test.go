@@ -1,0 +1,125 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCacheKeyNormalization(t *testing.T) {
+	a := CacheKey("qasm-a", "ibmq20", "2q", 1e-8)
+	if a != CacheKey("qasm-a", "ibmq20", "2q", 1e-8) {
+		t.Fatal("identical inputs hashed differently")
+	}
+	for _, other := range []string{
+		CacheKey("qasm-b", "ibmq20", "2q", 1e-8),
+		CacheKey("qasm-a", "ionq", "2q", 1e-8),
+		CacheKey("qasm-a", "ibmq20", "t", 1e-8),
+		CacheKey("qasm-a", "ibmq20", "2q", 1e-4),
+	} {
+		if other == a {
+			t.Fatal("distinct request fields collided")
+		}
+	}
+}
+
+func TestCacheHitMissAndStats(t *testing.T) {
+	c := NewCache(8, 0, "")
+	k := CacheKey("q", "t", "o", 0)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, CacheEntry{QASM: "optimized", Cost: 3})
+	e, ok := c.Get(k)
+	if !ok || e.QASM != "optimized" || e.Cost != 3 {
+		t.Fatalf("Get = (%+v, %v)", e, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if r := c.HitRate(); r != 0.5 {
+		t.Fatalf("HitRate = %v, want 0.5", r)
+	}
+}
+
+func TestCacheLowerCostWins(t *testing.T) {
+	c := NewCache(8, 0, "")
+	c.Put("k", CacheEntry{QASM: "good", Cost: 5})
+	c.Put("k", CacheEntry{QASM: "worse", Cost: 9})
+	if e, _ := c.Get("k"); e.QASM != "good" {
+		t.Fatalf("higher-cost Put replaced the entry: %+v", e)
+	}
+	c.Put("k", CacheEntry{QASM: "better", Cost: 2})
+	if e, _ := c.Get("k"); e.QASM != "better" {
+		t.Fatalf("lower-cost Put did not replace: %+v", e)
+	}
+}
+
+func TestCacheEntryEviction(t *testing.T) {
+	c := NewCache(2, 0, "")
+	c.Put("a", CacheEntry{QASM: "A", Cost: 1})
+	c.Put("b", CacheEntry{QASM: "B", Cost: 1})
+	c.Get("a") // refresh a: b is now LRU
+	c.Put("c", CacheEntry{QASM: "C", Cost: 1})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+}
+
+func TestCacheByteEviction(t *testing.T) {
+	// Each entry costs len(QASM)+64 bytes; cap at ~2 entries' worth.
+	c := NewCache(100, 300, "")
+	big := strings.Repeat("x", 80) // 144 bytes each
+	c.Put("a", CacheEntry{QASM: big, Cost: 1})
+	c.Put("b", CacheEntry{QASM: big, Cost: 1})
+	c.Put("c", CacheEntry{QASM: big, Cost: 1})
+	if n := c.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2 (byte bound)", n)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("oldest entry survived the byte bound")
+	}
+}
+
+func TestCacheDiskSpill(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(1, 0, dir)
+	ka := CacheKey("circ-a", "t", "o", 0)
+	kb := CacheKey("circ-b", "t", "o", 0)
+	c.Put(ka, CacheEntry{QASM: "A", Cost: 1})
+	c.Put(kb, CacheEntry{QASM: "B", Cost: 2}) // evicts ka from memory
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	// The evicted entry reloads from the spill.
+	e, ok := c.Get(ka)
+	if !ok || e.QASM != "A" {
+		t.Fatalf("spilled entry not reloaded: (%+v, %v)", e, ok)
+	}
+	if st := c.Stats(); st.DiskHits != 1 {
+		t.Fatalf("DiskHits = %d, want 1", st.DiskHits)
+	}
+
+	// A fresh cache over the same dir — a restart — still serves both.
+	c2 := NewCache(4, 0, dir)
+	if e, ok := c2.Get(kb); !ok || e.QASM != "B" {
+		t.Fatalf("entry lost across restart: (%+v, %v)", e, ok)
+	}
+}
+
+func TestCacheNilSafe(t *testing.T) {
+	var c *Cache
+	c.Put("k", CacheEntry{QASM: "x"})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.Len() != 0 || c.HitRate() != 0 {
+		t.Fatal("nil cache reported non-zero state")
+	}
+}

@@ -1,0 +1,119 @@
+package store
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Limiter applies per-key token-bucket rate limits: each key (a bearer
+// token, or a remote address on open servers) gets a bucket of Burst
+// tokens refilled at Rate tokens per second; a request spends one token.
+// Keys without an explicit override share the default limit. Safe for
+// concurrent use.
+type Limiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time // injectable clock for tests
+
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	overrides map[string]quotaLimit
+	lastPrune time.Time
+}
+
+type quotaLimit struct{ rate, burst float64 }
+
+type bucket struct {
+	limit  quotaLimit
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a limiter allowing rate requests per second per key
+// with bursts of burst (≤0 selects 2×rate, minimum 1). A rate ≤ 0 returns
+// nil — and a nil *Limiter allows everything, so "no quota" needs no
+// special-casing.
+func NewLimiter(rate, burst float64) *Limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = math.Max(1, 2*rate)
+	}
+	return &Limiter{
+		rate:    rate,
+		burst:   burst,
+		now:     time.Now,
+		buckets: map[string]*bucket{},
+	}
+}
+
+// SetLimit overrides the rate/burst for one key (a per-token quota). A
+// rate ≤ 0 blocks the key entirely.
+func (l *Limiter) SetLimit(key string, rate, burst float64) {
+	if l == nil {
+		return
+	}
+	if burst <= 0 {
+		burst = math.Max(1, 2*rate)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.overrides == nil {
+		l.overrides = map[string]quotaLimit{}
+	}
+	l.overrides[key] = quotaLimit{rate: rate, burst: burst}
+	delete(l.buckets, key) // rebuild with the new limit on next use
+}
+
+// Allow spends one token from key's bucket. When the bucket is empty it
+// returns false plus the wait until a token will be available — the
+// Retry-After a 429 should carry.
+func (l *Limiter) Allow(key string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pruneLocked(now)
+	b := l.buckets[key]
+	if b == nil {
+		lim := quotaLimit{rate: l.rate, burst: l.burst}
+		if ov, ok := l.overrides[key]; ok {
+			lim = ov
+		}
+		b = &bucket{limit: lim, tokens: lim.burst, last: now}
+		l.buckets[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.limit.burst, b.tokens+dt*b.limit.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.limit.rate <= 0 {
+		// Blocked key: there is no useful retry horizon; report an hour.
+		return false, time.Hour
+	}
+	need := (1 - b.tokens) / b.limit.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// pruneLocked bounds the bucket map against key-cardinality abuse (open
+// servers key by remote address): full buckets idle past a minute carry no
+// state worth keeping and are dropped, at most once per second.
+func (l *Limiter) pruneLocked(now time.Time) {
+	if len(l.buckets) < 1024 || now.Sub(l.lastPrune) < time.Second {
+		return
+	}
+	l.lastPrune = now
+	for k, b := range l.buckets {
+		if now.Sub(b.last) > time.Minute {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"testing"
+	"time"
+)
+
+// clockAt pins a limiter to a manual clock and returns the advance func.
+func clockAt(l *Limiter) func(d time.Duration) {
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+	return func(d time.Duration) { now = now.Add(d) }
+}
+
+func TestLimiterBurstAndRefill(t *testing.T) {
+	l := NewLimiter(1, 2) // 1 req/s, burst 2
+	advance := clockAt(l)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("k"); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, retry := l.Allow("k")
+	if ok {
+		t.Fatal("request past burst allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter = %v, want (0, 1s]", retry)
+	}
+	// One token refills after a second.
+	advance(time.Second)
+	if ok, _ := l.Allow("k"); !ok {
+		t.Fatal("request after refill rejected")
+	}
+	if ok, _ := l.Allow("k"); ok {
+		t.Fatal("second request after single-token refill allowed")
+	}
+}
+
+func TestLimiterKeysIndependent(t *testing.T) {
+	l := NewLimiter(1, 1)
+	clockAt(l)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("first key rejected")
+	}
+	if ok, _ := l.Allow("b"); !ok {
+		t.Fatal("second key throttled by first key's spend")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("first key's empty bucket allowed")
+	}
+}
+
+func TestLimiterSetLimit(t *testing.T) {
+	l := NewLimiter(100, 100)
+	advance := clockAt(l)
+	l.SetLimit("slow", 1, 1)
+	if ok, _ := l.Allow("slow"); !ok {
+		t.Fatal("override burst rejected")
+	}
+	if ok, _ := l.Allow("slow"); ok {
+		t.Fatal("override did not apply")
+	}
+	// Other keys keep the default limit.
+	for i := 0; i < 50; i++ {
+		if ok, _ := l.Allow("fast"); !ok {
+			t.Fatalf("default-limit request %d rejected", i)
+		}
+	}
+	// A blocked key reports a long retry horizon.
+	l.SetLimit("banned", 0, 0)
+	advance(time.Minute)
+	if ok, retry := l.Allow("banned"); !ok && retry < time.Minute {
+		t.Fatalf("blocked key retryAfter = %v, want ≥ 1m", retry)
+	} else if ok {
+		// The first Allow spends the minimum burst of 1; the second must
+		// block forever.
+		if ok, retry := l.Allow("banned"); ok || retry < time.Minute {
+			t.Fatalf("blocked key allowed (retry %v)", retry)
+		}
+	}
+}
+
+func TestLimiterNilAllowsAll(t *testing.T) {
+	if l := NewLimiter(0, 0); l != nil {
+		t.Fatal("rate 0 should build a nil limiter")
+	}
+	var l *Limiter
+	for i := 0; i < 1000; i++ {
+		if ok, _ := l.Allow("k"); !ok {
+			t.Fatal("nil limiter rejected")
+		}
+	}
+	l.SetLimit("k", 1, 1) // must not panic
+}

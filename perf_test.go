@@ -3,9 +3,12 @@ package guoq
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"testing"
 	"time"
+
+	"github.com/guoq-dev/guoq/internal/experiments"
 )
 
 // TestPerfTrajectory is the CI perf gate: it re-measures the hot-loop
@@ -135,5 +138,96 @@ func TestPerfTrajectory(t *testing.T) {
 	}
 	for _, f := range failures {
 		t.Error(f)
+	}
+}
+
+const fixpointSnapshotPath = "BENCH_fixpoint.json"
+
+// Reduction-quality tolerances for the fixpoint gate. Gate counts after a
+// time-budgeted anytime search are machine-dependent (a slower runner does
+// fewer iterations), so the gate is on the achieved reduction FRACTION
+// relative to the snapshot's, not on absolute gate counts: a runner must
+// deliver at least these shares of the pinned reduction or something
+// structural broke (a rule regression, a scheduler bug, a broken window
+// search) rather than the machine being slow.
+const (
+	fixpointTotalReductionShare = 0.75 // of snapshot's total-gate reduction
+	fixpoint2QReductionShare    = 0.50 // of snapshot's two-qubit reduction
+)
+
+// TestPerfTrajectoryFixpoint gates the parallel local-fixpoint optimizer
+// (the huge-circuit path) the same way TestPerfTrajectory gates the hot
+// loop: opt-in via GUOQ_PERF_CHECK, snapshot refresh via GUOQ_PERF_UPDATE,
+// pinned input in BENCH_fixpoint.json. The -run TestPerfTrajectory regex
+// CI uses matches this test too, so both gates share one serial CI step.
+func TestPerfTrajectoryFixpoint(t *testing.T) {
+	update := os.Getenv("GUOQ_PERF_UPDATE") != ""
+	if os.Getenv("GUOQ_PERF_CHECK") == "" && !update {
+		t.Skip("perf gate is opt-in: set GUOQ_PERF_CHECK=1 (gate) or GUOQ_PERF_UPDATE=1 (refresh)")
+	}
+	data, err := os.ReadFile(fixpointSnapshotPath)
+	if err != nil {
+		t.Fatalf("no fixpoint snapshot (guoqbench -fixpoint writes one): %v", err)
+	}
+	var snap experiments.FixpointReport
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("corrupt %s: %v", fixpointSnapshotPath, err)
+	}
+
+	// Re-run the pinned experiment: same seed, same circuit size, same
+	// per-tool budget.
+	rep, err := experiments.Fixpoint(experiments.Config{
+		Budget:  time.Duration(snap.BudgetMS) * time.Millisecond,
+		Seed:    snap.Seed,
+		Epsilon: 1e-8,
+		Out:     io.Discard,
+	}, snap.Workers, snap.Qubits, snap.InputGates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InputGates != snap.InputGates || rep.InputTwoQubit != snap.InputTwoQubit {
+		t.Fatalf("generated input drifted: %d gates / %d 2q, snapshot %d / %d (seeded generation must be stable)",
+			rep.InputGates, rep.InputTwoQubit, snap.InputGates, snap.InputTwoQubit)
+	}
+
+	rows := func(r *experiments.FixpointReport) map[string]experiments.FixpointRow {
+		m := map[string]experiments.FixpointRow{}
+		for _, row := range r.Rows {
+			m[row.Tool] = row
+		}
+		return m
+	}
+	have, want := rows(rep), rows(&snap)
+	for tool, w := range want {
+		h, ok := have[tool]
+		if !ok {
+			t.Errorf("%s: pinned in snapshot but no longer measured", tool)
+			continue
+		}
+		t.Logf("%-10s %5d -> %5d gates (%5d -> %5d 2q), snapshot reached %d gates", tool, rep.InputGates, h.Gates, rep.InputTwoQubit, h.TwoQubit, w.Gates)
+		if h.Error > 1e-8 {
+			t.Errorf("%s: error %g exceeds the ε budget", tool, h.Error)
+		}
+		snapTotal := rep.InputGates - w.Gates
+		if got, floor := rep.InputGates-h.Gates, int(float64(snapTotal)*fixpointTotalReductionShare); got < floor {
+			t.Errorf("%s: removed %d gates, below %d (%d%% of snapshot's %d)",
+				tool, got, floor, int(fixpointTotalReductionShare*100), snapTotal)
+		}
+		snap2Q := rep.InputTwoQubit - w.TwoQubit
+		if got, floor := rep.InputTwoQubit-h.TwoQubit, int(float64(snap2Q)*fixpoint2QReductionShare); got < floor {
+			t.Errorf("%s: removed %d two-qubit gates, below %d (%d%% of snapshot's %d)",
+				tool, got, floor, int(fixpoint2QReductionShare*100), snap2Q)
+		}
+	}
+
+	if update {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(fixpointSnapshotPath, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", fixpointSnapshotPath)
 	}
 }
