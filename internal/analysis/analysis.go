@@ -1,0 +1,142 @@
+// Package analysis is the domain half of guoqlint: machine checks for the
+// compile-time invariants the optimizer's correctness leans on but nothing
+// else enforces. The Engine's cached match verdicts (and through them every
+// circuit the search emits) are sound only if each rule's declared
+// HaloDepth/WireExtents really bound what a match attempt can read, if
+// every replacement is native to its target basis, and if pattern ≡
+// replacement holds exactly — the paper's Thm 4.2 argument assumes all
+// applied rewrites preserve equivalence. CheckLibrary and CheckGateSet
+// verify those properties for a rule library / gate set and report
+// structured Findings; CheckAll sweeps every built-in library and set.
+//
+// The checks are deliberately independent of the implementations they
+// audit: halo depths are recomputed from the pattern DAG with a separate
+// BFS and then stress-tested with randomized probe circuits through
+// rewrite.ProbeMatchReads, and equivalence is re-verified at elevated
+// precision with more samples and a tighter tolerance than the standard
+// test suite.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Severity grades a finding. Error findings are soundness violations (a
+// wrong halo, a non-equivalent rule); Warning findings are correctness
+// smells that cannot yet corrupt results (a dead rule, a subsumed rule);
+// Info findings are expected structure worth surfacing (commutation
+// cycles, which the stochastic search wants).
+type Severity int
+
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Finding is one structured diagnostic from a domain check.
+type Finding struct {
+	// Check names the analyzer that fired: "halo-decl", "halo-probe",
+	// "wire-extents", "nativeness", "duplicate", "subsumed", "cycle",
+	// "equivalence", "dead-rule", "basis", "error-model", "library".
+	Check    string
+	Severity Severity
+	// Library and GateSet locate the finding (either may be empty).
+	Library string
+	GateSet string
+	// Rule is the offending rule's name, empty for set-level findings.
+	Rule    string
+	Message string
+}
+
+func (f Finding) String() string {
+	loc := f.Library
+	if loc == "" {
+		loc = f.GateSet
+	}
+	if f.Rule != "" {
+		loc += "/" + f.Rule
+	}
+	return fmt.Sprintf("%s: [%s] %s: %s", f.Severity, f.Check, loc, f.Message)
+}
+
+// Clean reports whether the findings contain nothing at or above Warning —
+// the bar the golden tests and the CI lint step hold every built-in
+// library and gate set to. Info findings (e.g. intentional commutation
+// cycles) do not fail a clean check.
+func Clean(fs []Finding) bool {
+	for _, f := range fs {
+		if f.Severity >= Warning {
+			return false
+		}
+	}
+	return true
+}
+
+// Sort orders findings for stable output: severity descending, then
+// library, rule, and check.
+func Sort(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Library != b.Library {
+			return a.Library < b.Library
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Options tunes the randomized parts of the checks. The zero value selects
+// the defaults used by the golden tests and the CI step.
+type Options struct {
+	// Seed drives probe-circuit generation and equivalence bindings.
+	Seed int64
+	// ProbeCircuits is the number of randomized host circuits per rule for
+	// the halo audit (default 8).
+	ProbeCircuits int
+	// ProbeGates is the size of each probe host circuit (default 48).
+	ProbeGates int
+	// EquivBindings is the number of random variable bindings at which each
+	// rule is re-verified (default 12; rules without variables use 1).
+	EquivBindings int
+	// Tolerance is the elevated-precision Hilbert–Schmidt bound for
+	// re-verification (default 1e-10, vs the test suite's 1e-8).
+	Tolerance float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.ProbeCircuits == 0 {
+		o.ProbeCircuits = 8
+	}
+	if o.ProbeGates == 0 {
+		o.ProbeGates = 48
+	}
+	if o.EquivBindings == 0 {
+		o.EquivBindings = 12
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-10
+	}
+	return o
+}

@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/rewrite"
+)
+
+// TestBuiltinLibrariesAndGateSetsClean is the golden gate: every built-in
+// rule library and gate set must pass the domain analyzer with nothing at
+// Warning or above, so a future rule addition cannot ship an unsound halo,
+// a non-native replacement, or a non-equivalent rewrite without failing CI.
+func TestBuiltinLibrariesAndGateSetsClean(t *testing.T) {
+	fs := CheckAll(Options{Seed: 1})
+	if !Clean(fs) {
+		for _, f := range fs {
+			if f.Severity >= Warning {
+				t.Errorf("%s", f)
+			}
+		}
+	}
+}
+
+// TestCycleDetectionSeesCommutationPairs pins that the cycle detector is
+// alive: the built-in libraries intentionally carry A→B/B→A commutation
+// pairs, and they must surface as Info findings (not Warnings — they are
+// the stochastic search's sideways moves).
+func TestCycleDetectionSeesCommutationPairs(t *testing.T) {
+	fs := CheckLibrary("nam", rewrite.AllLibraries()["nam"], Options{Seed: 1})
+	found := false
+	for _, f := range fs {
+		if f.Check == "cycle" {
+			if f.Severity != Info {
+				t.Fatalf("cycle finding has severity %v, want Info: %s", f.Severity, f)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no cycle findings in the nam library; the commutation pairs should form detectable cycles")
+	}
+}
+
+func findingWith(fs []Finding, check string, minSev Severity) *Finding {
+	for i, f := range fs {
+		if f.Check == check && f.Severity >= minSev {
+			return &fs[i]
+		}
+	}
+	return nil
+}
+
+// TestCatchesInjectedWrongHaloDepth injects a rule whose declared halo is
+// smaller than its pattern's true reach and requires both independent
+// detectors to fire: the recomputation (halo-decl) and the randomized probe
+// circuits (halo-probe), which observe the matcher actually reading beyond
+// the declared radius.
+func TestCatchesInjectedWrongHaloDepth(t *testing.T) {
+	rules := rewrite.AllLibraries()["nam"]
+	var victim *rewrite.Rule
+	for _, r := range rules {
+		if r.Name == "nam/cx-reversal" {
+			victim = r
+		}
+	}
+	if victim == nil {
+		t.Fatal("nam/cx-reversal not found")
+	}
+	victim.OverrideCompiledMetadata(1, nil)
+	fs := CheckLibrary("nam", rules, Options{Seed: 7})
+	decl := findingWith(fs, "halo-decl", Error)
+	if decl == nil || decl.Rule != "nam/cx-reversal" {
+		t.Errorf("halo-decl did not flag the injected wrong HaloDepth; findings: %v", fs)
+	}
+	probe := findingWith(fs, "halo-probe", Error)
+	if probe == nil || probe.Rule != "nam/cx-reversal" {
+		t.Errorf("halo-probe did not observe an out-of-radius read; findings: %v", fs)
+	}
+}
+
+// TestTooLargeHaloIsWarningNotError: over-declaring the halo only wastes
+// invalidation work, so it must downgrade to Warning.
+func TestTooLargeHaloIsWarningNotError(t *testing.T) {
+	rules := rewrite.AllLibraries()["nam"]
+	rules[0].OverrideCompiledMetadata(99, nil)
+	fs := CheckLibrary("nam", rules, Options{Seed: 1})
+	f := findingWith(fs, "halo-decl", Info)
+	if f == nil {
+		t.Fatal("no halo-decl finding for an over-declared halo")
+	}
+	if f.Severity != Warning {
+		t.Fatalf("over-declared halo reported at %v, want Warning: %s", f.Severity, f)
+	}
+}
+
+func TestCatchesInjectedWrongWireExtents(t *testing.T) {
+	rules := rewrite.AllLibraries()["nam"]
+	// Keep the (sound) halo, corrupt the per-wire extents.
+	rules[0].OverrideCompiledMetadata(rules[0].HaloDepth(), make([]int, rules[0].NumQubits))
+	fs := CheckLibrary("nam", rules, Options{Seed: 1})
+	if findingWith(fs, "wire-extents", Error) == nil {
+		t.Fatalf("wire-extents did not flag corrupted extents; findings: %v", fs)
+	}
+}
+
+func TestCatchesNonNativeReplacement(t *testing.T) {
+	// rz(θ) ≡ u1(θ) mod global phase, so only nativeness fires: u1 is not
+	// in the nam basis.
+	r := rewrite.MustRule("fixture/rz-as-u1", 1, 1,
+		[]rewrite.PatGate{rewrite.P(gate.Rz, []rewrite.PatParam{rewrite.V(0)}, 0)},
+		[]rewrite.RepGate{rewrite.Rep(gate.U1, []rewrite.ParamExpr{rewrite.EV(0)}, 0)})
+	fs := CheckLibrary("nam", []*rewrite.Rule{r}, Options{Seed: 1})
+	f := findingWith(fs, "nativeness", Error)
+	if f == nil {
+		t.Fatalf("non-native replacement not flagged; findings: %v", fs)
+	}
+	if findingWith(fs, "equivalence", Error) != nil {
+		t.Errorf("rz→u1 is equivalent mod phase; equivalence should not fire: %v", fs)
+	}
+}
+
+func TestCatchesNonEquivalentRule(t *testing.T) {
+	// h·h = I, not X: NewRule accepts it (it only checks shape), the
+	// elevated-precision re-verification must reject it.
+	r := rewrite.MustRule("fixture/hh-to-x", 1, 0,
+		[]rewrite.PatGate{rewrite.P(gate.H, nil, 0), rewrite.P(gate.H, nil, 0)},
+		[]rewrite.RepGate{rewrite.Rep(gate.X, nil, 0)})
+	fs := CheckLibrary("nam", []*rewrite.Rule{r}, Options{Seed: 1})
+	if findingWith(fs, "equivalence", Error) == nil {
+		t.Fatalf("non-equivalent rule not flagged; findings: %v", fs)
+	}
+}
+
+func TestCatchesDuplicateAndSubsumedRules(t *testing.T) {
+	hh := func(name string, rep []rewrite.RepGate) *rewrite.Rule {
+		return rewrite.MustRule(name, 1, 0,
+			[]rewrite.PatGate{rewrite.P(gate.H, nil, 0), rewrite.P(gate.H, nil, 0)}, rep)
+	}
+	a := hh("fixture/hh-cancel", nil)
+	b := hh("fixture/hh-cancel-again", nil)
+	c := hh("fixture/hh-to-xx", []rewrite.RepGate{rewrite.Rep(gate.X, nil, 0), rewrite.Rep(gate.X, nil, 0)})
+	fs := CheckLibrary("nam", []*rewrite.Rule{a, b, c}, Options{Seed: 1})
+	dup := findingWith(fs, "duplicate", Warning)
+	if dup == nil || dup.Rule != "fixture/hh-cancel-again" {
+		t.Errorf("duplicate rule not flagged; findings: %v", fs)
+	}
+	sub := findingWith(fs, "subsumed", Warning)
+	if sub == nil || sub.Rule != "fixture/hh-to-xx" {
+		t.Errorf("subsumed rule not flagged; findings: %v", fs)
+	}
+}
+
+func TestCatchesDeadRuleOnFiniteSet(t *testing.T) {
+	// An angle-variable rule can never match a circuit over the finite
+	// Clifford+T basis.
+	r := rewrite.MustRule("fixture/rz-merge", 1, 2,
+		[]rewrite.PatGate{
+			rewrite.P(gate.Rz, []rewrite.PatParam{rewrite.V(0)}, 0),
+			rewrite.P(gate.Rz, []rewrite.PatParam{rewrite.V(1)}, 0),
+		},
+		[]rewrite.RepGate{rewrite.Rep(gate.Rz, []rewrite.ParamExpr{rewrite.ESum(0, 1)}, 0)})
+	fs := CheckLibrary("cliffordt", []*rewrite.Rule{r}, Options{Seed: 1})
+	found := 0
+	for _, f := range fs {
+		if f.Check == "dead-rule" && f.Severity == Warning {
+			found++
+		}
+	}
+	// Both dead-rule conditions apply: non-native pattern gate and angle
+	// variables on a finite set.
+	if found < 2 {
+		t.Fatalf("dead rule on a finite set not fully flagged (%d findings); all: %v", found, fs)
+	}
+}
+
+func TestCheckGateSetCatchesBadErrorModel(t *testing.T) {
+	gs, err := gateset.New("fixture-badmodel", "test", gate.Rz, gate.CX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs.TwoQubitError = 1.5
+	gs.GateErrors = map[gate.Name]float64{gate.H: 1e-3} // h is not in the basis
+	fs := CheckGateSet(gs)
+	if findingWith(fs, "error-model", Error) == nil {
+		t.Errorf("out-of-range TwoQubitError not flagged: %v", fs)
+	}
+	if findingWith(fs, "error-model", Warning) == nil {
+		t.Errorf("non-basis GateErrors entry not flagged: %v", fs)
+	}
+}
+
+func TestCleanAndSort(t *testing.T) {
+	fs := []Finding{
+		{Check: "b", Severity: Info, Library: "x"},
+		{Check: "a", Severity: Error, Library: "x"},
+	}
+	if !Clean(fs[:1]) || Clean(fs) {
+		t.Fatal("Clean threshold wrong")
+	}
+	Sort(fs)
+	if fs[0].Severity != Error {
+		t.Fatal("Sort should order severity descending")
+	}
+	if !strings.Contains(fs[0].String(), "error") {
+		t.Fatalf("String() = %q", fs[0].String())
+	}
+}
+
+// TestRecomputeMatchesCompiledMetadata cross-checks the analyzer's
+// independent recomputation against the compiled metadata for every
+// built-in rule — the two derivations share no code, so agreement on all
+// ~100 rules is strong evidence both are right.
+func TestRecomputeMatchesCompiledMetadata(t *testing.T) {
+	for lib, rules := range rewrite.AllLibraries() {
+		for _, r := range rules {
+			extents, halo, connected := recomputeMetadata(r)
+			if !connected {
+				t.Errorf("%s/%s: recomputation says disconnected", lib, r.Name)
+				continue
+			}
+			if halo != r.HaloDepth() {
+				t.Errorf("%s/%s: recomputed halo %d != compiled %d", lib, r.Name, halo, r.HaloDepth())
+			}
+			for q, e := range extents {
+				if r.WireExtents()[q] != e {
+					t.Errorf("%s/%s: wire %d extent %d != compiled %d", lib, r.Name, q, e, r.WireExtents()[q])
+				}
+			}
+		}
+	}
+}
+
+// TestProbeTraceStaysInsideHalo exercises the probe hook directly on a
+// hand-built circuit: every full read of a successful match of the
+// cx-reversal rule must stay within its (correct) halo.
+func TestProbeTraceStaysInsideHalo(t *testing.T) {
+	rules := rewrite.AllLibraries()["nam"]
+	var r *rewrite.Rule
+	for _, cand := range rules {
+		if cand.Name == "nam/cx-reversal" {
+			r = cand
+		}
+	}
+	fs := CheckLibrary("nam", []*rewrite.Rule{r}, Options{Seed: 3, ProbeCircuits: 16})
+	if !Clean(fs) {
+		t.Fatalf("correct rule failed the probe audit: %v", fs)
+	}
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"fmt"
+
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/rewrite"
+)
+
+// CheckGateSet audits a gate set description: the basis must be non-empty,
+// known to the gate vocabulary, and duplicate-free; the fidelity model's
+// error rates must be probabilities; GateErrors may only weight basis
+// gates; and a built-in set must have a rule library (the search is
+// rule-driven — a built-in without rules silently degrades to synthesis
+// only).
+func CheckGateSet(gs *gateset.GateSet) []Finding {
+	var fs []Finding
+	add := func(f Finding) {
+		f.GateSet = gs.Name
+		fs = append(fs, f)
+	}
+	if gs.Name == "" {
+		add(Finding{Check: "basis", Severity: Error, Message: "gate set has no name"})
+	}
+	if len(gs.Gates) == 0 {
+		add(Finding{Check: "basis", Severity: Error, Message: "gate set has an empty basis"})
+	}
+	seen := map[gate.Name]bool{}
+	for _, n := range gs.Gates {
+		if _, ok := gate.SpecOf(n); !ok {
+			add(Finding{Check: "basis", Severity: Error,
+				Message: fmt.Sprintf("basis gate %q is not in the supported vocabulary", n)})
+		}
+		if seen[n] {
+			add(Finding{Check: "basis", Severity: Warning,
+				Message: fmt.Sprintf("basis lists %q twice", n)})
+		}
+		seen[n] = true
+	}
+	for n, e := range gs.GateErrors {
+		if !seen[n] {
+			add(Finding{Check: "error-model", Severity: Warning,
+				Message: fmt.Sprintf("GateErrors weights %q, which is not in the basis", n)})
+		}
+		if e < 0 || e >= 1 {
+			add(Finding{Check: "error-model", Severity: Error,
+				Message: fmt.Sprintf("error rate %g for %q is not a probability in [0,1)", e, n)})
+		}
+	}
+	for name, e := range map[string]float64{"OneQubitError": gs.OneQubitError, "TwoQubitError": gs.TwoQubitError} {
+		if e < 0 || e >= 1 {
+			add(Finding{Check: "error-model", Severity: Error,
+				Message: fmt.Sprintf("%s %g is not a probability in [0,1)", name, e)})
+		}
+	}
+	if gs.Builtin() {
+		if _, err := rewrite.RulesFor(gs.Name); err != nil {
+			add(Finding{Check: "library", Severity: Error,
+				Message: "built-in gate set has no rule library"})
+		}
+	}
+	Sort(fs)
+	return fs
+}
+
+// CheckAll sweeps every built-in gate set and its rule library. This is
+// what the golden test and `guoqlint -rules` run: the repository's own
+// libraries must come back Clean.
+func CheckAll(o Options) []Finding {
+	var fs []Finding
+	for _, gs := range gateset.All() {
+		fs = append(fs, CheckGateSet(gs)...)
+	}
+	for name, rules := range rewrite.AllLibraries() {
+		fs = append(fs, CheckLibrary(name, rules, o)...)
+	}
+	Sort(fs)
+	return fs
+}

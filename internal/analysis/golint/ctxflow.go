@@ -1,0 +1,132 @@
+package golint
+
+import (
+	"go/ast"
+)
+
+// CtxFlowAnalyzer checks context threading: PR 4 threaded context.Context
+// through the optimization loop, the dist client/server, and the CLIs, and
+// the cancellation guarantees the session API documents hold only if every
+// intermediate function keeps forwarding its ctx. Two shapes are flagged:
+//
+//   - a named context.Context parameter that is never referenced in the
+//     function body (the ctx is dropped — callees run uncancellable);
+//   - a call to context.Background() or context.TODO() inside a function
+//     that already receives a ctx (the incoming ctx is shadowed, detaching
+//     the subtree from cancellation). The nil-defaulting idiom
+//     `if ctx == nil { ctx = context.Background() }` is exempt: assigning
+//     Background to the ctx parameter itself replaces nothing.
+//
+// Intentionally detached work should take the ctx anyway and document the
+// detachment with a `//guoqlint:ignore ctxflow <why>` comment.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "reports dropped or shadowed context.Context parameters",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	for _, f := range p.Files {
+		ctxPkg := importName(f, "context")
+		if ctxPkg == "" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			params := ctxParams(fn, ctxPkg)
+			if len(params) == 0 {
+				continue
+			}
+			for _, name := range params {
+				if !identUsed(fn.Body, name) {
+					p.Reportf(fn.Name.Pos(), "%s: context parameter %q is dropped — forward it to callees or remove it", fn.Name.Name, name)
+				}
+			}
+			defaulting := ctxDefaultingCalls(fn.Body, ctxPkg, params)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == ctxPkg &&
+					(sel.Sel.Name == "Background" || sel.Sel.Name == "TODO") && !defaulting[call] {
+					p.Reportf(call.Pos(), "%s: context.%s() shadows the function's incoming ctx — pass the parameter through instead", fn.Name.Name, sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// ctxDefaultingCalls collects Background/TODO calls that only default a
+// nil ctx parameter: the sole RHS of an assignment whose LHS is one of
+// the function's ctx parameters (`ctx = context.Background()`).
+func ctxDefaultingCalls(body *ast.BlockStmt, ctxPkg string, params []string) map[*ast.CallExpr]bool {
+	isParam := map[string]bool{}
+	for _, name := range params {
+		isParam[name] = true
+	}
+	out := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || !isParam[id.Name] {
+			return true
+		}
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+			out[call] = true
+		}
+		return true
+	})
+	return out
+}
+
+// ctxParams returns the named, non-blank parameters of fn whose type is
+// <ctxPkg>.Context.
+func ctxParams(fn *ast.FuncDecl, ctxPkg string) []string {
+	var out []string
+	for _, field := range fn.Type.Params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			continue
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || id.Name != ctxPkg {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				out = append(out, name.Name)
+			}
+		}
+	}
+	return out
+}
+
+// identUsed reports whether an identifier with the given name is
+// referenced anywhere in the body. Shadowing is not tracked — a shadowed
+// use still counts, which keeps the pass conservative (no false
+// positives; a deliberately re-declared ctx is vanishingly rare).
+func identUsed(body *ast.BlockStmt, name string) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,265 @@
+// Package golint is the Go-source half of guoqlint: project-specific
+// static-analysis passes for the conventions the hot path and the service
+// code rely on. Three analyzers ship today:
+//
+//   - hotpath: functions marked `//guoq:hotpath` must stay allocation-
+//     hygienic — no fmt calls, no map literals or map makes, and no appends
+//     to fresh uncapped local slices (appends into caller-provided or
+//     struct-field scratch, the amortized idiom, are fine).
+//   - ctxflow: a function that takes a context.Context must actually use
+//     it, and must not shadow it with context.Background()/TODO() — a
+//     dropped ctx silently disables the cancellation the session layer
+//     promises.
+//   - mutexguard: struct fields documented `// guarded by <mu>` may only be
+//     touched by methods that lock <mu> (or are named *Locked, the
+//     convention for helpers called with the lock held).
+//
+// The package mirrors the golang.org/x/tools/go/analysis shape (Analyzer /
+// Pass / Diagnostic) but is self-contained on the standard library's
+// go/ast and go/parser: the build environment pins an offline toolchain
+// with no module proxy, so the x/tools driver (and `go vet -vettool`
+// integration) is gated off until the dependency can be vendored. The
+// analyzers are purely syntactic by design — they resolve imports and
+// receivers lexically, which covers this repository's conventions without
+// needing a type checker.
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer report, positioned in the parsed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one package's parsed files through an analyzer, mirroring
+// analysis.Pass.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Pkg is the package's import-path-ish identifier (directory relative
+	// to the module root), for messages only.
+	Pkg string
+
+	diags    *[]Diagnostic
+	analyzer string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named pass, mirroring analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full pass list in deterministic order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{HotPathAnalyzer, CtxFlowAnalyzer, MutexGuardAnalyzer}
+}
+
+// RunPackage applies every analyzer to one parsed package and returns the
+// diagnostics sorted by position. A `//guoqlint:ignore <analyzer>` comment
+// suppresses that analyzer's findings on its own line and the line below
+// it — the escape hatch for the rare site that violates a convention on
+// purpose (each use should say why in the trailing text).
+func RunPackage(fset *token.FileSet, pkg string, files []*ast.File) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range Analyzers() {
+		p := &Pass{Fset: fset, Files: files, Pkg: pkg, diags: &diags, analyzer: a.Name}
+		a.Run(p)
+	}
+	diags = filterIgnored(fset, files, diags)
+	sortDiagnostics(diags)
+	return diags
+}
+
+func filterIgnored(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	ignored := map[key]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), "//guoqlint:ignore ")
+				if !ok {
+					continue
+				}
+				name := strings.Fields(rest)
+				if len(name) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ignored[key{pos.Filename, pos.Line, name[0]}] = true
+				ignored[key{pos.Filename, pos.Line + 1, name[0]}] = true
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ignored[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// RunDir parses every non-testdata Go package under root (recursively) and
+// runs all analyzers, returning diagnostics sorted by position. Vendored
+// trees, testdata, and hidden directories are skipped.
+func RunDir(root string) ([]Diagnostic, error) {
+	pkgFiles := map[string][]string{} // dir -> files
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			pkgFiles[dir] = append(pkgFiles[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(pkgFiles))
+	for dir := range pkgFiles {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+
+	fset := token.NewFileSet()
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		files := pkgFiles[dir]
+		sort.Strings(files)
+		var parsed []*ast.File
+		for _, path := range files {
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("golint: %v", err)
+			}
+			parsed = append(parsed, f)
+		}
+		rel, relErr := filepath.Rel(root, dir)
+		if relErr != nil {
+			rel = dir
+		}
+		diags = append(diags, RunPackage(fset, rel, parsed)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// --- shared syntactic helpers ---
+
+// importName returns the local name a file binds for an import path:
+// explicit alias if present, else the path's base. Blank and dot imports
+// return "".
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		return p[strings.LastIndex(p, "/")+1:]
+	}
+	return ""
+}
+
+// funcDocHasDirective reports whether a function's doc comment contains the
+// given //-directive (e.g. "//guoq:hotpath"), in the Go directive position
+// (own line, no space after //).
+func funcDocHasDirective(fn *ast.FuncDecl, directive string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverName returns the receiver identifier and bare type name of a
+// method ("" if not a method or receiver is blank).
+func receiverName(fn *ast.FuncDecl) (recv, typ string) {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return "", ""
+	}
+	field := fn.Recv.List[0]
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Strip generic instantiations: T[K] receivers.
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if len(field.Names) == 0 || field.Names[0].Name == "_" {
+		return "", id.Name
+	}
+	return field.Names[0].Name, id.Name
+}

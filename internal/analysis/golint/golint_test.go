@@ -1,0 +1,128 @@
+package golint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// runFixture parses one testdata package, runs all analyzers, and checks
+// the diagnostics against the `// want "regexp"` comments in the sources:
+// every want must be matched by a diagnostic on its line, and every
+// diagnostic must be covered by a want (no over-reporting).
+func runFixture(t *testing.T, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		hit  bool
+	}
+	var wants []*want
+	var files []*ast.File
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				// The want pattern is written as a Go string literal, so
+				// \\( in source means the regexp escape \(.
+				pat, err := strconv.Unquote(`"` + m[1] + `"`)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want literal %q: %v", path, i+1, m[1], err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, pat, err)
+				}
+				wants = append(wants, &want{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", pkg)
+	}
+	diags := RunPackage(fset, pkg, files)
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q did not fire", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestHotPathFixture(t *testing.T)    { runFixture(t, "hotpathviol") }
+func TestCtxFlowFixture(t *testing.T)    { runFixture(t, "ctxviol") }
+func TestMutexGuardFixture(t *testing.T) { runFixture(t, "mutexviol") }
+
+// TestRunDirOnRepo runs the analyzers over the entire repository — the
+// same invocation CI uses via cmd/guoqlint — and requires it clean, so a
+// convention violation in new code fails the test suite even before the
+// lint step runs.
+func TestRunDirOnRepo(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Skipf("module root not found: %v", err)
+	}
+	diags, err := RunDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

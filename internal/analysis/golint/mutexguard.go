@@ -1,0 +1,178 @@
+package golint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// MutexGuardAnalyzer enforces the `// guarded by <mu>` documentation
+// convention: a struct field whose comment names its mutex may only be
+// accessed from methods of that struct that visibly acquire the mutex —
+// a call to <mu>.Lock() or <mu>.RLock() on the receiver somewhere in the
+// method (defers included), or a method whose name ends in "Locked", the
+// convention for helpers that require the caller to hold the lock.
+//
+// The pass is syntactic: it sees receiver-qualified accesses
+// (recv.field) inside methods of the declaring struct, which is where
+// essentially all direct state access in this codebase happens. Accesses
+// it cannot attribute (through interfaces, copies, or other packages) are
+// out of scope, as are composite-literal initializations, which construct
+// the value before it is shared.
+var MutexGuardAnalyzer = &Analyzer{
+	Name: "mutexguard",
+	Doc:  "reports accesses to `guarded by mu` fields without holding the lock",
+	Run:  runMutexGuard,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (?:the )?([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// guardedField records one annotated field of one struct type.
+type guardedField struct {
+	mu string // mutex field name, possibly a dotted path suffix-trimmed to its first segment
+}
+
+func runMutexGuard(p *Pass) {
+	// Pass 1: collect guarded fields per struct type across the package.
+	guarded := map[string]map[string]guardedField{} // type -> field -> guard
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// A guard annotation only binds when the named mutex is a
+			// sibling field (or embedded type) of the same struct; a
+			// comment pointing at another struct's lock ("guarded by the
+			// owning Server's mu") is a documented cross-struct protocol
+			// this pass cannot see and leaves alone.
+			siblings := map[string]bool{}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					siblings[name.Name] = true
+				}
+				if len(field.Names) == 0 { // embedded
+					t := field.Type
+					if star, ok := t.(*ast.StarExpr); ok {
+						t = star.X
+					}
+					switch t := t.(type) {
+					case *ast.Ident:
+						siblings[t.Name] = true
+					case *ast.SelectorExpr:
+						siblings[t.Sel.Name] = true
+					}
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" || !siblings[mu] {
+					continue
+				}
+				for _, name := range field.Names {
+					if guarded[ts.Name.Name] == nil {
+						guarded[ts.Name.Name] = map[string]guardedField{}
+					}
+					guarded[ts.Name.Name][name.Name] = guardedField{mu: mu}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	// Pass 2: audit methods of the annotated types.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			recv, typ := receiverName(fn)
+			fields := guarded[typ]
+			if recv == "" || len(fields) == 0 {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			locked := locksAcquired(fn.Body, recv)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Name != recv {
+					return true
+				}
+				gf, isGuarded := fields[sel.Sel.Name]
+				if !isGuarded || locked[gf.mu] {
+					return true
+				}
+				p.Reportf(sel.Pos(), "%s: field %s.%s is documented `guarded by %s` but the method never locks it (lock %s.%s, or name the method *Locked if the caller holds it)",
+					fn.Name.Name, typ, sel.Sel.Name, gf.mu, recv, gf.mu)
+				return true
+			})
+		}
+	}
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment, e.g. "lastUsed is ... guarded by the Server's mu." -> "mu".
+// Dotted names keep only the first segment (the receiver-local field).
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			name := m[1]
+			name = strings.TrimSuffix(name, ".")
+			if i := strings.Index(name, "."); i >= 0 {
+				name = name[:i]
+			}
+			return name
+		}
+	}
+	return ""
+}
+
+// locksAcquired returns the set of receiver mutex fields the body visibly
+// locks: recv.<mu>.Lock/RLock() calls, plus bare recv.Lock/RLock() for
+// embedded mutexes (recorded under "Lock" and the embedded type names).
+func locksAcquired(body *ast.BlockStmt, recv string) map[string]bool {
+	locked := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			if x.Name == recv {
+				// recv.Lock(): an embedded sync.Mutex/RWMutex guards the
+				// whole struct.
+				locked["Mutex"] = true
+				locked["RWMutex"] = true
+				locked["mu"] = true
+			}
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == recv {
+				locked[x.Sel.Name] = true
+			}
+		}
+		return true
+	})
+	return locked
+}

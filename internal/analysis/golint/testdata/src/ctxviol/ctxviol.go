@@ -1,0 +1,37 @@
+// Package ctxviol seeds the two ctxflow violation shapes plus clean
+// forwarding decoys.
+package ctxviol
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+func dropped(ctx context.Context, n int) int { // want "context parameter \"ctx\" is dropped"
+	return n + 1
+}
+
+func shadowed(ctx context.Context) error {
+	_ = ctx.Err()
+	return work(context.Background()) // want "context.Background\\(\\) shadows"
+}
+
+func forwards(ctx context.Context) error {
+	return work(ctx)
+}
+
+func blankIsFine(_ context.Context, n int) int {
+	return n
+}
+
+func nilDefaultingIsFine(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return work(ctx)
+}
+
+func detachedOnPurpose(ctx context.Context) error {
+	_ = ctx.Err()
+	//guoqlint:ignore ctxflow the janitor must outlive the request
+	return work(context.Background())
+}

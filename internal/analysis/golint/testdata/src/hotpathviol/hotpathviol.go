@@ -1,0 +1,41 @@
+// Package hotpathviol seeds one violation of every hotpath rule, plus
+// clean decoys proving the analyzer does not over-report the amortized
+// scratch idioms the real hot loop uses.
+package hotpathviol
+
+import "fmt"
+
+type scratch struct {
+	buf []int
+}
+
+//guoq:hotpath
+func violations(s *scratch, n int) string {
+	var fresh []int
+	fresh = append(fresh, n) // want "append to fresh uncapped slice"
+	lit := []int{}
+	lit = append(lit, n) // want "append to fresh uncapped slice"
+	twoArg := make([]int, 0)
+	twoArg = append(twoArg, n) // want "append to fresh uncapped slice"
+	m := map[string]int{}      // want "map literal"
+	m2 := make(map[int]int)    // want "make\\(map\\)"
+	m2[n] = len(m) + len(twoArg)
+	return fmt.Sprintf("%d", n) // want "fmt.Sprintf call"
+}
+
+//guoq:hotpath
+func clean(s *scratch, in []int, n int) []int {
+	s.buf = append(s.buf, n)    // field scratch: amortized, allowed
+	in = append(in, n)          // caller-provided storage: allowed
+	capped := make([]int, 0, n) // explicit capacity: allowed
+	capped = append(capped, n)  //
+	reuse := s.buf[:0]          // reslice of existing storage: allowed
+	reuse = append(reuse, capped...)
+	return reuse
+}
+
+// notHot is unmarked, so nothing here is flagged.
+func notHot(n int) string {
+	m := map[int]int{n: n}
+	return fmt.Sprint(len(m))
+}

@@ -1,0 +1,48 @@
+// Package mutexviol seeds mutex-guard violations: fields documented
+// `guarded by mu` accessed without the lock, with locked and *Locked
+// decoys proving the conventions pass.
+package mutexviol
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// n is the running total, guarded by mu.
+	n     int
+	total int // cumulative count; guarded by mu
+}
+
+func (c *counter) BadRead() int {
+	return c.n // want "guarded by mu.*never locks"
+}
+
+func (c *counter) BadWrite(v int) {
+	c.total += v // want "guarded by mu.*never locks"
+}
+
+func (c *counter) GoodRead() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) addLocked(v int) {
+	c.n += v
+	c.total += v
+}
+
+type embedded struct {
+	sync.RWMutex
+	// hits is the lookup count, guarded by the RWMutex embedded above.
+	hits int
+}
+
+func (e *embedded) Bad() int {
+	return e.hits // want "guarded by RWMutex.*never locks"
+}
+
+func (e *embedded) Good() int {
+	e.RLock()
+	defer e.RUnlock()
+	return e.hits
+}

@@ -1,0 +1,466 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+	"github.com/guoq-dev/guoq/internal/gate"
+	"github.com/guoq-dev/guoq/internal/gateset"
+	"github.com/guoq-dev/guoq/internal/rewrite"
+)
+
+// CheckLibrary audits one rule library against the soundness invariants the
+// Engine assumes, returning every violation as a Finding:
+//
+//   - halo-decl / wire-extents: the declared HaloDepth and WireExtents must
+//     agree with an independent recomputation from the pattern DAG.
+//   - halo-probe: randomized host circuits (with an embedded pattern
+//     instance so positive matches are exercised) prove no match attempt
+//     performs a full gate read outside the declared radius.
+//   - nativeness / dead-rule: replacements must emit only gates native to
+//     the target basis; patterns made of non-native gates can never match a
+//     native circuit.
+//   - duplicate / subsumed / cycle: structurally identical rules, rules
+//     dominated by a strictly cheaper replacement for the same pattern, and
+//     A→B/B→A pairs with no cost decrease (the last are Info — commutation
+//     pairs are how the stochastic search moves sideways).
+//   - equivalence: pattern ≡ replacement re-verified at elevated precision.
+//
+// gatesetName resolves the target basis through gateset.ByName; if it does
+// not resolve, the basis-dependent checks are skipped and a library-level
+// Info finding notes that.
+func CheckLibrary(gatesetName string, rules []*rewrite.Rule, o Options) []Finding {
+	o = o.withDefaults()
+	var fs []Finding
+	add := func(f Finding) {
+		f.Library = gatesetName
+		fs = append(fs, f)
+	}
+
+	gs, gsErr := gateset.ByName(gatesetName)
+	if gsErr != nil {
+		add(Finding{Check: "library", Severity: Info,
+			Message: fmt.Sprintf("gate set %q not resolvable; basis checks skipped", gatesetName)})
+	}
+
+	rng := rand.New(rand.NewSource(o.Seed))
+	for _, r := range rules {
+		checkMetadata(r, add)
+		checkEquivalence(r, o, rng, add)
+		if gs != nil {
+			checkNativeness(r, gs, add)
+		}
+		checkProbes(r, ruleVocab(rules, gs), o, rng, add)
+	}
+	checkRelations(rules, add)
+	Sort(fs)
+	return fs
+}
+
+// recomputeMetadata independently re-derives a rule's per-wire extents and
+// halo depth from its pattern alone: per-wire gate counts, and a BFS over
+// wire adjacency from the anchor (pattern gate 0) whose eccentricity, plus
+// one step for the purity scan and failed candidate probes, bounds every
+// read a match attempt can make. This mirrors the contract documented on
+// Rule.HaloDepth without sharing code with Rule's own compilation.
+func recomputeMetadata(r *rewrite.Rule) (extents []int, halo int, connected bool) {
+	n := len(r.Pattern)
+	extents = make([]int, r.NumQubits)
+	// lastOn/adjacency: gates are wire-adjacent when consecutive on a wire.
+	adj := make([][]int, n)
+	lastOn := make([]int, r.NumQubits)
+	for i := range lastOn {
+		lastOn[i] = -1
+	}
+	for gi, pg := range r.Pattern {
+		for _, q := range pg.Qubits {
+			extents[q]++
+			if p := lastOn[q]; p >= 0 {
+				adj[gi] = append(adj[gi], p)
+				adj[p] = append(adj[p], gi)
+			}
+			lastOn[q] = gi
+		}
+	}
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	queue := []int{0}
+	ecc, seen := 0, 1
+	for len(queue) > 0 {
+		gi := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[gi] {
+			if dist[nb] < 0 {
+				dist[nb] = dist[gi] + 1
+				if dist[nb] > ecc {
+					ecc = dist[nb]
+				}
+				seen++
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return extents, ecc + 1, seen == n
+}
+
+func checkMetadata(r *rewrite.Rule, add func(Finding)) {
+	extents, halo, connected := recomputeMetadata(r)
+	if !connected {
+		add(Finding{Check: "halo-decl", Severity: Error, Rule: r.Name,
+			Message: "pattern is not wire-connected; the matcher cannot reach every pattern gate from the anchor"})
+		return
+	}
+	if got := r.HaloDepth(); got != halo {
+		sev := Error
+		if got > halo {
+			// A too-large halo over-invalidates: wasteful, never unsound.
+			sev = Warning
+		}
+		add(Finding{Check: "halo-decl", Severity: sev, Rule: r.Name,
+			Message: fmt.Sprintf("declared HaloDepth %d, independent recomputation gives %d", got, halo)})
+	}
+	got := r.WireExtents()
+	if len(got) != len(extents) {
+		add(Finding{Check: "wire-extents", Severity: Error, Rule: r.Name,
+			Message: fmt.Sprintf("declared WireExtents has %d wires, pattern has %d", len(got), len(extents))})
+		return
+	}
+	for q := range extents {
+		if got[q] != extents[q] {
+			add(Finding{Check: "wire-extents", Severity: Error, Rule: r.Name,
+				Message: fmt.Sprintf("wire %d: declared extent %d, pattern has %d gates on it", q, got[q], extents[q])})
+		}
+	}
+}
+
+// checkEquivalence re-verifies pattern ≡ replacement (mod global phase) at
+// elevated precision: more random bindings and a tighter Hilbert–Schmidt
+// tolerance than the standard test suite.
+func checkEquivalence(r *rewrite.Rule, o Options, rng *rand.Rand, add func(Finding)) {
+	bindings := o.EquivBindings
+	if r.NumVars == 0 {
+		bindings = 1
+	}
+	for i := 0; i < bindings; i++ {
+		binding := make([]float64, r.NumVars)
+		for j := range binding {
+			binding[j] = (rng.Float64()*2 - 1) * math.Pi
+		}
+		if d := r.Verify(binding); d > o.Tolerance || math.IsNaN(d) {
+			add(Finding{Check: "equivalence", Severity: Error, Rule: r.Name,
+				Message: fmt.Sprintf("pattern and replacement differ at binding %v: HS distance %.3g (tolerance %g)",
+					binding, d, o.Tolerance)})
+			return
+		}
+	}
+}
+
+func checkNativeness(r *rewrite.Rule, gs *gateset.GateSet, add func(Finding)) {
+	for _, rg := range r.Replacement {
+		if !gs.Contains(rg.Name) {
+			add(Finding{Check: "nativeness", Severity: Error, Rule: r.Name, GateSet: gs.Name,
+				Message: fmt.Sprintf("replacement emits %s, which is not native to %s — applying this rule de-natures the circuit", rg.Name, gs.Name)})
+		}
+	}
+	for _, pg := range r.Pattern {
+		if !gs.Contains(pg.Name) {
+			add(Finding{Check: "dead-rule", Severity: Warning, Rule: r.Name, GateSet: gs.Name,
+				Message: fmt.Sprintf("pattern requires %s, which is not native to %s — the rule can never match a native circuit", pg.Name, gs.Name)})
+		}
+	}
+	if !gs.Continuous() && r.NumVars > 0 {
+		add(Finding{Check: "dead-rule", Severity: Warning, Rule: r.Name, GateSet: gs.Name,
+			Message: fmt.Sprintf("rule binds %d angle variables but %s is a finite gate set", r.NumVars, gs.Name)})
+	}
+}
+
+// ruleVocab picks the gate vocabulary for probe host circuits: the target
+// basis when known, otherwise every gate the library mentions.
+func ruleVocab(rules []*rewrite.Rule, gs *gateset.GateSet) []gate.Name {
+	if gs != nil {
+		return gs.Gates
+	}
+	seen := map[gate.Name]bool{}
+	var vocab []gate.Name
+	for _, r := range rules {
+		for _, pg := range r.Pattern {
+			if !seen[pg.Name] {
+				seen[pg.Name] = true
+				vocab = append(vocab, pg.Name)
+			}
+		}
+		for _, rg := range r.Replacement {
+			if !seen[rg.Name] {
+				seen[rg.Name] = true
+				vocab = append(vocab, rg.Name)
+			}
+		}
+	}
+	return vocab
+}
+
+// checkProbes embeds a pattern instance into randomized host circuits and
+// verifies, via the matcher's probe hook, that no match attempt anchored
+// anywhere performs a full gate read outside the rule's declared HaloDepth
+// of its anchor. Full reads are the ones whose name/params/qubits feed the
+// cached verdict; window-purity reads test only wire membership and are
+// audited by construction (see rewrite.ProbeTrace).
+func checkProbes(r *rewrite.Rule, vocab []gate.Name, o Options, rng *rand.Rand, add func(Finding)) {
+	numQubits := r.NumQubits + 2
+	if numQubits < 4 {
+		numQubits = 4
+	}
+	for trial := 0; trial < o.ProbeCircuits; trial++ {
+		host := circuit.Random(numQubits, o.ProbeGates, vocab, rng)
+		// Embed a pattern instance on shuffled qubits at a random cut so
+		// positive matches (and their full navigation) are exercised too.
+		binding := make([]float64, r.NumVars)
+		for i := range binding {
+			binding[i] = (rng.Float64()*2 - 1) * math.Pi
+		}
+		inst := r.PatternCircuitAt(binding)
+		perm := rng.Perm(numQubits)[:r.NumQubits]
+		cut := rng.Intn(len(host.Gates) + 1)
+		embedded := circuit.New(numQubits)
+		embedded.Gates = append(embedded.Gates, host.Gates[:cut]...)
+		for _, g := range inst {
+			ng := g.Clone()
+			for k, q := range ng.Qubits {
+				ng.Qubits[k] = perm[q]
+			}
+			embedded.Gates = append(embedded.Gates, ng)
+		}
+		embedded.Gates = append(embedded.Gates, host.Gates[cut:]...)
+
+		d := circuit.BuildDAG(embedded)
+		halo := r.HaloDepth()
+		for anchor := range embedded.Gates {
+			trace, _ := rewrite.ProbeMatchReads(embedded, d, r, anchor)
+			if bad, dist := readsOutsideHalo(d, anchor, halo, trace.Full); bad >= 0 {
+				add(Finding{Check: "halo-probe", Severity: Error, Rule: r.Name,
+					Message: fmt.Sprintf("match attempt at anchor %d read gate %d at wire distance %d, outside declared HaloDepth %d",
+						anchor, bad, dist, halo)})
+				return
+			}
+		}
+	}
+}
+
+// readsOutsideHalo BFS-walks wire adjacency from the anchor out to the halo
+// radius and returns the first read that lies beyond it (with its distance,
+// -1 meaning unreachable), or (-1, 0) when every read is in range.
+func readsOutsideHalo(d *circuit.DAG, anchor, halo int, reads []int) (int, int) {
+	dist := map[int]int{anchor: 0}
+	queue := []int{anchor}
+	for len(queue) > 0 {
+		gi := queue[0]
+		queue = queue[1:]
+		if dist[gi] >= halo {
+			continue
+		}
+		for _, nb := range append(d.Successors(gi), d.Predecessors(gi)...) {
+			if _, ok := dist[nb]; !ok {
+				dist[nb] = dist[gi] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	for _, read := range reads {
+		if _, ok := dist[read]; !ok {
+			return read, -1
+		}
+	}
+	return -1, 0
+}
+
+// checkRelations detects structurally duplicate rules, rules subsumed by a
+// strictly cheaper replacement for the same pattern, and A→B/B→A rewrite
+// cycles with no cost decrease.
+func checkRelations(rules []*rewrite.Rule, add func(Finding)) {
+	type keyed struct {
+		r       *rewrite.Rule
+		pattern string // canonical pattern alone
+		full    string // canonical pattern + replacement (shared renaming)
+		repl    string // canonical replacement alone
+	}
+	ks := make([]keyed, len(rules))
+	for i, r := range rules {
+		ks[i] = keyed{r: r,
+			pattern: canonPattern(r),
+			full:    canonFull(r),
+			repl:    canonReplacement(r),
+		}
+	}
+	for i := range ks {
+		for j := i + 1; j < len(ks); j++ {
+			a, b := ks[i], ks[j]
+			switch {
+			case a.full == b.full:
+				add(Finding{Check: "duplicate", Severity: Warning, Rule: b.r.Name,
+					Message: fmt.Sprintf("structurally identical to %s", a.r.Name)})
+			case a.pattern == b.pattern:
+				if sub, by := dominated(a.r, b.r); sub != nil {
+					add(Finding{Check: "subsumed", Severity: Warning, Rule: sub.Name,
+						Message: fmt.Sprintf("same pattern as %s, whose replacement is strictly cheaper", by.Name)})
+				}
+			}
+			// A→B/B→A cycle: A's replacement is B's pattern and vice versa.
+			if a.repl != "" && b.repl != "" && a.repl == b.pattern && b.repl == a.pattern {
+				add(Finding{Check: "cycle", Severity: Info, Rule: a.r.Name,
+					Message: fmt.Sprintf("forms a no-cost-decrease rewrite cycle with %s (expected for commutation pairs; the stochastic search uses these as sideways moves)", b.r.Name)})
+			}
+		}
+	}
+}
+
+// dominated reports which of two same-pattern rules is subsumed: one whose
+// replacement is at least as large in both total and two-qubit gate count,
+// and strictly larger in one. Equal-cost different replacements are
+// different sideways moves and are left alone.
+func dominated(a, b *rewrite.Rule) (sub, by *rewrite.Rule) {
+	an, bn := len(a.Replacement), len(b.Replacement)
+	a2, b2 := repl2q(a), repl2q(b)
+	switch {
+	case an >= bn && a2 >= b2 && (an > bn || a2 > b2):
+		return a, b
+	case bn >= an && b2 >= a2 && (bn > an || b2 > a2):
+		return b, a
+	}
+	return nil, nil
+}
+
+func repl2q(r *rewrite.Rule) int {
+	n := 0
+	for _, rg := range r.Replacement {
+		if len(rg.Qubits) >= 2 {
+			n++
+		}
+	}
+	return n
+}
+
+// Canonicalization: a gate sequence is serialized with qubits and angle
+// variables renamed in order of first appearance, so rules that differ only
+// in labeling compare equal. Replacement parameters that are exactly one
+// variable or one constant canonicalize like pattern parameters; compound
+// expressions serialize to a form no pattern can produce, which makes the
+// cycle check conservative (it only equates var-preserving shapes).
+type canonState struct {
+	q map[int]int
+	v map[int]int
+	b strings.Builder
+}
+
+func newCanon() *canonState {
+	return &canonState{q: map[int]int{}, v: map[int]int{}}
+}
+
+func (c *canonState) qubit(q int) int {
+	id, ok := c.q[q]
+	if !ok {
+		id = len(c.q)
+		c.q[q] = id
+	}
+	return id
+}
+
+func (c *canonState) variable(i int) int {
+	id, ok := c.v[i]
+	if !ok {
+		id = len(c.v)
+		c.v[i] = id
+	}
+	return id
+}
+
+func (c *canonState) pattern(r *rewrite.Rule) {
+	for _, pg := range r.Pattern {
+		c.b.WriteString(string(pg.Name))
+		for _, q := range pg.Qubits {
+			fmt.Fprintf(&c.b, " q%d", c.qubit(q))
+		}
+		for _, p := range pg.Params {
+			if p.IsVar {
+				fmt.Fprintf(&c.b, " v%d", c.variable(p.Var))
+			} else {
+				fmt.Fprintf(&c.b, " c%.12g", normAngle(p.Value))
+			}
+		}
+		c.b.WriteString(";")
+	}
+}
+
+func (c *canonState) replacement(r *rewrite.Rule) {
+	for _, rg := range r.Replacement {
+		c.b.WriteString(string(rg.Name))
+		for _, q := range rg.Qubits {
+			fmt.Fprintf(&c.b, " q%d", c.qubit(q))
+		}
+		for _, e := range rg.Params {
+			c.expr(e)
+		}
+		c.b.WriteString(";")
+	}
+}
+
+func (c *canonState) expr(e rewrite.ParamExpr) {
+	// Single-variable identity expression ⇒ same token as a pattern var.
+	if e.Const == 0 && len(e.Coeffs) == 1 {
+		for i, coeff := range e.Coeffs {
+			if coeff == 1 {
+				fmt.Fprintf(&c.b, " v%d", c.variable(i))
+				return
+			}
+		}
+	}
+	if len(e.Coeffs) == 0 {
+		fmt.Fprintf(&c.b, " c%.12g", normAngle(e.Const))
+		return
+	}
+	// Compound: serialize deterministically (sorted by canonical var id).
+	fmt.Fprintf(&c.b, " e(%.12g", e.Const)
+	ids := make([][2]float64, 0, len(e.Coeffs))
+	for i, coeff := range e.Coeffs {
+		ids = append(ids, [2]float64{float64(c.variable(i)), coeff})
+	}
+	for k := 1; k < len(ids); k++ {
+		for l := k; l > 0 && ids[l][0] < ids[l-1][0]; l-- {
+			ids[l], ids[l-1] = ids[l-1], ids[l]
+		}
+	}
+	for _, kv := range ids {
+		fmt.Fprintf(&c.b, "+%.12g*v%d", kv[1], int(kv[0]))
+	}
+	c.b.WriteString(")")
+}
+
+func normAngle(x float64) float64 {
+	// Collapse float noise so π/2 written two ways compares equal.
+	return math.Round(x*1e12) / 1e12
+}
+
+func canonPattern(r *rewrite.Rule) string {
+	c := newCanon()
+	c.pattern(r)
+	return c.b.String()
+}
+
+func canonReplacement(r *rewrite.Rule) string {
+	c := newCanon()
+	c.replacement(r)
+	return c.b.String()
+}
+
+func canonFull(r *rewrite.Rule) string {
+	c := newCanon()
+	c.pattern(r)
+	c.b.WriteString("=>")
+	c.replacement(r)
+	return c.b.String()
+}

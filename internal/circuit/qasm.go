@@ -17,7 +17,7 @@ import (
 
 // ParseQASM parses an OpenQASM 2.0 (subset) program into a circuit.
 func ParseQASM(src string) (*Circuit, error) {
-	regs := map[string]int{} // register name -> base offset
+	regs := map[string]qasmReg{} // register name -> flattened range
 	total := 0
 	var c *Circuit
 
@@ -53,7 +53,7 @@ func ParseQASM(src string) (*Circuit, error) {
 			if c != nil {
 				return nil, fmt.Errorf("qasm: qreg %q declared after gate statements", name)
 			}
-			regs[name] = total
+			regs[name] = qasmReg{base: total, size: size}
 			total += size
 		default:
 			if c == nil {
@@ -72,6 +72,10 @@ func ParseQASM(src string) (*Circuit, error) {
 	return c, nil
 }
 
+// qasmReg is one declared quantum register's slice of the flattened
+// qubit space.
+type qasmReg struct{ base, size int }
+
 func parseReg(s string) (string, int, error) {
 	s = strings.TrimSpace(s)
 	lb := strings.Index(s, "[")
@@ -87,7 +91,7 @@ func parseReg(s string) (string, int, error) {
 	return name, size, nil
 }
 
-func parseGateStmt(st string, regs map[string]int) (gate.Gate, error) {
+func parseGateStmt(st string, regs map[string]qasmReg) (gate.Gate, error) {
 	// Forms: "name arg, arg" or "name(expr, expr) arg, arg".
 	var name, paramStr, argStr string
 	if i := strings.Index(st, "("); i >= 0 && i < strings.IndexAny(st+"[", "[") {
@@ -132,6 +136,9 @@ func parseGateStmt(st string, regs map[string]int) (gate.Gate, error) {
 			if err != nil {
 				return gate.Gate{}, err
 			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return gate.Gate{}, fmt.Errorf("non-finite angle %q", strings.TrimSpace(p))
+			}
 			params = append(params, v)
 		}
 	}
@@ -148,7 +155,7 @@ func parseGateStmt(st string, regs map[string]int) (gate.Gate, error) {
 			return gate.Gate{}, fmt.Errorf("malformed qubit arg %q (whole-register args unsupported)", a)
 		}
 		rname := strings.TrimSpace(a[:lb])
-		base, ok := regs[rname]
+		reg, ok := regs[rname]
 		if !ok {
 			return gate.Gate{}, fmt.Errorf("unknown register %q", rname)
 		}
@@ -156,10 +163,20 @@ func parseGateStmt(st string, regs map[string]int) (gate.Gate, error) {
 		if err != nil {
 			return gate.Gate{}, fmt.Errorf("bad qubit index in %q", a)
 		}
-		qubits = append(qubits, base+idx)
+		if idx < 0 || idx >= reg.size {
+			return gate.Gate{}, fmt.Errorf("qubit index %d out of range for %s[%d]", idx, rname, reg.size)
+		}
+		qubits = append(qubits, reg.base+idx)
 	}
 	if len(qubits) != spec.Qubits {
 		return gate.Gate{}, fmt.Errorf("gate %s wants %d qubits, got %d", gname, spec.Qubits, len(qubits))
+	}
+	for i, q := range qubits {
+		for _, p := range qubits[:i] {
+			if p == q {
+				return gate.Gate{}, fmt.Errorf("gate %s repeats a qubit argument", gname)
+			}
+		}
 	}
 	return gate.New(gname, qubits, params), nil
 }
@@ -352,7 +369,10 @@ func (c *Circuit) WriteQASM() string {
 	var b strings.Builder
 	b.WriteString("OPENQASM 2.0;\n")
 	b.WriteString("include \"qelib1.inc\";\n")
-	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	if c.NumQubits > 0 {
+		// qreg sizes must be positive; a 0-qubit circuit is just the prologue.
+		fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	}
 	for _, g := range c.Gates {
 		b.WriteString(string(g.Name))
 		if len(g.Params) > 0 {

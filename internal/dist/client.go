@@ -89,10 +89,10 @@ type Client struct {
 	m clientMetrics
 
 	mu       sync.Mutex
-	stats    ClientStats
-	lastSent time.Time
-	lastCost float64
-	sentAny  bool
+	stats    ClientStats // guarded by mu
+	lastSent time.Time   // guarded by mu
+	lastCost float64     // guarded by mu
+	sentAny  bool        // guarded by mu
 }
 
 // ClientStats counts a client's exchange traffic.

@@ -1,0 +1,51 @@
+package dist
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/guoq-dev/guoq/internal/circuit"
+)
+
+// FuzzBinaryCodecs feeds arbitrary bytes to every binary wire decoder:
+// none may panic, and any payload a decoder accepts must survive a
+// re-encode/re-decode round trip (the decoded value is fully determined
+// by the accepted fields, so encoding it again and decoding that must
+// reproduce it — non-minimal uvarints or trailing garbage in the original
+// bytes may legitimately change the re-encoded form, but not the value).
+func FuzzBinaryCodecs(f *testing.F) {
+	// One well-formed payload per message type, plus the degenerate shapes
+	// decoders must reject gracefully.
+	seed := func(m binaryMessage) []byte { return m.appendBinary(nil) }
+	f.Add(seed(&ExchangeRequest{Session: "s1", Worker: "w1", Epsilon: 1e-8,
+		Best: Solution{Envelope: circuit.Envelope{QASM: "qreg q[1];\nh q[0];\n", Err: 1e-9}, Cost: 3}}))
+	f.Add(seed(&ExchangeResponse{Adopt: true, Best: Solution{Envelope: circuit.Envelope{QASM: "x", Err: 0.5}, Cost: 1}}))
+	f.Add(seed(&SubmitRequest{QASM: "qreg q[2];", Target: "nam", Objective: "2q", Epsilon: 1e-8, Worker: "w"}))
+	f.Add(seed(&SubmitResponse{Cached: true, Session: "abc", Best: Solution{Envelope: circuit.Envelope{QASM: "y"}}}))
+	f.Add([]byte{})
+	f.Add([]byte("GQB1"))
+	f.Add([]byte("GQB0\x00\x00"))
+	f.Add([]byte("GQB1\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff")) // huge uvarint length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msgs := []func() binaryMessage{
+			func() binaryMessage { return &ExchangeRequest{} },
+			func() binaryMessage { return &ExchangeResponse{} },
+			func() binaryMessage { return &SubmitRequest{} },
+			func() binaryMessage { return &SubmitResponse{} },
+		}
+		for _, mk := range msgs {
+			m := mk()
+			if err := m.decodeBinary(data); err != nil {
+				continue
+			}
+			enc := m.appendBinary(nil)
+			m2 := mk()
+			if err := m2.decodeBinary(enc); err != nil {
+				t.Fatalf("%T: re-encoded bytes do not decode: %v", m, err)
+			}
+			if enc2 := m2.appendBinary(nil); !bytes.Equal(enc, enc2) {
+				t.Fatalf("%T: encode is not a decode fixpoint\n first: %x\nsecond: %x", m, enc, enc2)
+			}
+		}
+	})
+}

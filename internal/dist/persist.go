@@ -114,9 +114,12 @@ func OpenServer(opts ServerOptions) (*Server, error) {
 }
 
 // restore rebuilds in-memory state from a snapshot plus WAL records. It
-// runs before the server serves traffic, so it writes state directly (and
-// never re-appends what it replays).
+// runs before the server serves traffic (and never re-appends what it
+// replays); it still holds mu so the state writes satisfy the usual
+// locking discipline at no contention cost.
 func (s *Server) restore(rec *store.Recovery) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if rec.Snapshot != nil {
 		var st serverState
 		if err := json.Unmarshal(rec.Snapshot, &st); err != nil {
@@ -143,7 +146,7 @@ func (s *Server) restore(rec *store.Recovery) error {
 		}
 	}
 	for _, r := range rec.Records {
-		if err := s.applyRecord(r); err != nil {
+		if err := s.applyRecordLocked(r); err != nil {
 			return fmt.Errorf("record %d (%s): %w", r.LSN, r.Type, err)
 		}
 	}
@@ -172,8 +175,9 @@ func sessionFromRecord(sr sessionRecord) *session {
 	}
 }
 
-// applyRecord replays one WAL record onto the in-memory state.
-func (s *Server) applyRecord(r store.Record) error {
+// applyRecordLocked replays one WAL record onto the in-memory state.
+// Caller (restore) holds s.mu.
+func (s *Server) applyRecordLocked(r store.Record) error {
 	switch r.Type {
 	case recSession:
 		var sr sessionRecord

@@ -102,8 +102,8 @@ type Server struct {
 	closeOnce      sync.Once
 
 	mu       sync.Mutex
-	sessions map[string]*session
-	queues   map[string]*workQueue
+	sessions map[string]*session   // guarded by mu
+	queues   map[string]*workQueue // guarded by mu
 }
 
 // session is one distributed search: every participant optimizes the same
@@ -398,6 +398,10 @@ func (s *Server) ServeContext(ctx context.Context, l net.Listener, grace time.Du
 		return err
 	case <-ctx.Done():
 	}
+	// The shutdown grace period must not inherit ctx: ctx is already done
+	// (that is why we are shutting down), and Shutdown with a cancelled
+	// parent would abort the drain immediately.
+	//guoqlint:ignore ctxflow graceful drain outlives the cancelled parent ctx
 	sctx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	err := srv.Shutdown(sctx)

@@ -220,9 +220,9 @@ type family struct {
 	fn      func() float64 // kindCounterFunc/kindGaugeFunc
 
 	mu       sync.RWMutex
-	children map[string]any // label-value key -> *Counter/*Gauge/*Histogram
-	keys     []string       // insertion order; sorted at exposition
-	vals     map[string][]string
+	children map[string]any      // label-value key -> *Counter/*Gauge/*Histogram; guarded by mu
+	keys     []string            // insertion order; sorted at exposition; guarded by mu
+	vals     map[string][]string // guarded by mu
 }
 
 const labelSep = "\x1f"

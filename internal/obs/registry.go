@@ -20,8 +20,8 @@ import (
 // themselves no-ops), so "no metrics" needs no special-casing anywhere.
 type Registry struct {
 	mu       sync.RWMutex
-	families map[string]*family
-	order    []string
+	families map[string]*family // guarded by mu
+	order    []string           // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

@@ -50,15 +50,15 @@ const (
 // immediately and otherwise polling at most every upstreamSyncEvery.
 type coordinator struct {
 	mu      sync.Mutex
-	cost    Cost
-	best    *circuit.Circuit
-	bestErr float64
-	bestVal float64
+	cost    Cost             // guarded by mu
+	best    *circuit.Circuit // guarded by mu
+	bestErr float64          // guarded by mu
+	bestVal float64          // guarded by mu
 
 	upstream Exchanger
-	lastSync time.Time
+	lastSync time.Time     // guarded by mu
 	syncBase time.Duration // configured idle-poll period
-	syncWait time.Duration // current period, grown by unproductive syncs
+	syncWait time.Duration // current period, grown by unproductive syncs; guarded by mu
 
 	start     time.Time
 	onImprove func(elapsed time.Duration, best *circuit.Circuit)

@@ -129,6 +129,8 @@ type posEntry struct {
 }
 
 // posSearch returns the first index in pos with entry anchor >= a.
+//
+//guoq:hotpath
 func (rc *ruleCache) posSearch(a int) int {
 	lo, hi := 0, len(rc.pos)
 	for lo < hi {
@@ -143,6 +145,8 @@ func (rc *ruleCache) posSearch(a int) int {
 }
 
 // posGet returns the cached match anchored at a, or nil.
+//
+//guoq:hotpath
 func (rc *ruleCache) posGet(a int) *Match {
 	i := rc.posSearch(a)
 	if i < len(rc.pos) && rc.pos[i].anchor == a {
@@ -152,6 +156,8 @@ func (rc *ruleCache) posGet(a int) *Match {
 }
 
 // posSet inserts or replaces the entry anchored at a.
+//
+//guoq:hotpath
 func (rc *ruleCache) posSet(a int, m *Match) {
 	i := rc.posSearch(a)
 	if i < len(rc.pos) && rc.pos[i].anchor == a {
@@ -164,6 +170,8 @@ func (rc *ruleCache) posSet(a int, m *Match) {
 }
 
 // posDelete removes the entry anchored at a, if present.
+//
+//guoq:hotpath
 func (rc *ruleCache) posDelete(a int) {
 	i := rc.posSearch(a)
 	if i < len(rc.pos) && rc.pos[i].anchor == a {
@@ -177,6 +185,8 @@ func (rc *ruleCache) posDelete(a int) {
 // positive list: entries inside a replaced window are dropped (the undo
 // record keeps their matches), entries past it shift by the window's size
 // delta. One linear merge, in place.
+//
+//guoq:hotpath
 func (rc *ruleCache) posSplice(ws []circuit.SpliceWindow) {
 	out := rc.pos[:0]
 	delta, wi := 0, 0
@@ -384,6 +394,8 @@ func (e *Engine) cacheFor(r *Rule) *ruleCache {
 // consults and extends the rule's match cache (skipping cached failures,
 // replaying cached matches); all replacements land in one
 // transaction-logged multi-window splice with a single halo invalidation.
+//
+//guoq:hotpath
 func (e *Engine) FullPass(r *Rule, start int) int {
 	e.stats.Passes++
 	n := len(e.c.Gates)
@@ -604,6 +616,8 @@ func (e *Engine) rebuildAll() {
 // scan flushes it, or a clean rollback cancels it. halo then only matters
 // for record=false (rollback restores), where it holds whether an eager
 // invalidation pass runs.
+//
+//guoq:hotpath
 func (e *Engine) multiSplice(ws []circuit.SpliceWindow, record, halo bool) {
 	if record {
 		// Any previously parked job still refers to current coordinates;
@@ -707,6 +721,8 @@ func (e *Engine) multiSplice(ws []circuit.SpliceWindow, record, halo bool) {
 // the mutation scratch and held until the next cache consumer flushes it
 // (or a clean rollback cancels it). Only the window geometry is kept — the
 // undo payload (removed gates, matches) stays with the log record.
+//
+//guoq:hotpath
 func (e *Engine) parkHalo(wins []undoWin, seeds, qOffs []int) {
 	pw := e.pendWins[:0]
 	for _, w := range wins {
@@ -721,6 +737,8 @@ func (e *Engine) parkHalo(wins []undoWin, seeds, qOffs []int) {
 // flushPending runs the parked halo invalidation, if any. Callers must
 // ensure the job's coordinates are still current (no splice since it was
 // parked — the multiSplice entry flush maintains that invariant).
+//
+//guoq:hotpath
 func (e *Engine) flushPending() {
 	if !e.pendLive {
 		return
@@ -733,6 +751,8 @@ func (e *Engine) flushPending() {
 // slice: each window's entries are replaced by unknown (zero) bytes. The
 // new slice is assembled into a shared scratch buffer that ping-pongs with
 // the old storage.
+//
+//guoq:hotpath
 func (e *Engine) multiSpliceBytes(b []byte, ws []circuit.SpliceWindow) []byte {
 	out := e.byteScratch[:0]
 	i := 0
@@ -758,6 +778,8 @@ func (e *Engine) multiSpliceBytes(b []byte, ws []circuit.SpliceWindow) []byte {
 // wire steps from its anchor. Keeping the halo per-rule-tight — and much
 // tighter than the old pattern-length bound for long narrow patterns — is
 // what lets small rules retain most of their cache across unrelated edits.
+//
+//guoq:hotpath
 func (e *Engine) invalidate(wins []undoWin, seeds, qOffs []int) {
 	n := len(e.c.Gates)
 	if n == 0 {

@@ -36,6 +36,38 @@ type matchScratch struct {
 	pos     []int // pattern gate -> circuit index
 	matched []bool
 	taken   []int // circuit indices matched so far
+
+	// probe, when non-nil, records every circuit gate the attempt inspects
+	// (the analysis package's halo audit). Nil on all production paths.
+	probe *ProbeTrace
+}
+
+// ProbeTrace records the circuit-gate reads of one match attempt, split by
+// how much of the gate the matcher examined. Full reads (anchor and wire-
+// navigation candidates: name, params, qubits) must stay within the rule's
+// declared HaloDepth of the anchor — that is the soundness premise of the
+// Engine's cached verdicts. QubitOnly reads come from the window-purity
+// scan, which tests only whether an index-interval gate touches a matched
+// wire; a gate that does touch one is wire-adjacent to the match and hence
+// inside the halo, while a disjoint gate influences the verdict only
+// through that disjointness, which splice invalidation re-establishes (any
+// replacement gate landing on a matched wire sits inside the halo walked
+// from the splice site). analysis.CheckLibrary audits the two classes
+// separately.
+type ProbeTrace struct {
+	Full      []int
+	QubitOnly []int
+}
+
+// ProbeMatchReads runs one full match attempt of r anchored at anchor —
+// cold, with no cache — and returns the trace of circuit gates it read,
+// plus whether the pattern matched. It is the probe hook behind the
+// analysis package's randomized halo audit and is not used by the Engine.
+func ProbeMatchReads(c *circuit.Circuit, d *circuit.DAG, r *Rule, anchor int) (ProbeTrace, bool) {
+	s := newMatchScratch()
+	s.probe = &ProbeTrace{}
+	_, ok := matchAt(c, d, r, anchor, s)
+	return *s.probe, ok
 }
 
 func newMatchScratch() *matchScratch { return &matchScratch{} }
@@ -69,6 +101,8 @@ func (s *matchScratch) ensure(c *circuit.Circuit, r *Rule) {
 // every gate between the first and last matched index that touches a
 // matched qubit is itself matched. That invariant makes the match a convex
 // region (§3), so replacement is always semantics-preserving.
+//
+//guoq:hotpath
 func matchAt(c *circuit.Circuit, d *circuit.DAG, r *Rule, anchor int, s *matchScratch) (*Match, bool) {
 	s.ensure(c, r)
 	m, ok := s.match(c, d, r, anchor)
@@ -83,8 +117,12 @@ func matchAt(c *circuit.Circuit, d *circuit.DAG, r *Rule, anchor int, s *matchSc
 	return m, ok
 }
 
+//guoq:hotpath
 func (s *matchScratch) match(c *circuit.Circuit, d *circuit.DAG, r *Rule, anchor int) (*Match, bool) {
 	first := c.Gates[anchor]
+	if s.probe != nil {
+		s.probe.Full = append(s.probe.Full, anchor)
+	}
 	pg0 := r.Pattern[0]
 	if first.Name != pg0.Name || len(first.Qubits) != len(pg0.Qubits) {
 		return nil, false
@@ -136,6 +174,9 @@ func (s *matchScratch) match(c *circuit.Circuit, d *circuit.DAG, r *Rule, anchor
 		if cand < 0 || intsContain(s.taken, cand) {
 			return nil, false
 		}
+		if s.probe != nil {
+			s.probe.Full = append(s.probe.Full, cand)
+		}
 		g := c.Gates[cand]
 		if g.Name != pg.Name || len(g.Qubits) != len(pg.Qubits) {
 			return nil, false
@@ -179,6 +220,9 @@ func (s *matchScratch) match(c *circuit.Circuit, d *circuit.DAG, r *Rule, anchor
 			ti++
 			continue
 		}
+		if s.probe != nil {
+			s.probe.QubitOnly = append(s.probe.QubitOnly, i)
+		}
 		for _, q := range c.Gates[i].Qubits {
 			if s.rq[q] >= 0 {
 				return nil, false
@@ -207,6 +251,8 @@ func (s *matchScratch) match(c *circuit.Circuit, d *circuit.DAG, r *Rule, anchor
 // match is updated in place (no allocation). A false return means
 // navigation fell off a wire, which a correct halo never produces for a
 // live entry; callers treat it as a cache miss and rematch from scratch.
+//
+//guoq:hotpath
 func replayAt(d *circuit.DAG, anchor int, m *Match, s *matchScratch) bool {
 	r := m.Rule
 	for i := range r.Pattern {
@@ -266,6 +312,8 @@ func intsContain(s []int, v int) bool {
 // matchAt is a pure function of the circuit around the anchor, and the
 // Engine clears entries whose neighbourhood changed. st, when non-nil,
 // accumulates cache-effectiveness counters.
+//
+//guoq:hotpath
 func findMatches(c *circuit.Circuit, d *circuit.DAG, r *Rule, start int, s *matchScratch, used []bool, rc *ruleCache, out []*Match, st *EngineStats) []*Match {
 	n := len(c.Gates)
 	if start < 0 {

@@ -267,6 +267,19 @@ func (r *Rule) buildPlan() error {
 	return nil
 }
 
+// OverrideCompiledMetadata replaces the rule's compiled HaloDepth and
+// WireExtents with arbitrary values. It exists ONLY so analysis fixtures
+// can inject an unsound declaration and prove CheckLibrary catches it;
+// production code must never call it — a wrong halo silently corrupts the
+// Engine's cached verdicts, which is exactly the failure the analysis
+// package guards against. A nil wireExtents keeps the compiled extents.
+func (r *Rule) OverrideCompiledMetadata(haloDepth int, wireExtents []int) {
+	r.haloDepth = haloDepth
+	if wireExtents != nil {
+		r.wireExtent = wireExtents
+	}
+}
+
 // MustRule is NewRule for the static rule libraries; it panics on error.
 func MustRule(name string, numQubits, numVars int, pattern []PatGate, replacement []RepGate) *Rule {
 	r, err := NewRule(name, numQubits, numVars, pattern, replacement)
@@ -329,6 +342,8 @@ const paramTol = 1e-9
 
 // matchParam checks a pattern parameter against a concrete angle, extending
 // the binding. bound[i] reports whether variable i is already bound.
+//
+//guoq:hotpath
 func matchParam(p PatParam, angle float64, binding []float64, bound []bool) bool {
 	if !p.IsVar {
 		return math.Abs(linalg.NormAngle(angle-p.Value)) <= paramTol

@@ -50,10 +50,10 @@ type Cache struct {
 	dir        string // "" = memory only
 
 	mu    sync.Mutex
-	ll    *list.List // front = most recently used; values are *cacheItem
-	items map[string]*list.Element
-	bytes int64
-	stats CacheStats
+	ll    *list.List               // front = most recently used; values are *cacheItem; guarded by mu
+	items map[string]*list.Element // guarded by mu
+	bytes int64                    // guarded by mu
+	stats CacheStats               // guarded by mu
 }
 
 type cacheItem struct {

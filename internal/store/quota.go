@@ -17,9 +17,9 @@ type Limiter struct {
 	now   func() time.Time // injectable clock for tests
 
 	mu        sync.Mutex
-	buckets   map[string]*bucket
-	overrides map[string]quotaLimit
-	lastPrune time.Time
+	buckets   map[string]*bucket    // guarded by mu
+	overrides map[string]quotaLimit // guarded by mu
+	lastPrune time.Time             // guarded by mu
 }
 
 type quotaLimit struct{ rate, burst float64 }

@@ -90,14 +90,14 @@ type Log struct {
 	syncEvery time.Duration
 
 	mu           sync.Mutex
-	f            *os.File
-	w            *bufio.Writer
-	lsn          uint64 // last assigned sequence number
-	snapLSN      uint64 // covered by the on-disk snapshot
-	sinceCompact int    // records appended since the last Compact
-	dirty        bool   // bytes written since the last fsync
-	err          error  // sticky write/sync failure
-	closed       bool
+	f            *os.File      // guarded by mu
+	w            *bufio.Writer // guarded by mu
+	lsn          uint64        // last assigned sequence number; guarded by mu
+	snapLSN      uint64        // covered by the on-disk snapshot; guarded by mu
+	sinceCompact int           // records appended since the last Compact; guarded by mu
+	dirty        bool          // bytes written since the last fsync; guarded by mu
+	err          error         // sticky write/sync failure; guarded by mu
+	closed       bool          // guarded by mu
 
 	stop chan struct{}
 	done chan struct{}

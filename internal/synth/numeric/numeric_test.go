@@ -122,6 +122,11 @@ func TestSynthesize3QGHZPrep(t *testing.T) {
 	c.Append(gate.NewH(0), gate.NewCX(0, 1), gate.NewCX(1, 2))
 	target := c.Unitary()
 	s := New(gateset.IBMQ20)
+	// The default 500ms wall-clock budget is tuned for optimizer calls; under
+	// a loaded CI runner (full-suite -race) this heaviest 8×8 case can starve
+	// before the seeded search reaches its solution. The search itself is
+	// deterministic — it just needs the CPU time.
+	s.MaxTime = 10 * time.Second
 	out, err := s.Synthesize(target, 3, 1e-7)
 	if err != nil {
 		t.Fatal(err)

@@ -37,9 +37,9 @@ type PoolMetrics struct {
 type Pool struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []func()
-	closed bool
-	idle   int // workers currently waiting for a job
+	queue  []func() // guarded by mu
+	closed bool     // guarded by mu
+	idle   int      // workers currently waiting for a job; guarded by mu
 	m      PoolMetrics
 	wg     sync.WaitGroup
 }

@@ -73,13 +73,13 @@ type Session struct {
 	droppedC *obs.Counter
 
 	mu       sync.Mutex
-	best     *Circuit
-	bestErr  float64
-	bestCost float64
-	workers  map[int]opt.Event // latest event per worker, for aggregation
-	resynth  map[int]int       // in-flight resynthesis per worker
-	finalC   *Circuit
-	finalRes *Result
+	best     *Circuit          // guarded by mu
+	bestErr  float64           // guarded by mu
+	bestCost float64           // guarded by mu
+	workers  map[int]opt.Event // latest event per worker, for aggregation; guarded by mu
+	resynth  map[int]int       // in-flight resynthesis per worker; guarded by mu
+	finalC   *Circuit          // guarded by mu
+	finalRes *Result           // guarded by mu
 }
 
 // Start begins optimizing c under ctx and returns immediately with a
